@@ -1,0 +1,332 @@
+(* Benchmark harness: regenerates every table and figure of the paper's
+   evaluation, printing measured values next to the published ones, plus
+   the ablation studies from DESIGN.md and Bechamel micro-benchmarks of
+   the flow itself.
+
+   Usage:
+     dune exec bench/main.exe                 # everything
+     dune exec bench/main.exe -- table1 fig5  # selected experiments
+   Experiments: table1 table2 table3 fig3 fig4 fig5 fig6 ablation-dse
+   ablation-mem future-gmc perf *)
+
+open Ggpu_core
+
+let tech = Ggpu_tech.Tech.default_65nm
+
+let section title =
+  Printf.printf "\n=== %s %s\n" title
+    (String.make (max 0 (66 - String.length title)) '=')
+
+(* --- Table I ----------------------------------------------------------- *)
+
+let run_table1 () =
+  section "Table I: 12 G-GPU versions after logic synthesis";
+  Printf.printf
+    "%-10s | %9s %9s | %8s %8s | %8s %8s | %6s %6s | %6s %6s | %7s %7s\n"
+    "version" "area" "paper" "ff" "paper" "comb" "paper" "#mem" "paper"
+    "leak" "paper" "dyn" "paper";
+  let rows = Versions.table1 ~tech () in
+  List.iter2
+    (fun (r : Ggpu_synth.Report.row) (p : Paper_data.table1_row) ->
+      Printf.printf
+        "%d@%dMHz | %9.2f %9.2f | %8d %8d | %8d %8d | %6d %6d | %6.2f %6.2f \
+         | %7.2f %7.2f\n"
+        r.Ggpu_synth.Report.num_cus r.Ggpu_synth.Report.freq_mhz
+        r.Ggpu_synth.Report.total_area_mm2 p.Paper_data.area
+        r.Ggpu_synth.Report.ff p.Paper_data.ff r.Ggpu_synth.Report.comb
+        p.Paper_data.comb r.Ggpu_synth.Report.memories p.Paper_data.memories
+        r.Ggpu_synth.Report.leakage_mw p.Paper_data.leak_mw
+        r.Ggpu_synth.Report.dynamic_w p.Paper_data.dyn_w)
+    rows Paper_data.table1
+
+(* --- Physical versions (shared by Table II / Figs. 3-4) ---------------- *)
+
+let physical_cache : Flow.implementation list option ref = ref None
+
+let physical () =
+  match !physical_cache with
+  | Some impls -> impls
+  | None ->
+      let impls = Versions.physical ~tech () in
+      physical_cache := Some impls;
+      impls
+
+let run_table2 () =
+  section "Table II: routing wirelength per metal layer (um)";
+  let impls = physical () in
+  Printf.printf "%-6s" "layer";
+  List.iter (Printf.printf " | %10s (paper)    ") Paper_data.table2_columns;
+  print_newline ();
+  List.iter
+    (fun (layer, paper_values) ->
+      Printf.printf "%-6s" layer;
+      List.iteri
+        (fun i paper ->
+          let impl = List.nth impls i in
+          let um = Ggpu_layout.Route.layer_um impl.Flow.route layer in
+          Printf.printf " | %10.3e (%9.3e)" um paper)
+        paper_values;
+      print_newline ())
+    Paper_data.table2;
+  List.iter
+    (fun impl ->
+      Printf.printf "%s: achieved %.0f MHz%s\n"
+        (Spec.to_string impl.Flow.spec)
+        impl.Flow.achieved_mhz
+        (match impl.Flow.spec_check with
+        | Ok () -> ""
+        | Error vs ->
+            "  [" ^ String.concat "; " (List.map Spec.violation_to_string vs)
+            ^ "]"))
+    impls
+
+let run_figs34 () =
+  section "Figs. 3 and 4: layouts (1 CU and 8 CU, relaxed vs optimised)";
+  List.iter
+    (fun impl ->
+      Printf.printf "\n-- %s (achieved %.0f MHz) --\n"
+        (Spec.to_string impl.Flow.spec)
+        impl.Flow.achieved_mhz;
+      print_string (Ggpu_layout.Render.render impl.Flow.floorplan);
+      Format.printf "map: %a@." Map.pp impl.Flow.map)
+    (physical ())
+
+(* --- Table III / Figs. 5-6 --------------------------------------------- *)
+
+let table3_cache : Compare.row list option ref = ref None
+
+let table3_rows () =
+  match !table3_cache with
+  | Some rows -> rows
+  | None ->
+      let rows = Compare.table3 () in
+      table3_cache := Some rows;
+      rows
+
+let run_table3 () =
+  section "Table III: input sizes and cycle counts (kcycles)";
+  Printf.printf
+    "(sizes differ from the paper; shapes are compared - see EXPERIMENTS.md)\n";
+  Format.printf "%a" Compare.pp_table3 (table3_rows ());
+  Printf.printf "\npaper reference:\n%-13s %8s %8s %10s %10s %10s %10s %10s\n"
+    "kernel" "rv size" "gp size" "rv kc" "1CU" "2CU" "4CU" "8CU";
+  List.iter
+    (fun (kernel, rv_size, gp_size, rv_kc, gp_kcs) ->
+      Printf.printf "%-13s %8d %8d %10.0f" kernel rv_size gp_size rv_kc;
+      List.iter (Printf.printf " %10.0f") gp_kcs;
+      print_newline ())
+    Paper_data.table3
+
+let print_speedups ~label ~paper rows =
+  Printf.printf "%-13s | %28s | %28s\n" "kernel"
+    ("measured " ^ label ^ " (1/2/4/8 CU)")
+    "paper (1/2/4/8 CU)";
+  List.iter
+    (fun (s : Compare.speedups) ->
+      let values =
+        match label with "raw" -> s.Compare.raw | _ -> s.Compare.derated
+      in
+      Printf.printf "%-13s |" s.Compare.kernel;
+      List.iter (fun (_, v) -> Printf.printf " %6.1f" v) values;
+      Printf.printf " |";
+      (match List.assoc_opt s.Compare.kernel paper with
+      | Some paper_values -> List.iter (Printf.printf " %6.1f") paper_values
+      | None -> ());
+      print_newline ())
+    rows
+
+let run_fig5 () =
+  section "Fig. 5: raw speed-up over RISC-V";
+  let speedups = Compare.speedups ~tech (table3_rows ()) in
+  print_speedups ~label:"raw" ~paper:Paper_data.fig5 speedups
+
+let run_fig6 () =
+  section "Fig. 6: speed-up over RISC-V derated by area";
+  let speedups = Compare.speedups ~tech (table3_rows ()) in
+  Printf.printf "G-GPU/RISC-V area ratios (measured): ";
+  List.iter
+    (fun (cus, area) ->
+      Printf.printf "%dCU=%.1fx " cus (area /. Compare.riscv_area_mm2 tech))
+    (Compare.ggpu_areas_mm2 ~tech ());
+  Printf.printf " (paper: 1CU=6.5x, 8CU=41x)\n";
+  print_speedups ~label:"derated" ~paper:Paper_data.fig6 speedups
+
+(* --- Ablations ---------------------------------------------------------- *)
+
+let run_ablation_dse () =
+  section "Ablation A: DSE strategy (1 CU @ 667 MHz target)";
+  let try_strategy name strategy =
+    let nl = Ggpu_rtlgen.Generate.generate_cus ~num_cus:1 in
+    match Dse.explore ~strategy tech nl ~num_cus:1 ~period_ns:1.5 with
+    | result ->
+        let stats = Ggpu_hw.Netlist.stats nl in
+        let area = Ggpu_synth.Area.of_netlist tech nl in
+        Printf.printf
+          "%-14s: meets 667 MHz with %2d divisions + %2d pipelines | %d \
+           macros | %.2f mm2\n"
+          name
+          (Map.divisions result.Dse.map)
+          (Map.pipelines result.Dse.map)
+          stats.Ggpu_hw.Netlist.macro_count area.Ggpu_synth.Area.total_mm2
+    | exception Dse.Cannot_meet { best_ns; _ } ->
+        Printf.printf "%-14s: CANNOT MEET (best period %.3f ns = %.0f MHz)\n"
+          name best_ns (1000.0 /. best_ns)
+  in
+  try_strategy "full planner" Dse.Full;
+  try_strategy "division-only" Dse.Division_only;
+  try_strategy "pipeline-only" Dse.Pipeline_only
+
+let run_ablation_mem () =
+  section "Ablation B: AXI bandwidth sensitivity (8 CU, cycles)";
+  let kernels = [ "copy"; "xcorr" ] in
+  Printf.printf "%-8s" "kernel";
+  List.iter
+    (fun p -> Printf.printf " %12s" (Printf.sprintf "%d port(s)" p))
+    [ 1; 2; 4 ];
+  print_newline ();
+  List.iter
+    (fun name ->
+      let w = Ggpu_kernels.Suite.find name in
+      Printf.printf "%-8s" name;
+      List.iter
+        (fun ports ->
+          let config =
+            Ggpu_fgpu.Config.validate
+              {
+                (Ggpu_fgpu.Config.with_cus Ggpu_fgpu.Config.default 8) with
+                Ggpu_fgpu.Config.axi =
+                  {
+                    Ggpu_fgpu.Config.default.Ggpu_fgpu.Config.axi with
+                    Ggpu_fgpu.Config.data_ports = ports;
+                  };
+              }
+          in
+          let size = w.Ggpu_kernels.Suite.ggpu_size in
+          let args = w.Ggpu_kernels.Suite.mk_args ~size in
+          let compiled =
+            Ggpu_kernels.Codegen_fgpu.compile w.Ggpu_kernels.Suite.kernel
+          in
+          let result =
+            Ggpu_kernels.Run_fgpu.run ~config compiled ~args
+              ~global_size:(w.Ggpu_kernels.Suite.global_size ~size)
+              ~local_size:w.Ggpu_kernels.Suite.local_size ()
+          in
+          Printf.printf " %12d"
+            result.Ggpu_kernels.Run_fgpu.stats.Ggpu_fgpu.Stats.cycles)
+        [ 1; 2; 4 ];
+      print_newline ())
+    kernels
+
+let run_future_gmc () =
+  section "Future work: replicated memory controller for the 8-CU layout";
+  let nl = Ggpu_rtlgen.Generate.generate_cus ~num_cus:8 in
+  let _ = Dse.explore tech nl ~num_cus:8 ~period_ns:1.5 in
+  List.iter
+    (fun copies ->
+      let fp =
+        Ggpu_layout.Floorplan.build ~gmc_copies:copies tech nl ~num_cus:8
+      in
+      let post = Ggpu_layout.Timing_post.analyse tech nl fp in
+      Printf.printf
+        "%d GMC copies: worst CU-GMC route %.2f mm -> achievable %.0f MHz\n"
+        copies
+        (Ggpu_layout.Floorplan.worst_cu_gmc_distance_mm fp)
+        (Ggpu_layout.Timing_post.quantised_mhz post))
+    [ 1; 2; 4 ]
+
+(* --- Bechamel performance benches -------------------------------------- *)
+
+let run_perf () =
+  section "Bechamel: performance of the flow itself";
+  let open Bechamel in
+  let test_sta =
+    Test.make ~name:"sta-1cu"
+      (Staged.stage (fun () ->
+           let nl = Ggpu_rtlgen.Generate.generate_cus ~num_cus:1 in
+           ignore (Ggpu_synth.Timing.analyse tech nl)))
+  in
+  let test_dse =
+    Test.make ~name:"dse-1cu-667"
+      (Staged.stage (fun () ->
+           let nl = Ggpu_rtlgen.Generate.generate_cus ~num_cus:1 in
+           ignore (Dse.explore tech nl ~num_cus:1 ~period_ns:1.5)))
+  in
+  let test_gpu_sim =
+    Test.make ~name:"gpu-sim-copy-4k"
+      (Staged.stage (fun () ->
+           let w = Ggpu_kernels.Suite.copy in
+           let args = w.Ggpu_kernels.Suite.mk_args ~size:4096 in
+           let compiled =
+             Ggpu_kernels.Codegen_fgpu.compile w.Ggpu_kernels.Suite.kernel
+           in
+           ignore
+             (Ggpu_kernels.Run_fgpu.run compiled ~args ~global_size:4096
+                ~local_size:256 ())))
+  in
+  let test_rv32_sim =
+    Test.make ~name:"rv32-sim-copy-4k"
+      (Staged.stage (fun () ->
+           let w = Ggpu_kernels.Suite.copy in
+           let args = w.Ggpu_kernels.Suite.mk_args ~size:4096 in
+           let compiled =
+             Ggpu_kernels.Codegen_rv32.compile w.Ggpu_kernels.Suite.kernel
+           in
+           ignore
+             (Ggpu_kernels.Run_rv32.run compiled ~args ~global_size:4096
+                ~local_size:256 ())))
+  in
+  let benchmark test =
+    let instances = [ Toolkit.Instance.monotonic_clock ] in
+    let cfg = Benchmark.cfg ~limit:20 ~quota:(Time.second 1.0) () in
+    let raw = Benchmark.all cfg instances test in
+    let results =
+      Analyze.all
+        (Analyze.ols ~bootstrap:0 ~r_square:false
+           ~predictors:[| Measure.run |])
+        Toolkit.Instance.monotonic_clock raw
+    in
+    Hashtbl.iter
+      (fun name result ->
+        match Analyze.OLS.estimates result with
+        | Some [ est ] -> Printf.printf "%-18s %12.0f ns/run\n" name est
+        | _ -> Printf.printf "%-18s (no estimate)\n" name)
+      results
+  in
+  List.iter benchmark [ test_sta; test_dse; test_gpu_sim; test_rv32_sim ]
+
+(* --- Driver ------------------------------------------------------------- *)
+
+let experiments =
+  [
+    ("table1", run_table1);
+    ("table2", run_table2);
+    ("table3", run_table3);
+    ("fig3", run_figs34);
+    ("fig4", run_figs34);
+    ("fig5", run_fig5);
+    ("fig6", run_fig6);
+    ("ablation-dse", run_ablation_dse);
+    ("ablation-mem", run_ablation_mem);
+    ("future-gmc", run_future_gmc);
+    ("perf", run_perf);
+  ]
+
+let () =
+  let requested =
+    match Array.to_list Sys.argv with
+    | _ :: (_ :: _ as names) -> names
+    | _ ->
+        [
+          "table1"; "table2"; "table3"; "fig3"; "fig5"; "fig6"; "ablation-dse";
+          "ablation-mem"; "future-gmc"; "perf";
+        ]
+  in
+  List.iter
+    (fun name ->
+      match List.assoc_opt name experiments with
+      | Some run -> run ()
+      | None ->
+          Printf.eprintf "unknown experiment %s (known: %s)\n" name
+            (String.concat ", " (List.map fst experiments));
+          exit 1)
+    requested

@@ -1,0 +1,82 @@
+(* Published numbers from the paper, used by the harness to print
+   paper-vs-measured for every table and figure.
+
+   Table I: 12 logic-synthesis versions.
+   Table II: wirelength per metal layer for the four physical versions.
+   Table III: benchmark input sizes and cycle counts.
+   Figs. 5/6 are derived from Tables I and III by the paper's formulas. *)
+
+type table1_row = {
+  cus : int;
+  freq : int;
+  area : float;
+  mem_area : float;
+  ff : int;
+  comb : int;
+  memories : int;
+  leak_mw : float;
+  dyn_w : float;
+  total_w : float;
+}
+
+let table1 =
+  [
+    { cus = 1; freq = 500; area = 4.19; mem_area = 2.68; ff = 119778; comb = 127826; memories = 51; leak_mw = 4.62; dyn_w = 1.97; total_w = 2.055 };
+    { cus = 2; freq = 500; area = 7.45; mem_area = 4.64; ff = 229171; comb = 214243; memories = 93; leak_mw = 8.54; dyn_w = 3.63; total_w = 3.77 };
+    { cus = 4; freq = 500; area = 13.84; mem_area = 8.56; ff = 437318; comb = 387246; memories = 177; leak_mw = 16.07; dyn_w = 6.88; total_w = 7.14 };
+    { cus = 8; freq = 500; area = 26.51; mem_area = 16.39; ff = 852094; comb = 714256; memories = 345; leak_mw = 30.79; dyn_w = 13.33; total_w = 13.86 };
+    { cus = 1; freq = 590; area = 4.66; mem_area = 3.15; ff = 120035; comb = 128894; memories = 68; leak_mw = 4.73; dyn_w = 2.57; total_w = 2.66 };
+    { cus = 2; freq = 590; area = 8.16; mem_area = 5.34; ff = 229172; comb = 221946; memories = 120; leak_mw = 8.73; dyn_w = 4.63; total_w = 4.81 };
+    { cus = 4; freq = 590; area = 15.03; mem_area = 9.72; ff = 436807; comb = 397995; memories = 224; leak_mw = 16.41; dyn_w = 8.70; total_w = 9.02 };
+    { cus = 8; freq = 590; area = 28.65; mem_area = 18.49; ff = 850559; comb = 737232; memories = 432; leak_mw = 31.25; dyn_w = 16.81; total_w = 17.40 };
+    { cus = 1; freq = 667; area = 4.77; mem_area = 3.26; ff = 120035; comb = 130802; memories = 71; leak_mw = 4.65; dyn_w = 2.62; total_w = 2.72 };
+    { cus = 2; freq = 667; area = 8.27; mem_area = 5.45; ff = 229172; comb = 222028; memories = 123; leak_mw = 8.72; dyn_w = 4.69; total_w = 4.87 };
+    { cus = 4; freq = 667; area = 15.15; mem_area = 9.83; ff = 436807; comb = 398124; memories = 227; leak_mw = 16.43; dyn_w = 8.75; total_w = 9.07 };
+    { cus = 8; freq = 667; area = 28.69; mem_area = 18.60; ff = 848511; comb = 730506; memories = 435; leak_mw = 30.21; dyn_w = 19.10; total_w = 19.76 };
+  ]
+
+(* Table II: wirelength per metal layer in um. *)
+let table2 =
+  [
+    ("M2", [ 3185110.; 15340072.; 20314957.; 25637608. ]);
+    ("M3", [ 5132356.; 21219705.; 27928578.; 34890963. ]);
+    ("M4", [ 2987163.; 9866798.; 19209669.; 22387405. ]);
+    ("M5", [ 2713788.; 11293663.; 21953276.; 26355211. ]);
+    ("M6", [ 1430594.; 8801517.; 14074944.; 11111664. ]);
+    ("M7", [ 616666.; 2915533.; 6316321.; 5315697. ]);
+  ]
+
+let table2_columns = [ "1CU@500MHz"; "1CU@667MHz"; "8CU@500MHz"; "8CU@600MHz" ]
+
+(* Table III: (kernel, rv size, ggpu size, rv kcycles, [1/2/4/8 CU kcycles]) *)
+let table3 =
+  [
+    ("mat_mul", 128, 2048, 202., [ 48.; 28.; 18.; 14. ]);
+    ("copy", 512, 32768, 71., [ 73.; 36.; 24.; 22. ]);
+    ("vec_mul", 1024, 65536, 78., [ 100.; 49.; 31.; 26. ]);
+    ("fir", 128, 4096, 542., [ 694.; 358.; 185.; 169. ]);
+    ("div_int", 512, 4096, 32., [ 209.; 105.; 57.; 62. ]);
+    ("xcorr", 256, 4096, 542., [ 5343.; 2802.; 1467.; 2079. ]);
+    ("parallel_sel", 128, 2048, 765., [ 5979.; 3157.; 1656.; 1660. ]);
+  ]
+
+(* Fig. 5/6 derived values per the paper's formulas. *)
+let fig5 =
+  List.map
+    (fun (kernel, rv_size, gp_size, rv_kc, gp_kcs) ->
+      let ratio = float_of_int gp_size /. float_of_int rv_size in
+      (kernel, List.map (fun kc -> rv_kc *. ratio /. kc) gp_kcs))
+    table3
+
+(* area ratios quoted in the paper for Fig. 6: 1 CU = 6.5x RISC-V,
+   8 CU = 41x *)
+let area_ratio_of_cus = [ (1, 6.5); (2, 12.6); (4, 23.7); (8, 41.0) ]
+
+let fig6 =
+  List.map
+    (fun (kernel, speedups) ->
+      ( kernel,
+        List.map2
+          (fun (_, ratio) speedup -> speedup /. ratio)
+          area_ratio_of_cus speedups ))
+    fig5

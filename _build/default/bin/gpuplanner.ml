@@ -1,0 +1,263 @@
+(* GPUPlanner command-line interface.
+
+   Subcommands mirror the paper's Fig. 2 flow:
+
+     gpuplanner synth   --cus 2 --freq 667          logic synthesis report
+     gpuplanner map     --cus 1 --freq 667          print the optimisation map
+     gpuplanner layout  --cus 8 --freq 667          full RTL-to-layout flow
+     gpuplanner table1                              the 12 published versions
+     gpuplanner compare [--kernel mat_mul]          RISC-V vs G-GPU
+     gpuplanner run     --kernel copy --cus 4       simulate one kernel *)
+
+open Cmdliner
+open Ggpu_core
+
+let tech_of_name = function
+  | "65nm" -> Ok Ggpu_tech.Tech.default_65nm
+  | "28nm" -> Ok Ggpu_tech.Tech.scaled_28nm
+  | other -> Error (Printf.sprintf "unknown technology %s (65nm | 28nm)" other)
+
+let tech_term =
+  let doc = "Technology models to use: 65nm (default) or 28nm." in
+  let arg = Arg.(value & opt string "65nm" & info [ "tech" ] ~doc ~docv:"NODE") in
+  Term.(
+    term_result ~usage:true
+      (const (fun name ->
+           Result.map_error (fun e -> `Msg e) (tech_of_name name))
+      $ arg))
+
+let cus_term =
+  let doc = "Number of compute units (1..8)." in
+  Arg.(value & opt int 1 & info [ "cus" ] ~doc ~docv:"N")
+
+let freq_term =
+  let doc = "Target frequency in MHz." in
+  Arg.(value & opt int 500 & info [ "freq" ] ~doc ~docv:"MHZ")
+
+let area_term =
+  let doc = "Optional area budget in mm2." in
+  Arg.(value & opt (some float) None & info [ "max-area" ] ~doc ~docv:"MM2")
+
+let power_term =
+  let doc = "Optional power budget in W." in
+  Arg.(value & opt (some float) None & info [ "max-power" ] ~doc ~docv:"W")
+
+let spec_of ~cus ~freq ~area ~power =
+  try Ok (Spec.make ~max_area_mm2:area ~max_power_w:power ~num_cus:cus ~freq_mhz:freq ())
+  with Spec.Invalid_spec msg -> Error (`Msg msg)
+
+let handle_dse_errors f =
+  try f () with
+  | Dse.Cannot_meet { period_ns; best_ns; detail } ->
+      Printf.eprintf
+        "cannot meet %.3f ns: best achievable %.3f ns (%.0f MHz); %s\n"
+        period_ns best_ns (1000.0 /. best_ns) detail;
+      exit 1
+
+(* --- synth ------------------------------------------------------------- *)
+
+let synth_cmd =
+  let run tech cus freq area power =
+    match spec_of ~cus ~freq ~area ~power with
+    | Error e -> Error e
+    | Ok spec ->
+        handle_dse_errors (fun () ->
+            let _nl, map, report = Flow.synthesise ~tech spec in
+            print_endline Ggpu_synth.Report.header;
+            print_endline (Ggpu_synth.Report.row_to_string report);
+            Printf.printf "(%d divisions, %d pipelines; see 'map' for detail)\n"
+              (Map.divisions map) (Map.pipelines map);
+            Ok ())
+  in
+  let term =
+    Term.(
+      term_result ~usage:false
+        (const run $ tech_term $ cus_term $ freq_term $ area_term $ power_term))
+  in
+  Cmd.v (Cmd.info "synth" ~doc:"Logic synthesis of one G-GPU version") term
+
+(* --- map --------------------------------------------------------------- *)
+
+let map_cmd =
+  let run tech cus freq area power =
+    match spec_of ~cus ~freq ~area ~power with
+    | Error e -> Error e
+    | Ok spec ->
+        handle_dse_errors (fun () ->
+            let _nl, map, _report = Flow.synthesise ~tech spec in
+            Format.printf "%a" Map.pp map;
+            Ok ())
+  in
+  let term =
+    Term.(
+      term_result ~usage:false
+        (const run $ tech_term $ cus_term $ freq_term $ area_term $ power_term))
+  in
+  Cmd.v
+    (Cmd.info "map"
+       ~doc:
+         "Print the optimisation map (memory divisions and pipeline \
+          insertions) for a target")
+    term
+
+(* --- layout ------------------------------------------------------------ *)
+
+let layout_cmd =
+  let run tech cus freq area power =
+    match spec_of ~cus ~freq ~area ~power with
+    | Error e -> Error e
+    | Ok spec ->
+        handle_dse_errors (fun () ->
+            let impl = Flow.implement ~tech spec in
+            Format.printf "%a" Flow.pp_implementation impl;
+            print_string (Ggpu_layout.Render.render impl.Flow.floorplan);
+            Format.printf "%a@." Ggpu_layout.Timing_post.pp impl.Flow.post_timing;
+            Printf.printf "wirelength per layer (um):\n";
+            Format.printf "%a" Ggpu_layout.Route.pp impl.Flow.route;
+            Ok ())
+  in
+  let term =
+    Term.(
+      term_result ~usage:false
+        (const run $ tech_term $ cus_term $ freq_term $ area_term $ power_term))
+  in
+  Cmd.v
+    (Cmd.info "layout" ~doc:"Full RTL-to-layout implementation of one version")
+    term
+
+(* --- table1 ------------------------------------------------------------ *)
+
+let table1_cmd =
+  let run tech =
+    print_endline Ggpu_synth.Report.header;
+    List.iter
+      (fun r -> print_endline (Ggpu_synth.Report.row_to_string r))
+      (Versions.table1 ~tech ());
+    Ok ()
+  in
+  let term = Term.(term_result ~usage:false (const run $ tech_term)) in
+  Cmd.v
+    (Cmd.info "table1" ~doc:"Regenerate the paper's Table I (12 versions)")
+    term
+
+(* --- compare ----------------------------------------------------------- *)
+
+let kernel_term =
+  let doc = "Restrict to one kernel (default: all seven)." in
+  Arg.(value & opt (some string) None & info [ "kernel" ] ~doc ~docv:"NAME")
+
+let compare_cmd =
+  let run tech kernel =
+    let workloads =
+      match kernel with
+      | None -> Ggpu_kernels.Suite.all
+      | Some name -> (
+          try [ Ggpu_kernels.Suite.find name ]
+          with Invalid_argument msg ->
+            prerr_endline msg;
+            exit 1)
+    in
+    let rows = Compare.table3 ~workloads () in
+    Format.printf "%a@." Compare.pp_table3 rows;
+    let speedups = Compare.speedups ~tech rows in
+    Format.printf "%a@." (Compare.pp_speedups ~label:"raw") speedups;
+    Format.printf "%a@." (Compare.pp_speedups ~label:"derated") speedups;
+    Ok ()
+  in
+  let term =
+    Term.(term_result ~usage:false (const run $ tech_term $ kernel_term))
+  in
+  Cmd.v
+    (Cmd.info "compare"
+       ~doc:"Run the benchmark suite on RISC-V and G-GPU (Table III, Figs. 5-6)")
+    term
+
+(* --- run --------------------------------------------------------------- *)
+
+let run_cmd =
+  let size_term =
+    let doc = "Problem size (work-items); default: the workload's G-GPU size." in
+    Arg.(value & opt (some int) None & info [ "size" ] ~doc ~docv:"N")
+  in
+  let kernel_req =
+    let doc = "Kernel to run (mat_mul copy vec_mul fir div_int xcorr \
+               parallel_sel)." in
+    Arg.(required & opt (some string) None & info [ "kernel" ] ~doc ~docv:"NAME")
+  in
+  let run cus name size =
+    let w =
+      try Ggpu_kernels.Suite.find name
+      with Invalid_argument msg ->
+        prerr_endline msg;
+        exit 1
+    in
+    let size =
+      w.Ggpu_kernels.Suite.round_size
+        (Option.value ~default:w.Ggpu_kernels.Suite.ggpu_size size)
+    in
+    let config = Ggpu_fgpu.Config.with_cus Ggpu_fgpu.Config.default cus in
+    let args = w.Ggpu_kernels.Suite.mk_args ~size in
+    let compiled = Ggpu_kernels.Codegen_fgpu.compile w.Ggpu_kernels.Suite.kernel in
+    let result =
+      Ggpu_kernels.Run_fgpu.run ~config compiled ~args
+        ~global_size:(w.Ggpu_kernels.Suite.global_size ~size)
+        ~local_size:(min w.Ggpu_kernels.Suite.local_size size)
+        ()
+    in
+    let stats = result.Ggpu_kernels.Run_fgpu.stats in
+    Format.printf "%s size=%d on %d CU: %a@." name size cus Ggpu_fgpu.Stats.pp
+      stats;
+    let expected = w.Ggpu_kernels.Suite.expected ~size args in
+    let actual =
+      Ggpu_kernels.Run_fgpu.output result w.Ggpu_kernels.Suite.output_buffer
+    in
+    if expected = actual then Format.printf "output verified@."
+    else begin
+      Format.printf "OUTPUT MISMATCH@.";
+      exit 1
+    end;
+    Ok ()
+  in
+  let term =
+    Term.(term_result ~usage:false (const run $ cus_term $ kernel_req $ size_term))
+  in
+  Cmd.v (Cmd.info "run" ~doc:"Simulate one kernel on the G-GPU") term
+
+(* --- verilog ------------------------------------------------------------ *)
+
+let verilog_cmd =
+  let out_term =
+    let doc = "Output file (default: ggpu_<N>cu.v)." in
+    Arg.(value & opt (some string) None & info [ "o"; "output" ] ~doc ~docv:"FILE")
+  in
+  let run tech cus freq area power out =
+    match spec_of ~cus ~freq ~area ~power with
+    | Error e -> Error e
+    | Ok spec ->
+        handle_dse_errors (fun () ->
+            let netlist, _map, _report = Flow.synthesise ~tech spec in
+            let path =
+              Option.value ~default:(Printf.sprintf "ggpu_%dcu.v" cus) out
+            in
+            Ggpu_hw.Verilog.write netlist ~path;
+            Printf.printf "wrote %s (%d cells, %d nets)
+" path
+              (Ggpu_hw.Netlist.cell_count netlist)
+              (Ggpu_hw.Netlist.net_count netlist);
+            Ok ())
+  in
+  let term =
+    Term.(
+      term_result ~usage:false
+        (const run $ tech_term $ cus_term $ freq_term $ area_term $ power_term
+       $ out_term))
+  in
+  Cmd.v
+    (Cmd.info "verilog"
+       ~doc:"Export the optimised netlist as structural Verilog")
+    term
+
+let () =
+  let doc = "open-source generator of GPU-like ASIC accelerators" in
+  let info = Cmd.info "gpuplanner" ~version:"1.0.0" ~doc in
+  exit (Cmd.eval (Cmd.group info [ synth_cmd; map_cmd; layout_cmd; table1_cmd; compare_cmd; run_cmd; verilog_cmd ]))

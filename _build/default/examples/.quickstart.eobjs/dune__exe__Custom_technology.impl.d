@@ -1,0 +1,1 @@
+examples/custom_technology.ml: Dse Flow Ggpu_core Ggpu_rtlgen Ggpu_synth Ggpu_tech List Map Memlib Printf Spec Tech

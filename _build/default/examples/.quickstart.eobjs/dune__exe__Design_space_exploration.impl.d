@@ -1,0 +1,1 @@
+examples/design_space_exploration.ml: Flow Format Ggpu_core Ggpu_rtlgen Ggpu_synth Ggpu_tech Int List Map Printf Spec String

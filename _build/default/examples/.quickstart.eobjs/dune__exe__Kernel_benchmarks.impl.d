@@ -1,0 +1,1 @@
+examples/kernel_benchmarks.ml: Array Ast Codegen_fgpu Codegen_rv32 Ggpu_fgpu Ggpu_isa Ggpu_kernels Ggpu_riscv Int32 Interp List Printf Run_fgpu Run_rv32

@@ -1,0 +1,1 @@
+examples/opencl_style_kernels.ml: Array Ast Codegen_fgpu Codegen_rv32 Ggpu_fgpu Ggpu_kernels Int32 Interp List Lower Opt Parse Printf Run_fgpu String Vir

@@ -1,0 +1,1 @@
+examples/opencl_style_kernels.mli:

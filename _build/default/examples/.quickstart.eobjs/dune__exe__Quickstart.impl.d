@@ -1,0 +1,1 @@
+examples/quickstart.ml: Codegen_fgpu Flow Format Ggpu_core Ggpu_fgpu Ggpu_kernels Ggpu_layout Ggpu_synth Map Printf Run_fgpu Spec Suite

@@ -1,0 +1,47 @@
+(* Quickstart: generate a G-GPU, implement it, and run a kernel on it.
+
+     dune exec examples/quickstart.exe
+
+   Walks the whole stack in one page: specify a 1-CU G-GPU at 667 MHz,
+   let GPUPlanner explore the design space (memory division + on-demand
+   pipelines), inspect the resulting map and layout, then compile an
+   OpenCL-style kernel and execute it on the cycle-level simulator. *)
+
+open Ggpu_core
+open Ggpu_kernels
+
+let () =
+  (* 1. specify and implement the accelerator *)
+  let spec = Spec.make ~num_cus:1 ~freq_mhz:667 () in
+  Printf.printf "Implementing %s...\n%!" (Spec.to_string spec);
+  let impl = Flow.implement spec in
+  Printf.printf "\nLogic synthesis (a Table I row):\n%s\n%s\n"
+    Ggpu_synth.Report.header
+    (Ggpu_synth.Report.row_to_string impl.Flow.logic_report);
+  Printf.printf "\nThe optimisation map GPUPlanner derived:\n";
+  Format.printf "%a" Map.pp impl.Flow.map;
+  Printf.printf "\nLayout:\n%s" (Ggpu_layout.Render.render impl.Flow.floorplan);
+  Printf.printf "Achieved frequency: %.0f MHz\n" impl.Flow.achieved_mhz;
+
+  (* 2. compile a kernel for it and run it *)
+  let workload = Suite.vec_mul in
+  let size = 4096 in
+  let args = workload.Suite.mk_args ~size in
+  let compiled = Codegen_fgpu.compile workload.Suite.kernel in
+  Printf.printf "\nRunning %s on %d work-items...\n" workload.Suite.name size;
+  let result =
+    Run_fgpu.run compiled ~args ~global_size:size
+      ~local_size:workload.Suite.local_size ()
+  in
+  let stats = result.Run_fgpu.stats in
+  Printf.printf "  %d cycles (%d wavefront instructions, %.1f%% cache hits)\n"
+    stats.Ggpu_fgpu.Stats.cycles stats.Ggpu_fgpu.Stats.wf_instructions
+    (100.0 *. Ggpu_fgpu.Stats.hit_rate stats);
+  Printf.printf "  at %.0f MHz that is %.1f us\n" impl.Flow.achieved_mhz
+    (float_of_int stats.Ggpu_fgpu.Stats.cycles /. impl.Flow.achieved_mhz);
+
+  (* 3. check the result against the reference semantics *)
+  let expected = workload.Suite.expected ~size args in
+  let actual = Run_fgpu.output result workload.Suite.output_buffer in
+  assert (expected = actual);
+  Printf.printf "  output verified against the reference interpreter\n"

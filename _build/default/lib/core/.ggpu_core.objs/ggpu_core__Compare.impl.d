@@ -1,0 +1,1 @@
+lib/core/compare.ml: Codegen_fgpu Codegen_rv32 Flow Format Ggpu_fgpu Ggpu_hw Ggpu_kernels Ggpu_riscv Ggpu_synth Ggpu_tech List Memlib Run_fgpu Run_rv32 Spec Stdcell Suite Tech

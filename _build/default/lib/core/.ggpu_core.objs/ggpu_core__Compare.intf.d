@@ -1,0 +1,1 @@
+lib/core/compare.mli: Format Ggpu_kernels Ggpu_tech

@@ -1,0 +1,1 @@
+lib/core/dse.ml: Cell Float Format Ggpu_hw Ggpu_synth Ggpu_tech List Macro_spec Map Memlib Net Netlist Op Printf Stdcell Tech Timing

@@ -1,0 +1,1 @@
+lib/core/dse.mli: Ggpu_hw Ggpu_synth Ggpu_tech Map

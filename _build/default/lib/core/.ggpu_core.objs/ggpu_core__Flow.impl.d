@@ -1,0 +1,1 @@
+lib/core/flow.ml: Dse Float Floorplan Format Ggpu_hw Ggpu_layout Ggpu_rtlgen Ggpu_synth Ggpu_tech List Map Report Route Spec String Tech Timing_post

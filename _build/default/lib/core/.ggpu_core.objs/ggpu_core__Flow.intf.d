@@ -1,0 +1,1 @@
+lib/core/flow.mli: Format Ggpu_hw Ggpu_layout Ggpu_synth Ggpu_tech Map Spec

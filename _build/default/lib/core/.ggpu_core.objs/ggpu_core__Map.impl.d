@@ -1,0 +1,1 @@
+lib/core/map.ml: Format Ggpu_hw List Netlist Printf

@@ -1,0 +1,1 @@
+lib/core/map.mli: Format Ggpu_hw

@@ -1,0 +1,1 @@
+lib/core/versions.ml: Flow List Spec

@@ -1,0 +1,1 @@
+lib/core/versions.mli: Flow Ggpu_synth Ggpu_tech Spec

@@ -1,0 +1,147 @@
+(* The RISC-V comparison (Table III, Figs. 5 and 6).
+
+   Follows the paper's methodology exactly:
+
+   - both architectures run the same seven OpenCL-style micro-benchmarks
+     from one kernel source (compiled by the respective back ends);
+   - the RISC-V runs its largest input; the G-GPU runs an input 8-64x
+     larger (the published per-kernel ratios) to keep its compute units
+     fed;
+   - raw speed-up scales the RISC-V cycle count linearly by the input
+     ratio ("which in practice is unfeasible but favours RISC-V");
+   - Fig. 6 derates the speed-up by the G-GPU/RISC-V area ratio for
+     each CU configuration, both synthesised at 667 MHz. *)
+
+open Ggpu_kernels
+
+type row = {
+  kernel : string;
+  riscv_size : int;
+  ggpu_size : int;
+  riscv_kcycles : float;
+  ggpu_kcycles : (int * float) list; (* per CU count *)
+}
+
+type speedups = {
+  kernel : string;
+  raw : (int * float) list; (* CU count -> Fig. 5 speed-up *)
+  derated : (int * float) list; (* CU count -> Fig. 6 speed-up/area *)
+}
+
+let cu_counts = [ 1; 2; 4; 8 ]
+
+(* Area of the CV32E40P-class baseline with its 32 kB data SRAM, using
+   the same technology models as the G-GPU (the paper reports the 1-CU
+   G-GPU as 6.5x this). *)
+let riscv_area_mm2 tech =
+  let open Ggpu_tech in
+  let core_gates = 45_000 and core_ffs = 3_000 in
+  let logic_um2 =
+    (float_of_int core_gates *. tech.Tech.stdcell.Stdcell.gate_area_um2)
+    +. float_of_int core_ffs *. tech.Tech.stdcell.Stdcell.dff_area_um2
+  in
+  let sram =
+    Ggpu_hw.Macro_spec.make ~words:8192 ~bits:32
+      ~ports:Ggpu_hw.Macro_spec.Dual_port
+  in
+  let mem_um2 = (Memlib.query tech.Tech.memory sram).Memlib.area_um2 in
+  ((logic_um2 /. 0.7) +. mem_um2) /. 1.0e6
+
+let run_riscv (w : Suite.t) =
+  let size = w.Suite.riscv_size in
+  let args = w.Suite.mk_args ~size in
+  let compiled = Codegen_rv32.compile w.Suite.kernel in
+  let result =
+    Run_rv32.run compiled ~args
+      ~global_size:(w.Suite.global_size ~size)
+      ~local_size:(min w.Suite.local_size size)
+      ()
+  in
+  result.Run_rv32.stats.Ggpu_riscv.Cpu.cycles
+
+let run_ggpu (w : Suite.t) ~num_cus =
+  let size = w.Suite.ggpu_size in
+  let config = Ggpu_fgpu.Config.with_cus Ggpu_fgpu.Config.default num_cus in
+  let args = w.Suite.mk_args ~size in
+  let compiled = Codegen_fgpu.compile w.Suite.kernel in
+  let result =
+    Run_fgpu.run ~config compiled ~args
+      ~global_size:(w.Suite.global_size ~size)
+      ~local_size:(min w.Suite.local_size size)
+      ()
+  in
+  result.Run_fgpu.stats.Ggpu_fgpu.Stats.cycles
+
+(* Table III: input sizes and measured cycle counts. *)
+let table3 ?(workloads = Suite.all) () =
+  List.map
+    (fun w ->
+      {
+        kernel = w.Suite.name;
+        riscv_size = w.Suite.riscv_size;
+        ggpu_size = w.Suite.ggpu_size;
+        riscv_kcycles = float_of_int (run_riscv w) /. 1000.0;
+        ggpu_kcycles =
+          List.map
+            (fun cus -> (cus, float_of_int (run_ggpu w ~num_cus:cus) /. 1000.0))
+            cu_counts;
+      })
+    workloads
+
+(* G-GPU total area per CU count at the paper's 667 MHz comparison
+   point. *)
+let ggpu_areas_mm2 ?tech () =
+  List.map
+    (fun num_cus ->
+      let spec = Spec.make ~num_cus ~freq_mhz:667 () in
+      let _nl, _map, report = Flow.synthesise ?tech spec in
+      (num_cus, report.Ggpu_synth.Report.total_area_mm2))
+    cu_counts
+
+(* Figs. 5 and 6 from a Table III measurement. *)
+let speedups ?(tech = Ggpu_tech.Tech.default_65nm) (rows : row list) =
+  let areas = ggpu_areas_mm2 ~tech () in
+  let rv_area = riscv_area_mm2 tech in
+  List.map
+    (fun r ->
+      let ratio = float_of_int r.ggpu_size /. float_of_int r.riscv_size in
+      let raw =
+        List.map
+          (fun (cus, kcycles) -> (cus, r.riscv_kcycles *. ratio /. kcycles))
+          r.ggpu_kcycles
+      in
+      let derated =
+        List.map
+          (fun (cus, speedup) ->
+            let area = List.assoc cus areas in
+            (cus, speedup /. (area /. rv_area)))
+          raw
+      in
+      { kernel = r.kernel; raw; derated })
+    rows
+
+let pp_table3 fmt (rows : row list) =
+  Format.fprintf fmt "%-13s %8s %8s %10s %10s %10s %10s %10s@." "Kernel"
+    "RISC-V" "G-GPU" "RISC-V kc" "1CU kc" "2CU kc" "4CU kc" "8CU kc";
+  List.iter
+    (fun (r : row) ->
+      Format.fprintf fmt "%-13s %8d %8d %10.0f" r.kernel r.riscv_size
+        r.ggpu_size r.riscv_kcycles;
+      List.iter
+        (fun (_, kcycles) -> Format.fprintf fmt " %10.0f" kcycles)
+        r.ggpu_kcycles;
+      Format.fprintf fmt "@.")
+    rows
+
+let pp_speedups fmt ~label (rows : speedups list) =
+  Format.fprintf fmt "%-13s %10s %10s %10s %10s   (%s)@." "Kernel" "1CU" "2CU"
+    "4CU" "8CU" label;
+  List.iter
+    (fun s ->
+      let values =
+        match label with "raw" -> s.raw | _ -> s.derated
+      in
+      Format.fprintf fmt "%-13s" s.kernel;
+      List.iter (fun (_, v) -> Format.fprintf fmt " %10.2f" v) values;
+      Format.fprintf fmt "@.")
+    rows

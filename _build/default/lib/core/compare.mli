@@ -1,0 +1,36 @@
+(** The RISC-V comparison: Table III cycle counts, Fig. 5 raw speed-ups
+    and Fig. 6 area-derated speed-ups, following the paper's
+    methodology (input-ratio scaling of RISC-V cycles; areas from logic
+    synthesis at 667 MHz). *)
+
+type row = {
+  kernel : string;
+  riscv_size : int;
+  ggpu_size : int;
+  riscv_kcycles : float;
+  ggpu_kcycles : (int * float) list;  (** per CU count *)
+}
+
+type speedups = {
+  kernel : string;
+  raw : (int * float) list;  (** CU count -> Fig. 5 value *)
+  derated : (int * float) list;  (** CU count -> Fig. 6 value *)
+}
+
+val cu_counts : int list
+
+val riscv_area_mm2 : Ggpu_tech.Tech.t -> float
+(** Area of the CV32E40P-class baseline plus its 32 kB SRAM under the
+    same technology models. *)
+
+val run_riscv : Ggpu_kernels.Suite.t -> int
+(** Cycle count at the workload's RISC-V size. *)
+
+val run_ggpu : Ggpu_kernels.Suite.t -> num_cus:int -> int
+(** Cycle count at the workload's G-GPU size. *)
+
+val table3 : ?workloads:Ggpu_kernels.Suite.t list -> unit -> row list
+val ggpu_areas_mm2 : ?tech:Ggpu_tech.Tech.t -> unit -> (int * float) list
+val speedups : ?tech:Ggpu_tech.Tech.t -> row list -> speedups list
+val pp_table3 : Format.formatter -> row list -> unit
+val pp_speedups : Format.formatter -> label:string -> speedups list -> unit

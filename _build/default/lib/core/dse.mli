@@ -1,0 +1,31 @@
+(** Design-space exploration: the heart of GPUPlanner.
+
+    Iterates static timing analysis against a target period, dividing
+    SRAM macros while their access time dominates the period and
+    inserting pipeline registers on demand otherwise — the paper's two
+    strategies. Mutates the netlist in place and records every edit in
+    a replayable {!Map.t}. *)
+
+exception
+  Cannot_meet of { period_ns : float; best_ns : float; detail : string }
+
+type strategy =
+  | Full  (** division + on-demand pipelining (the paper's planner) *)
+  | Division_only  (** ablation: never insert pipelines *)
+  | Pipeline_only  (** ablation: never divide memories *)
+
+type result = {
+  map : Map.t;
+  iterations : int;
+  final : Ggpu_synth.Timing.report;  (** meets the period by construction *)
+}
+
+val explore :
+  ?max_iterations:int ->
+  ?strategy:strategy ->
+  Ggpu_tech.Tech.t ->
+  Ggpu_hw.Netlist.t ->
+  num_cus:int ->
+  period_ns:float ->
+  result
+(** @raise Cannot_meet when no sequence of edits reaches the period. *)

@@ -1,0 +1,79 @@
+(* The GPUPlanner push-button flow (the paper's Fig. 2): generate the
+   RTL-level netlist, run the design-space exploration against the
+   target period, perform logic synthesis reporting, then physical
+   synthesis (floorplan, routing estimate, post-route timing) and the
+   final specification check.  The result carries everything the
+   benches need to regenerate Tables I and II and Figs. 3 and 4. *)
+
+open Ggpu_tech
+open Ggpu_synth
+open Ggpu_layout
+
+type implementation = {
+  spec : Spec.t;
+  netlist : Ggpu_hw.Netlist.t;
+  map : Map.t;
+  logic_report : Report.row;
+  floorplan : Floorplan.t;
+  route : Route.t;
+  post_timing : Timing_post.t;
+  achieved_mhz : float;
+  spec_check : (unit, Spec.violation list) result;
+}
+
+(* Logic synthesis only - enough for a Table I row. *)
+let synthesise ?(tech = Tech.default_65nm) (spec : Spec.t) =
+  let netlist = Ggpu_rtlgen.Generate.generate_cus ~num_cus:spec.Spec.num_cus in
+  let dse =
+    Dse.explore tech netlist ~num_cus:spec.Spec.num_cus
+      ~period_ns:(Spec.period_ns spec)
+  in
+  let report =
+    Report.of_netlist tech netlist ~num_cus:spec.Spec.num_cus
+      ~freq_mhz:spec.Spec.freq_mhz
+  in
+  (netlist, dse.Dse.map, report)
+
+let base_macro_count ~num_cus =
+  Ggpu_rtlgen.Arch_params.macro_count
+    (Ggpu_rtlgen.Arch_params.default ~num_cus)
+
+(* Full RTL-to-layout implementation. *)
+let implement ?(tech = Tech.default_65nm) (spec : Spec.t) =
+  let netlist, map, logic_report = synthesise ~tech spec in
+  let floorplan = Floorplan.build tech netlist ~num_cus:spec.Spec.num_cus in
+  let post_timing = Timing_post.analyse tech netlist floorplan in
+  let achieved_mhz =
+    Float.min (float_of_int spec.Spec.freq_mhz)
+      (Timing_post.quantised_mhz post_timing)
+  in
+  (* the router works at the frequency the layout actually achieves *)
+  let route =
+    Route.estimate tech netlist floorplan ~period_ns:(1000.0 /. achieved_mhz)
+      ~base_macros:(base_macro_count ~num_cus:spec.Spec.num_cus)
+  in
+  let spec_check =
+    Spec.check spec ~area_mm2:logic_report.Report.total_area_mm2
+      ~power_w:logic_report.Report.total_w ~achieved_mhz
+  in
+  {
+    spec;
+    netlist;
+    map;
+    logic_report;
+    floorplan;
+    route;
+    post_timing;
+    achieved_mhz;
+    spec_check;
+  }
+
+let pp_implementation fmt impl =
+  Format.fprintf fmt "%s: %s | achieved %.0f MHz | %s@."
+    (Spec.to_string impl.spec)
+    (Report.row_to_string impl.logic_report)
+    impl.achieved_mhz
+    (match impl.spec_check with
+    | Ok () -> "meets spec"
+    | Error vs ->
+        String.concat "; " (List.map Spec.violation_to_string vs))

@@ -1,0 +1,30 @@
+(** The GPUPlanner push-button flow (the paper's Fig. 2): RTL generation
+    → design-space exploration → logic synthesis reporting → partitioned
+    floorplan → routing estimate → post-route timing → spec check. *)
+
+type implementation = {
+  spec : Spec.t;
+  netlist : Ggpu_hw.Netlist.t;  (** after the DSE's edits *)
+  map : Map.t;
+  logic_report : Ggpu_synth.Report.row;  (** a Table I row *)
+  floorplan : Ggpu_layout.Floorplan.t;
+  route : Ggpu_layout.Route.t;  (** Table II data *)
+  post_timing : Ggpu_layout.Timing_post.t;
+  achieved_mhz : float;  (** min of target and post-route achievable *)
+  spec_check : (unit, Spec.violation list) result;
+}
+
+val synthesise :
+  ?tech:Ggpu_tech.Tech.t ->
+  Spec.t ->
+  Ggpu_hw.Netlist.t * Map.t * Ggpu_synth.Report.row
+(** Logic synthesis only: generate, explore, report.
+    @raise Dse.Cannot_meet if the frequency is unreachable. *)
+
+val base_macro_count : num_cus:int -> int
+(** Macro count of the non-optimised design (51 + 42 per extra CU). *)
+
+val implement : ?tech:Ggpu_tech.Tech.t -> Spec.t -> implementation
+(** The full RTL-to-layout flow. *)
+
+val pp_implementation : Format.formatter -> implementation -> unit

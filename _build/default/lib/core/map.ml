@@ -1,0 +1,65 @@
+(* The optimisation map.
+
+   The paper describes the output of its exploration as "a map on how to
+   achieve a realistic PPA": an ordered recipe of which memories to
+   divide and where to insert pipelines for a target period.  The map is
+   technology-agnostic - replaying it on a freshly generated netlist (or
+   under a different technology model) reproduces the optimised design
+   without re-running the exploration. *)
+
+open Ggpu_hw
+
+type edit =
+  | Split_words of { cell_name : string; banks : int }
+  | Split_bits of { cell_name : string; slices : int }
+  | Pipeline of { net_name : string }
+
+type t = {
+  num_cus : int;
+  target_period_ns : float;
+  edits : edit list; (* in application order *)
+}
+
+exception Replay_error of string
+
+let edit_to_string = function
+  | Split_words { cell_name; banks } ->
+      Printf.sprintf "divide %s into %d banks (by words)" cell_name banks
+  | Split_bits { cell_name; slices } ->
+      Printf.sprintf "divide %s into %d slices (by word size)" cell_name slices
+  | Pipeline { net_name } ->
+      Printf.sprintf "insert pipeline register on %s" net_name
+
+let apply_edit netlist edit =
+  match edit with
+  | Split_words { cell_name; banks } -> (
+      match Netlist.find_cell_by_name netlist cell_name with
+      | Some cell -> Netlist.split_macro_words netlist cell ~banks
+      | None ->
+          raise (Replay_error (Printf.sprintf "no macro named %s" cell_name)))
+  | Split_bits { cell_name; slices } -> (
+      match Netlist.find_cell_by_name netlist cell_name with
+      | Some cell -> Netlist.split_macro_bits netlist cell ~slices
+      | None ->
+          raise (Replay_error (Printf.sprintf "no macro named %s" cell_name)))
+  | Pipeline { net_name } -> (
+      match Netlist.find_net_by_name netlist net_name with
+      | Some net -> ignore (Netlist.insert_pipeline netlist net)
+      | None -> raise (Replay_error (Printf.sprintf "no net named %s" net_name)))
+
+let apply netlist t = List.iter (apply_edit netlist) t.edits
+
+let divisions t =
+  List.length
+    (List.filter
+       (function Split_words _ | Split_bits _ -> true | Pipeline _ -> false)
+       t.edits)
+
+let pipelines t =
+  List.length
+    (List.filter (function Pipeline _ -> true | _ -> false) t.edits)
+
+let pp fmt t =
+  Format.fprintf fmt "map for %d CU at %.3f ns (%d divisions, %d pipelines):@."
+    t.num_cus t.target_period_ns (divisions t) (pipelines t);
+  List.iter (fun e -> Format.fprintf fmt "  - %s@." (edit_to_string e)) t.edits

@@ -1,0 +1,32 @@
+(** The optimisation map: the ordered, replayable recipe of memory
+    divisions and pipeline insertions that turns a freshly generated
+    netlist into one meeting a target period — the paper's
+    technology-agnostic "dynamic spreadsheet". *)
+
+type edit =
+  | Split_words of { cell_name : string; banks : int }
+  | Split_bits of { cell_name : string; slices : int }
+  | Pipeline of { net_name : string }
+
+type t = {
+  num_cus : int;
+  target_period_ns : float;
+  edits : edit list;  (** in application order *)
+}
+
+exception Replay_error of string
+
+val edit_to_string : edit -> string
+
+val apply_edit : Ggpu_hw.Netlist.t -> edit -> unit
+(** @raise Replay_error if the named cell or net does not exist. *)
+
+val apply : Ggpu_hw.Netlist.t -> t -> unit
+
+val divisions : t -> int
+(** Number of memory-division edits. *)
+
+val pipelines : t -> int
+(** Number of pipeline-insertion edits. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,60 @@
+(* Designer specification for a G-GPU instance, and the PPA check run
+   after implementation (the "under the initial specification?" diamond
+   of the paper's Fig. 2 flow). *)
+
+type t = {
+  num_cus : int; (* 1..8 *)
+  freq_mhz : int; (* target operating frequency *)
+  max_area_mm2 : float option;
+  max_power_w : float option;
+}
+
+exception Invalid_spec of string
+
+let make ?(max_area_mm2 = None) ?(max_power_w = None) ~num_cus ~freq_mhz () =
+  if num_cus < 1 || num_cus > 8 then
+    raise
+      (Invalid_spec
+         (Printf.sprintf "num_cus %d outside the generator's 1..8 range" num_cus));
+  if freq_mhz < 1 then raise (Invalid_spec "freq_mhz must be positive");
+  { num_cus; freq_mhz; max_area_mm2; max_power_w }
+
+let period_ns t = 1000.0 /. float_of_int t.freq_mhz
+
+type violation =
+  | Area_exceeded of { limit : float; actual : float }
+  | Power_exceeded of { limit : float; actual : float }
+  | Frequency_missed of { target_mhz : int; achieved_mhz : float }
+
+let violation_to_string = function
+  | Area_exceeded { limit; actual } ->
+      Printf.sprintf "area %.2f mm2 exceeds limit %.2f mm2" actual limit
+  | Power_exceeded { limit; actual } ->
+      Printf.sprintf "power %.2f W exceeds limit %.2f W" actual limit
+  | Frequency_missed { target_mhz; achieved_mhz } ->
+      Printf.sprintf "achieved %.0f MHz misses target %d MHz" achieved_mhz
+        target_mhz
+
+let check t ~area_mm2 ~power_w ~achieved_mhz =
+  let violations = ref [] in
+  (match t.max_area_mm2 with
+  | Some limit when area_mm2 > limit ->
+      violations := Area_exceeded { limit; actual = area_mm2 } :: !violations
+  | Some _ | None -> ());
+  (match t.max_power_w with
+  | Some limit when power_w > limit ->
+      violations := Power_exceeded { limit; actual = power_w } :: !violations
+  | Some _ | None -> ());
+  if achieved_mhz +. 0.5 < float_of_int t.freq_mhz then
+    violations :=
+      Frequency_missed { target_mhz = t.freq_mhz; achieved_mhz } :: !violations;
+  match !violations with [] -> Ok () | vs -> Error (List.rev vs)
+
+let to_string t =
+  Printf.sprintf "%dCU@%dMHz%s%s" t.num_cus t.freq_mhz
+    (match t.max_area_mm2 with
+    | Some a -> Printf.sprintf " area<=%.1fmm2" a
+    | None -> "")
+    (match t.max_power_w with
+    | Some p -> Printf.sprintf " power<=%.1fW" p
+    | None -> "")

@@ -1,0 +1,39 @@
+(** Designer specifications and the post-implementation PPA check (the
+    "under the initial specification?" decision of the paper's Fig. 2). *)
+
+type t = {
+  num_cus : int;
+  freq_mhz : int;
+  max_area_mm2 : float option;
+  max_power_w : float option;
+}
+
+exception Invalid_spec of string
+
+val make :
+  ?max_area_mm2:float option ->
+  ?max_power_w:float option ->
+  num_cus:int ->
+  freq_mhz:int ->
+  unit ->
+  t
+(** @raise Invalid_spec if [num_cus] is outside the generator's 1..8
+    range or the frequency is not positive. *)
+
+val period_ns : t -> float
+
+type violation =
+  | Area_exceeded of { limit : float; actual : float }
+  | Power_exceeded of { limit : float; actual : float }
+  | Frequency_missed of { target_mhz : int; achieved_mhz : float }
+
+val violation_to_string : violation -> string
+
+val check :
+  t ->
+  area_mm2:float ->
+  power_w:float ->
+  achieved_mhz:float ->
+  (unit, violation list) result
+
+val to_string : t -> string

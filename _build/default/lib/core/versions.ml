@@ -1,0 +1,34 @@
+(* The paper's version grid: 12 logic-synthesis versions (1/2/4/8 CUs x
+   500/590/667 MHz, Table I) and the four extreme physical-synthesis
+   versions (1CU@500, 1CU@667, 8CU@500, 8CU@667 - the last derating to
+   ~600 MHz after routing, Fig. 4 / Table II). *)
+
+let cu_counts = [ 1; 2; 4; 8 ]
+let frequencies_mhz = [ 500; 590; 667 ]
+
+let table1_specs () =
+  List.concat_map
+    (fun freq_mhz ->
+      List.map
+        (fun num_cus -> Spec.make ~num_cus ~freq_mhz ())
+        cu_counts)
+    frequencies_mhz
+
+let physical_specs () =
+  [
+    Spec.make ~num_cus:1 ~freq_mhz:500 ();
+    Spec.make ~num_cus:1 ~freq_mhz:667 ();
+    Spec.make ~num_cus:8 ~freq_mhz:500 ();
+    Spec.make ~num_cus:8 ~freq_mhz:667 ();
+  ]
+
+(* Table I, regenerated. *)
+let table1 ?tech () =
+  List.map
+    (fun spec ->
+      let _netlist, _map, report = Flow.synthesise ?tech spec in
+      report)
+    (table1_specs ())
+
+(* The four physical implementations behind Table II and Figs. 3/4. *)
+let physical ?tech () = List.map (Flow.implement ?tech) (physical_specs ())

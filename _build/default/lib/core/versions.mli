@@ -1,0 +1,19 @@
+(** The paper's version grid: the 12 logic-synthesis versions of
+    Table I and the four physically implemented extremes of Table II /
+    Figs. 3-4. *)
+
+val cu_counts : int list
+(** [1; 2; 4; 8] *)
+
+val frequencies_mhz : int list
+(** [500; 590; 667] *)
+
+val table1_specs : unit -> Spec.t list
+val physical_specs : unit -> Spec.t list
+
+val table1 : ?tech:Ggpu_tech.Tech.t -> unit -> Ggpu_synth.Report.row list
+(** Regenerate Table I (frequency-major order, as published). *)
+
+val physical : ?tech:Ggpu_tech.Tech.t -> unit -> Flow.implementation list
+(** Implement 1CU@500, 1CU@667, 8CU@500 and 8CU@667; the last derates
+    after routing, as in the paper. *)

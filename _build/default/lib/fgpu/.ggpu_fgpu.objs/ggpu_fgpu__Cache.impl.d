@@ -1,0 +1,1 @@
+lib/fgpu/cache.ml: Array Config Stats

@@ -1,0 +1,1 @@
+lib/fgpu/cache.mli: Config Stats

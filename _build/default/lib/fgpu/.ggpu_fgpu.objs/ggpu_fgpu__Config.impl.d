@@ -1,0 +1,1 @@
+lib/fgpu/config.ml: Printf

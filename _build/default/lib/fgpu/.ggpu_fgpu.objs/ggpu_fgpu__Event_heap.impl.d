@@ -1,0 +1,1 @@
+lib/fgpu/event_heap.ml: Array

@@ -1,0 +1,1 @@
+lib/fgpu/gpu.ml: Array Cache Config Event_heap List Printf Stats Wavefront

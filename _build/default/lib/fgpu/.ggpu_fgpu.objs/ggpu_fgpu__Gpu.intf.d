@@ -1,0 +1,1 @@
+lib/fgpu/gpu.mli: Config Ggpu_isa Stats

@@ -1,0 +1,1 @@
+lib/fgpu/stats.mli: Format

@@ -1,0 +1,1 @@
+lib/fgpu/wavefront.ml: Array Fgpu_isa Ggpu_isa Int32 List Printf

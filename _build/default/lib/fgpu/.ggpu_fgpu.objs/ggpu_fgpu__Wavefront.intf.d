@@ -1,0 +1,1 @@
+lib/fgpu/wavefront.mli: Ggpu_isa

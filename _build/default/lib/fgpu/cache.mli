@@ -1,0 +1,16 @@
+(** Timing model of the central data cache and its AXI data movers:
+    direct-mapped, write-back, write-allocate, multi-port, as the paper
+    describes FGPU's cache. Models timing and traffic only; data lives
+    in the global memory array. Completion times are computed
+    analytically so the GPU runs as a discrete-event simulation. *)
+
+type t
+
+val create : Config.t -> stats:Stats.t -> t
+val line_of_addr : t -> addr:int -> int
+
+val access : t -> now:int -> addr:int -> write:bool -> int
+(** One coalesced line access starting no earlier than [now]; returns
+    the completion cycle. Updates tags, port/AXI occupancy and [stats].
+    [now] must be non-decreasing across calls (guaranteed by the
+    event-ordered scheduler). *)

@@ -1,0 +1,15 @@
+(** Minimal binary min-heap of (time, payload) pairs for the
+    discrete-event scheduler. Entries may be stale; the scheduler
+    revalidates on pop. *)
+
+type 'a t
+
+val create : dummy:'a -> 'a t
+val is_empty : 'a t -> bool
+val length : 'a t -> int
+val push : 'a t -> int -> 'a -> unit
+
+exception Empty
+
+val pop : 'a t -> int * 'a
+(** Smallest time first. @raise Empty on an empty heap. *)

@@ -1,0 +1,242 @@
+(* G-GPU top level: workgroup dispatch and discrete-event execution.
+
+   Each compute unit owns a vector pipeline that is occupied for
+   [wavefront_size / pes] beats per issued wavefront-instruction (8
+   beats for the FGPU's 64-item wavefronts on 8 PEs).  Up to 512
+   work-items are resident per CU; ready wavefronts are issued
+   round-robin, hiding memory latency exactly as the FGPU's wavefront
+   scheduler does.  Memory instructions coalesce into cache-line requests
+   against the shared multi-port cache ({!Cache}), which is where
+   multi-CU contention - the paper's 8-CU saturation effect - arises.
+
+   The simulation is event-driven: every issue computes its completion
+   time analytically, so no per-cycle loop is needed and multi-million
+   cycle runs complete in seconds. *)
+
+type workgroup = {
+  wg_id : int;
+  wavefronts : Wavefront.t array;
+  mutable barrier_waiting : int;
+  mutable finished_wfs : int;
+  items : int; (* resident work-item slots the workgroup occupies *)
+}
+
+type cu = {
+  cu_id : int;
+  mutable vu_free : int; (* vector unit next free cycle *)
+  mutable resident : workgroup list;
+  mutable resident_items : int;
+  mutable rr : int; (* round-robin cursor over resident wavefronts *)
+}
+
+exception Launch_error of string
+
+let fail fmt = Printf.ksprintf (fun s -> raise (Launch_error s)) fmt
+
+let wavefronts_of cu = List.concat_map (fun wg -> Array.to_list wg.wavefronts) cu.resident
+
+let runnable wf = (not (Wavefront.finished wf)) && not wf.Wavefront.at_barrier
+
+(* Earliest cycle at which [cu] could issue, if any wavefront is ready. *)
+let candidate_time cu =
+  let wfs = wavefronts_of cu in
+  let ready =
+    List.filter_map
+      (fun wf -> if runnable wf then Some wf.Wavefront.ready_at else None)
+      wfs
+  in
+  match ready with
+  | [] -> None
+  | times -> Some (max cu.vu_free (List.fold_left min max_int times))
+
+let run (cfg : Config.t) ~program ~params ~global_size ~local_size ~mem =
+  let cfg = Config.validate cfg in
+  if global_size < 0 then fail "negative global size";
+  if local_size <= 0 then fail "non-positive local size";
+  if local_size > cfg.Config.max_workitems_per_cu then
+    fail "local size %d exceeds CU capacity %d" local_size
+      cfg.Config.max_workitems_per_cu;
+  if Array.length program = 0 then fail "empty program";
+  let stats = Stats.create () in
+  if global_size = 0 then stats
+  else begin
+    let cache = Cache.create cfg ~stats in
+    let beats = Config.beats cfg in
+    let wf_size = cfg.Config.wavefront_size in
+    let num_wgs = (global_size + local_size - 1) / local_size in
+    let wfs_per_wg = Config.wavefronts_per_workgroup cfg ~local_size in
+    let make_wg wg_id =
+      let wavefronts =
+        Array.init wfs_per_wg (fun wf_index ->
+            Wavefront.create ~wg_id ~wf_index ~size:wf_size
+              ~wg_offset:(wg_id * local_size)
+              ~wg_size:(min local_size (global_size - (wg_id * local_size)))
+              ~global_size ~params)
+      in
+      {
+        wg_id;
+        wavefronts;
+        barrier_waiting = 0;
+        finished_wfs = 0;
+        items = wfs_per_wg * wf_size;
+      }
+    in
+    let cus =
+      Array.init cfg.Config.num_cus (fun cu_id ->
+          { cu_id; vu_free = 0; resident = []; resident_items = 0; rr = 0 })
+    in
+    let heap = Event_heap.create ~dummy:(-1) in
+    let schedule cu =
+      match candidate_time cu with
+      | Some t -> Event_heap.push heap t cu.cu_id
+      | None -> ()
+    in
+    let next_wg = ref 0 in
+    (* Hand out at most one workgroup per call, so pending workgroups
+       spread round-robin over CUs instead of piling onto the first. *)
+    let dispatch_one cu ~now =
+      if
+        !next_wg < num_wgs
+        && cu.resident_items + (wfs_per_wg * wf_size)
+           <= cfg.Config.max_workitems_per_cu
+      then begin
+        let wg = make_wg !next_wg in
+        incr next_wg;
+        Array.iter
+          (fun wf ->
+            wf.Wavefront.ready_at <- now;
+            wf.Wavefront.last_cu <- cu.cu_id)
+          wg.wavefronts;
+        cu.resident <- cu.resident @ [ wg ];
+        cu.resident_items <- cu.resident_items + wg.items;
+        true
+      end
+      else false
+    in
+    (* initial dispatch, round-robin over CUs *)
+    let made_progress = ref true in
+    while !next_wg < num_wgs && !made_progress do
+      made_progress := false;
+      Array.iter
+        (fun cu ->
+          if dispatch_one cu ~now:0 then made_progress := true)
+        cus
+    done;
+    if !next_wg = 0 then
+      fail "workgroup of %d items does not fit any CU (capacity %d)"
+        local_size cfg.Config.max_workitems_per_cu;
+    Array.iter schedule cus;
+    (* pick the next wavefront to issue on [cu] at time [t] *)
+    let pick_wavefront cu t =
+      let wfs = Array.of_list (wavefronts_of cu) in
+      let n = Array.length wfs in
+      let best = ref None in
+      for k = 0 to n - 1 do
+        let wf = wfs.((cu.rr + k) mod n) in
+        if runnable wf && wf.Wavefront.ready_at <= t then
+          if !best = None then begin
+            best := Some wf;
+            cu.rr <- (cu.rr + k + 1) mod n
+          end
+      done;
+      !best
+    in
+    let release_barrier cu wg ~now =
+      Array.iter
+        (fun wf ->
+          if wf.Wavefront.at_barrier then begin
+            wf.Wavefront.at_barrier <- false;
+            wf.Wavefront.ready_at <- max wf.Wavefront.ready_at now
+          end)
+        wg.wavefronts;
+      wg.barrier_waiting <- 0;
+      ignore cu
+    in
+    let find_wg cu wg_id =
+      match List.find_opt (fun wg -> wg.wg_id = wg_id) cu.resident with
+      | Some wg -> wg
+      | None -> fail "workgroup %d not resident on CU %d" wg_id cu.cu_id
+    in
+    (* main event loop *)
+    while not (Event_heap.is_empty heap) do
+      let t, cu_id = Event_heap.pop heap in
+      let cu = cus.(cu_id) in
+      match candidate_time cu with
+      | None -> () (* stale: nothing runnable on this CU anymore *)
+      | Some t' when t' > t -> Event_heap.push heap t' cu.cu_id
+      | Some _ -> (
+          match pick_wavefront cu t with
+          | None ->
+              (* candidate_time guarantees a ready wavefront exists *)
+              fail "scheduler inconsistency on CU %d at cycle %d" cu.cu_id t
+          | Some wf ->
+              let outcome =
+                Wavefront.issue wf ~program ~mem
+                  ~line_words:cfg.Config.cache.Config.line_words
+              in
+              stats.Stats.wf_instructions <- stats.Stats.wf_instructions + 1;
+              stats.Stats.lane_instructions <-
+                stats.Stats.lane_instructions + outcome.Wavefront.executed_lanes;
+              if outcome.Wavefront.partial_mask then
+                stats.Stats.divergent_issues <- stats.Stats.divergent_issues + 1;
+              (* a division holds the CU's shared iterative divider (and
+                 with it the vector pipeline) for every active lane *)
+              let div_occupancy =
+                if outcome.Wavefront.used_div then
+                  outcome.Wavefront.executed_lanes * cfg.Config.div_latency
+                else 0
+              in
+              cu.vu_free <-
+                t + beats + div_occupancy + cfg.Config.issue_overhead;
+              stats.Stats.vu_busy_cycles <-
+                stats.Stats.vu_busy_cycles + beats + div_occupancy;
+              let completion = ref (t + beats + div_occupancy) in
+              if outcome.Wavefront.mem_lines <> [] then begin
+                if outcome.Wavefront.mem_is_store then
+                  stats.Stats.stores <- stats.Stats.stores + 1
+                else stats.Stats.loads <- stats.Stats.loads + 1;
+                List.iter
+                  (fun line_addr ->
+                    let c =
+                      Cache.access cache ~now:(t + beats) ~addr:line_addr
+                        ~write:outcome.Wavefront.mem_is_store
+                    in
+                    if c > !completion then completion := c)
+                  outcome.Wavefront.mem_lines
+              end;
+              if outcome.Wavefront.used_mul then
+                completion := !completion + cfg.Config.mul_latency;
+              if outcome.Wavefront.taken_branch then
+                completion := !completion + cfg.Config.branch_penalty;
+              wf.Wavefront.ready_at <- !completion;
+              if !completion > stats.Stats.cycles then
+                stats.Stats.cycles <- !completion;
+              let wg = find_wg cu wf.Wavefront.wg_id in
+              if outcome.Wavefront.hit_barrier then begin
+                stats.Stats.barriers <- stats.Stats.barriers + 1;
+                wf.Wavefront.at_barrier <- true;
+                wg.barrier_waiting <- wg.barrier_waiting + 1;
+                let active =
+                  Array.fold_left
+                    (fun n w -> if Wavefront.finished w then n else n + 1)
+                    0 wg.wavefronts
+                in
+                if wg.barrier_waiting >= active then
+                  release_barrier cu wg ~now:!completion
+              end;
+              if outcome.Wavefront.retired then begin
+                wg.finished_wfs <- wg.finished_wfs + 1;
+                if wg.finished_wfs = Array.length wg.wavefronts then begin
+                  stats.Stats.workgroups <- stats.Stats.workgroups + 1;
+                  cu.resident <-
+                    List.filter (fun w -> w.wg_id <> wg.wg_id) cu.resident;
+                  cu.resident_items <- cu.resident_items - wg.items;
+                  ignore (dispatch_one cu ~now:!completion : bool)
+                end
+              end;
+              schedule cu)
+    done;
+    if !next_wg < num_wgs then
+      fail "deadlock: %d workgroups never dispatched" (num_wgs - !next_wg);
+    stats
+  end

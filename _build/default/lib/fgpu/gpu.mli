@@ -1,0 +1,23 @@
+(** G-GPU top level: workgroup dispatch and discrete-event execution of
+    a compiled kernel over a grid of work-items.
+
+    Functional results land in [mem]; timing comes from the vector
+    pipelines, the shared iterative dividers, and the central cache /
+    AXI model, which is where the paper's multi-CU saturation arises. *)
+
+exception Launch_error of string
+
+val run :
+  Config.t ->
+  program:Ggpu_isa.Fgpu_isa.t array ->
+  params:int32 list ->
+  global_size:int ->
+  local_size:int ->
+  mem:int32 array ->
+  Stats.t
+(** Execute the kernel for [global_size] work-items in workgroups of
+    [local_size]. [params] are preloaded into r1..rN of every work-item
+    (the code generator's convention). [mem] is global memory, mutated
+    in place.
+    @raise Launch_error on bad geometry or an empty program.
+    @raise Wavefront.Fault on out-of-range memory accesses. *)

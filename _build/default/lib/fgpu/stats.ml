@@ -1,0 +1,57 @@
+(* Execution counters reported by a G-GPU run. *)
+
+type t = {
+  mutable cycles : int; (* completion time of the last wavefront *)
+  mutable wf_instructions : int; (* wavefront-instructions issued *)
+  mutable lane_instructions : int; (* work-item instructions executed *)
+  mutable divergent_issues : int; (* issues with a partial active mask *)
+  mutable loads : int; (* wavefront load instructions *)
+  mutable stores : int;
+  mutable line_requests : int; (* coalesced cache-line requests *)
+  mutable cache_hits : int;
+  mutable cache_misses : int;
+  mutable evictions : int;
+  mutable axi_words : int; (* words moved over the AXI data ports *)
+  mutable barriers : int;
+  mutable workgroups : int;
+  mutable vu_busy_cycles : int;
+      (* vector-pipeline occupancy summed over CUs (incl. divider) *)
+}
+
+let create () =
+  {
+    cycles = 0;
+    wf_instructions = 0;
+    lane_instructions = 0;
+    divergent_issues = 0;
+    loads = 0;
+    stores = 0;
+    line_requests = 0;
+    cache_hits = 0;
+    cache_misses = 0;
+    evictions = 0;
+    axi_words = 0;
+    barriers = 0;
+    workgroups = 0;
+    vu_busy_cycles = 0;
+  }
+
+(* Fraction of available vector-pipeline cycles spent issuing, over
+   [num_cus] compute units. *)
+let utilisation t ~num_cus =
+  if t.cycles = 0 then 0.0
+  else
+    float_of_int t.vu_busy_cycles /. float_of_int (t.cycles * max 1 num_cus)
+
+let hit_rate t =
+  let total = t.cache_hits + t.cache_misses in
+  if total = 0 then 1.0 else float_of_int t.cache_hits /. float_of_int total
+
+let pp fmt t =
+  Format.fprintf fmt
+    "cycles=%d wf_instrs=%d lane_instrs=%d divergent=%d loads=%d stores=%d \
+     line_reqs=%d hits=%d misses=%d evictions=%d axi_words=%d barriers=%d \
+     wgs=%d"
+    t.cycles t.wf_instructions t.lane_instructions t.divergent_issues t.loads
+    t.stores t.line_requests t.cache_hits t.cache_misses t.evictions
+    t.axi_words t.barriers t.workgroups

@@ -1,0 +1,26 @@
+(** Execution counters reported by a G-GPU run. *)
+
+type t = {
+  mutable cycles : int;  (** completion time of the last wavefront *)
+  mutable wf_instructions : int;
+  mutable lane_instructions : int;
+  mutable divergent_issues : int;  (** issues with a partial active mask *)
+  mutable loads : int;
+  mutable stores : int;
+  mutable line_requests : int;  (** after coalescing *)
+  mutable cache_hits : int;
+  mutable cache_misses : int;
+  mutable evictions : int;
+  mutable axi_words : int;
+  mutable barriers : int;
+  mutable workgroups : int;
+  mutable vu_busy_cycles : int;
+      (** vector-pipeline occupancy summed over CUs (incl. divider) *)
+}
+
+val create : unit -> t
+val utilisation : t -> num_cus:int -> float
+(** Fraction of available vector-pipeline cycles spent issuing. *)
+
+val hit_rate : t -> float
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,226 @@
+(* Wavefront state and lane-level execution.
+
+   A wavefront is 64 work-items executing in lockstep on 8 processing
+   elements over 8 beats.  Full thread divergence is supported with a
+   minimum-PC policy: each issue selects the smallest program counter
+   among live lanes and executes it for exactly the lanes sitting at that
+   PC.  Divergent lane groups therefore serialise (as in any SIMT
+   machine) and naturally reconverge at control-flow join points, because
+   all compiler-emitted joins are at larger addresses than the paths that
+   reach them.
+
+   Register semantics mirror {!Ggpu_riscv.Cpu} (RISC-V M division corner
+   cases) so the GPU, the CPU and the reference interpreter agree
+   bit-for-bit. *)
+
+open Ggpu_isa
+
+let done_pc = max_int
+
+type t = {
+  wg_id : int;
+  wf_index : int; (* index of this wavefront inside its workgroup *)
+  size : int; (* lanes *)
+  wg_offset : int; (* global id of the workgroup's first item *)
+  wg_size : int;
+  global_size : int;
+  pcs : int array; (* per lane; [done_pc] when retired *)
+  regs : int32 array; (* 32 registers x size lanes, lane-major *)
+  mutable live_lanes : int;
+  mutable ready_at : int; (* cycle at which the next issue may happen *)
+  mutable at_barrier : bool;
+  mutable last_cu : int; (* CU this wavefront runs on *)
+}
+
+(* What an issue did, so the scheduler can cost it. *)
+type issue_outcome = {
+  executed_lanes : int;
+  partial_mask : bool;
+  mem_lines : int list; (* coalesced line base addresses (bytes) *)
+  mem_is_store : bool;
+  used_div : bool;
+  used_mul : bool;
+  taken_branch : bool;
+  hit_barrier : bool;
+  retired : bool; (* whole wavefront finished *)
+}
+
+let create ~wg_id ~wf_index ~size ~wg_offset ~wg_size ~global_size
+    ~(params : int32 list) =
+  let first_lid = wf_index * size in
+  let pcs =
+    Array.init size (fun lane ->
+        let lid = first_lid + lane in
+        (* lanes past the workgroup or the global range never run *)
+        if lid >= wg_size || wg_offset + lid >= global_size then done_pc else 0)
+  in
+  let live = Array.fold_left (fun n pc -> if pc = done_pc then n else n + 1) 0 pcs in
+  let regs = Array.make (32 * size) 0l in
+  List.iteri
+    (fun i v ->
+      let r = i + 1 in
+      for lane = 0 to size - 1 do
+        regs.((lane * 32) + r) <- v
+      done)
+    params;
+  {
+    wg_id;
+    wf_index;
+    size;
+    wg_offset;
+    wg_size;
+    global_size;
+    pcs;
+    regs;
+    live_lanes = live;
+    ready_at = 0;
+    at_barrier = false;
+    last_cu = -1;
+  }
+
+let finished t = t.live_lanes = 0
+
+let min_pc t =
+  let best = ref done_pc in
+  Array.iter (fun pc -> if pc < !best then best := pc) t.pcs;
+  !best
+
+let reg t ~lane r = if r = 0 then 0l else t.regs.((lane * 32) + r)
+
+let set_reg t ~lane r v = if r <> 0 then t.regs.((lane * 32) + r) <- v
+
+let local_id t ~lane = (t.wf_index * t.size) + lane
+
+(* RISC-V M semantics, shared with the CPU model. *)
+let div_signed a b =
+  if b = 0l then -1l
+  else if a = Int32.min_int && b = -1l then Int32.min_int
+  else Int32.div a b
+
+let rem_signed a b =
+  if b = 0l then a
+  else if a = Int32.min_int && b = -1l then 0l
+  else Int32.rem a b
+
+let u32_lt a b = Int32.unsigned_compare a b < 0
+
+let alu op a b =
+  match op with
+  | Fgpu_isa.Add -> Int32.add a b
+  | Fgpu_isa.Sub -> Int32.sub a b
+  | Fgpu_isa.Mul -> Int32.mul a b
+  | Fgpu_isa.Div -> div_signed a b
+  | Fgpu_isa.Rem -> rem_signed a b
+  | Fgpu_isa.And -> Int32.logand a b
+  | Fgpu_isa.Or -> Int32.logor a b
+  | Fgpu_isa.Xor -> Int32.logxor a b
+  | Fgpu_isa.Sll -> Int32.shift_left a (Int32.to_int b land 31)
+  | Fgpu_isa.Srl -> Int32.shift_right_logical a (Int32.to_int b land 31)
+  | Fgpu_isa.Sra -> Int32.shift_right a (Int32.to_int b land 31)
+  | Fgpu_isa.Slt -> if Int32.compare a b < 0 then 1l else 0l
+  | Fgpu_isa.Sltu -> if u32_lt a b then 1l else 0l
+
+let cond_holds c a b =
+  match c with
+  | Fgpu_isa.Eq -> a = b
+  | Fgpu_isa.Ne -> a <> b
+  | Fgpu_isa.Lt -> Int32.compare a b < 0
+  | Fgpu_isa.Ge -> Int32.compare a b >= 0
+  | Fgpu_isa.Ltu -> u32_lt a b
+  | Fgpu_isa.Geu -> not (u32_lt a b)
+
+exception Fault of string
+
+let fault fmt = Printf.ksprintf (fun s -> raise (Fault s)) fmt
+
+(* Execute one instruction for all lanes at the minimum PC.  Global
+   memory is read/written immediately through [mem]; the returned line
+   list carries the timing cost to the scheduler. *)
+let issue t ~(program : Fgpu_isa.t array) ~(mem : int32 array) ~line_words :
+    issue_outcome =
+  assert (not (finished t));
+  let pc = min_pc t in
+  if pc < 0 || pc >= Array.length program then fault "pc %d outside program" pc;
+  let insn = program.(pc) in
+  let executed = ref 0 in
+  let lines = ref [] in
+  let add_line addr =
+    let base = addr / (line_words * 4) * (line_words * 4) in
+    if not (List.mem base !lines) then lines := base :: !lines
+  in
+  let mem_word addr =
+    if addr land 3 <> 0 then fault "misaligned access 0x%x" addr;
+    let w = addr lsr 2 in
+    if w < 0 || w >= Array.length mem then fault "address 0x%x out of memory" addr;
+    w
+  in
+  let taken = ref false in
+  let hit_barrier = ref false in
+  let used_div = ref false in
+  let used_mul = ref false in
+  let is_store = Fgpu_isa.is_store insn in
+  let live_before = t.live_lanes in
+  for lane = 0 to t.size - 1 do
+    if t.pcs.(lane) = pc then begin
+      incr executed;
+      let rr = reg t ~lane and wr = set_reg t ~lane in
+      let next = ref (pc + 1) in
+      (match insn with
+      | Fgpu_isa.Alu (op, rd, rs1, rs2) ->
+          (match op with
+          | Fgpu_isa.Div | Fgpu_isa.Rem -> used_div := true
+          | Fgpu_isa.Mul -> used_mul := true
+          | _ -> ());
+          wr rd (alu op (rr rs1) (rr rs2))
+      | Fgpu_isa.Alui (op, rd, rs1, imm) ->
+          (match op with
+          | Fgpu_isa.Div | Fgpu_isa.Rem -> used_div := true
+          | Fgpu_isa.Mul -> used_mul := true
+          | _ -> ());
+          wr rd (alu op (rr rs1) imm)
+      | Fgpu_isa.Lui (rd, imm) -> wr rd (Int32.shift_left imm 16)
+      | Fgpu_isa.Li (rd, imm) -> wr rd imm
+      | Fgpu_isa.Lw (rd, rs1, off) ->
+          let addr = Int32.to_int (rr rs1) + off in
+          add_line addr;
+          wr rd mem.(mem_word addr)
+      | Fgpu_isa.Sw (rs2, rs1, off) ->
+          let addr = Int32.to_int (rr rs1) + off in
+          add_line addr;
+          mem.(mem_word addr) <- rr rs2
+      | Fgpu_isa.Branch (c, rs1, rs2, off) ->
+          if cond_holds c (rr rs1) (rr rs2) then begin
+            taken := true;
+            next := pc + 1 + off
+          end
+      | Fgpu_isa.Jump target ->
+          taken := true;
+          next := target
+      | Fgpu_isa.Special (sp, rd) ->
+          let v =
+            match sp with
+            | Fgpu_isa.Lid -> local_id t ~lane
+            | Fgpu_isa.Wgid -> t.wg_id
+            | Fgpu_isa.Wgoff -> t.wg_offset
+            | Fgpu_isa.Wgsize -> t.wg_size
+            | Fgpu_isa.Gsize -> t.global_size
+          in
+          wr rd (Int32.of_int v)
+      | Fgpu_isa.Barrier -> hit_barrier := true
+      | Fgpu_isa.Ret ->
+          next := done_pc;
+          t.live_lanes <- t.live_lanes - 1);
+      t.pcs.(lane) <- !next
+    end
+  done;
+  {
+    executed_lanes = !executed;
+    partial_mask = !executed < live_before;
+    mem_lines = !lines;
+    mem_is_store = is_store;
+    used_div = !used_div;
+    used_mul = !used_mul;
+    taken_branch = !taken;
+    hit_barrier = !hit_barrier;
+    retired = finished t;
+  }

@@ -1,0 +1,61 @@
+(** Wavefront state and lane-level execution: 64 work-items in lockstep
+    on 8 processing elements, with full divergence under a minimum-PC
+    policy (divergent lane groups serialise and reconverge at joins).
+    Register semantics mirror {!Ggpu_riscv.Cpu} so all executors agree
+    bit-for-bit. *)
+
+val done_pc : int
+
+type t = {
+  wg_id : int;
+  wf_index : int;
+  size : int;
+  wg_offset : int;
+  wg_size : int;
+  global_size : int;
+  pcs : int array;  (** per lane; [done_pc] when retired *)
+  regs : int32 array;  (** 32 registers x size lanes, lane-major *)
+  mutable live_lanes : int;
+  mutable ready_at : int;
+  mutable at_barrier : bool;
+  mutable last_cu : int;
+}
+
+type issue_outcome = {
+  executed_lanes : int;
+  partial_mask : bool;  (** fewer lanes than live: a divergent issue *)
+  mem_lines : int list;  (** coalesced line base addresses (bytes) *)
+  mem_is_store : bool;
+  used_div : bool;
+  used_mul : bool;
+  taken_branch : bool;
+  hit_barrier : bool;
+  retired : bool;
+}
+
+exception Fault of string
+
+val create :
+  wg_id:int ->
+  wf_index:int ->
+  size:int ->
+  wg_offset:int ->
+  wg_size:int ->
+  global_size:int ->
+  params:int32 list ->
+  t
+(** Lanes beyond the workgroup or global range start retired; [params]
+    are preloaded into r1..rN of every lane. *)
+
+val finished : t -> bool
+val min_pc : t -> int
+val reg : t -> lane:int -> int -> int32
+val set_reg : t -> lane:int -> int -> int32 -> unit
+val local_id : t -> lane:int -> int
+
+val issue :
+  t -> program:Ggpu_isa.Fgpu_isa.t array -> mem:int32 array -> line_words:int ->
+  issue_outcome
+(** Execute one instruction for all lanes at the minimum PC. Global
+    memory is read/written immediately; timing comes from the returned
+    outcome. @raise Fault on bad addresses or a wild PC. *)

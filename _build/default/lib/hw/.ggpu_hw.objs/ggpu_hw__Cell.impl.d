@@ -1,0 +1,1 @@
+lib/hw/cell.ml: Format List Macro_spec Net Op

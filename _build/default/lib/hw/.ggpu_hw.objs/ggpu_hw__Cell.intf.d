@@ -1,0 +1,1 @@
+lib/hw/cell.mli: Format Macro_spec Net Op

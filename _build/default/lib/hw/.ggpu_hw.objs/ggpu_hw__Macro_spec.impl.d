@@ -1,0 +1,1 @@
+lib/hw/macro_spec.ml: Format Op Printf

@@ -1,0 +1,1 @@
+lib/hw/macro_spec.mli: Format

@@ -1,0 +1,1 @@
+lib/hw/net.ml: Format Int

@@ -1,0 +1,1 @@
+lib/hw/net.mli: Format

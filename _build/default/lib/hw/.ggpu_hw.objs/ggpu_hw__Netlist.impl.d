@@ -1,0 +1,1 @@
+lib/hw/netlist.ml: Cell Format Hashtbl List Macro_spec Net Op Option Printf String

@@ -1,0 +1,1 @@
+lib/hw/netlist.mli: Cell Format Net

@@ -1,0 +1,1 @@
+lib/hw/op.ml: Format Printf

@@ -1,0 +1,1 @@
+lib/hw/topo.ml: Cell Hashtbl List Netlist Queue

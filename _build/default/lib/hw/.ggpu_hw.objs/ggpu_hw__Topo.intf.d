@@ -1,0 +1,1 @@
+lib/hw/topo.mli: Cell Netlist

@@ -1,0 +1,1 @@
+lib/hw/verilog.ml: Buffer Cell Fun Hashtbl Int List Macro_spec Net Netlist Op Printf String

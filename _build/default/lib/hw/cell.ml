@@ -1,0 +1,69 @@
+(* Cells: instances of combinational operators, flip-flop banks, or SRAM
+   macros, connected to nets.
+
+   A cell carries a [count] multiplicity: G-GPU datapaths are extremely
+   regular (8 identical processing elements per compute unit, replicated
+   lanes, etc.), so the generator emits one representative cell with
+   [count = n] instead of n identical cells.  Statistics (gates, flip-flop
+   bits, area, power) multiply by [count]; timing uses the representative
+   alone, which is exact for replicated structure. *)
+
+type kind =
+  | Comb of Op.t
+  | Dff (* bank of flip-flops, one per bit of the output net *)
+  | Macro of Macro_spec.t
+
+type t = {
+  id : int;
+  name : string;
+  region : string; (* hierarchical placement region, e.g. "cu0/pe3" *)
+  kind : kind;
+  inputs : Net.t list;
+  outputs : Net.t list;
+  count : int;
+}
+
+let id t = t.id
+let name t = t.name
+let region t = t.region
+let kind t = t.kind
+let inputs t = t.inputs
+let outputs t = t.outputs
+let count t = t.count
+
+let make ~id ~name ~region ~kind ~inputs ~outputs ~count =
+  if count < 1 then invalid_arg "Cell.make: count < 1";
+  (match kind with
+  | Comb _ | Dff ->
+      if outputs = [] then invalid_arg "Cell.make: cell without outputs"
+  | Macro _ -> ());
+  { id; name; region; kind; inputs; outputs; count }
+
+let is_sequential t = match t.kind with Dff | Macro _ -> true | Comb _ -> false
+let is_comb t = not (is_sequential t)
+let is_macro t = match t.kind with Macro _ -> true | Comb _ | Dff -> false
+
+let output_width t =
+  List.fold_left (fun acc net -> acc + Net.width net) 0 t.outputs
+
+(* Flip-flop bits contributed by this cell (0 unless a Dff). *)
+let ff_bits t =
+  match t.kind with Dff -> output_width t * t.count | Comb _ | Macro _ -> 0
+
+(* Equivalent 2-input gates contributed by this cell (0 unless comb). *)
+let comb_gates t =
+  match t.kind with
+  | Comb op -> Op.gates op ~width:(output_width t) * t.count
+  | Dff | Macro _ -> 0
+
+let macro_spec t =
+  match t.kind with Macro spec -> Some spec | Comb _ | Dff -> None
+
+let kind_to_string = function
+  | Comb op -> Op.to_string op
+  | Dff -> "dff"
+  | Macro spec -> Macro_spec.to_string spec
+
+let pp fmt t =
+  Format.fprintf fmt "%s:%s[x%d]@%s" t.name (kind_to_string t.kind) t.count
+    t.region

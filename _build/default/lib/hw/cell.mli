@@ -1,0 +1,54 @@
+(** Cells: combinational operators, flip-flop banks, or SRAM macros.
+
+    A cell carries a [count] multiplicity so that regular replicated
+    datapath structure (e.g. 8 identical processing elements) can be
+    represented once; statistics multiply by [count] while timing analyses
+    the representative instance, which is exact for replicated logic. *)
+
+type kind =
+  | Comb of Op.t
+  | Dff  (** bank of flip-flops, one per output bit *)
+  | Macro of Macro_spec.t
+
+type t
+
+val make :
+  id:int ->
+  name:string ->
+  region:string ->
+  kind:kind ->
+  inputs:Net.t list ->
+  outputs:Net.t list ->
+  count:int ->
+  t
+(** Used by {!Netlist}; not intended for direct use.
+    @raise Invalid_argument on [count < 1] or a comb/Dff cell without
+    outputs. *)
+
+val id : t -> int
+val name : t -> string
+
+val region : t -> string
+(** Hierarchical placement region, e.g. ["cu0/pe3"].  The floorplanner
+    groups cells by the leading path segment. *)
+
+val kind : t -> kind
+val inputs : t -> Net.t list
+val outputs : t -> Net.t list
+val count : t -> int
+val is_sequential : t -> bool
+val is_comb : t -> bool
+val is_macro : t -> bool
+
+val output_width : t -> int
+(** Sum of output net widths of the representative instance. *)
+
+val ff_bits : t -> int
+(** Flip-flop bits contributed ([count] included); 0 unless [Dff]. *)
+
+val comb_gates : t -> int
+(** Equivalent gate count contributed ([count] included); 0 unless comb. *)
+
+val macro_spec : t -> Macro_spec.t option
+val kind_to_string : kind -> string
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,68 @@
+(* Specification of an SRAM macro instance: geometry and port count.
+
+   The ranges mirror the 65 nm memory compiler described in the paper:
+   16-65536 words and 2-144 bits per word, single- or dual-port. *)
+
+type ports = Single_port | Dual_port
+
+type t = { words : int; bits : int; ports : ports }
+
+let min_words = 16
+let max_words = 65536
+let min_bits = 2
+let max_bits = 144
+
+exception Out_of_range of string
+
+let check_range t =
+  if t.words < min_words || t.words > max_words then
+    raise
+      (Out_of_range
+         (Printf.sprintf "macro words %d outside [%d, %d]" t.words min_words
+            max_words));
+  if t.bits < min_bits || t.bits > max_bits then
+    raise
+      (Out_of_range
+         (Printf.sprintf "macro bits %d outside [%d, %d]" t.bits min_bits
+            max_bits))
+
+let make ~words ~bits ~ports =
+  let t = { words; bits; ports } in
+  check_range t;
+  t
+
+let words t = t.words
+let bits t = t.bits
+let ports t = t.ports
+let total_bits t = t.words * t.bits
+let is_dual_port t = t.ports = Dual_port
+let address_bits t = Op.clog2 t.words
+
+let ports_to_string = function
+  | Single_port -> "1p"
+  | Dual_port -> "2p"
+
+let to_string t =
+  Printf.sprintf "sram_%dx%d_%s" t.words t.bits (ports_to_string t.ports)
+
+let pp fmt t = Format.pp_print_string fmt (to_string t)
+let equal a b = a.words = b.words && a.bits = b.bits && a.ports = b.ports
+
+(* Splitting a macro by words halves (etc.) the address space per bank;
+   the bank count must divide the word count and leave a legal macro. *)
+let split_words t ~banks =
+  if banks < 2 then invalid_arg "Macro_spec.split_words: banks < 2";
+  if t.words mod banks <> 0 then
+    invalid_arg
+      (Printf.sprintf "Macro_spec.split_words: %d words not divisible by %d"
+         t.words banks);
+  make ~words:(t.words / banks) ~bits:t.bits ~ports:t.ports
+
+(* Splitting by bits slices the word into independent narrower macros. *)
+let split_bits t ~slices =
+  if slices < 2 then invalid_arg "Macro_spec.split_bits: slices < 2";
+  if t.bits mod slices <> 0 then
+    invalid_arg
+      (Printf.sprintf "Macro_spec.split_bits: %d bits not divisible by %d"
+         t.bits slices);
+  make ~words:t.words ~bits:(t.bits / slices) ~ports:t.ports

@@ -1,0 +1,41 @@
+(** SRAM macro specifications.
+
+    Geometry (words x bits) and port count of a memory-compiler macro.
+    Legal ranges mirror the paper's 65 nm memory compiler: 16-65536 words,
+    2-144 bits, single- or dual-port. *)
+
+type ports = Single_port | Dual_port
+type t
+
+exception Out_of_range of string
+
+val min_words : int
+val max_words : int
+val min_bits : int
+val max_bits : int
+
+val make : words:int -> bits:int -> ports:ports -> t
+(** @raise Out_of_range if the geometry is outside compiler limits. *)
+
+val words : t -> int
+val bits : t -> int
+val ports : t -> ports
+val total_bits : t -> int
+val is_dual_port : t -> bool
+
+val address_bits : t -> int
+(** Number of address lines, [clog2 words]. *)
+
+val split_words : t -> banks:int -> t
+(** Geometry of one bank after dividing the word count by [banks].
+    @raise Invalid_argument if [banks < 2] or does not divide the words.
+    @raise Out_of_range if the resulting bank is below compiler limits. *)
+
+val split_bits : t -> slices:int -> t
+(** Geometry of one slice after dividing the word width by [slices].
+    @raise Invalid_argument if [slices < 2] or does not divide the bits.
+    @raise Out_of_range if the resulting slice is below compiler limits. *)
+
+val equal : t -> t -> bool
+val to_string : t -> string
+val pp : Format.formatter -> t -> unit

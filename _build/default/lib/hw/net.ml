@@ -1,0 +1,13 @@
+(* A net: a named bundle of wires of a given bit width.  Nets are created
+   by a {!Netlist.t} which guarantees unique ids. *)
+
+type t = { id : int; name : string; width : int }
+
+let id t = t.id
+let name t = t.name
+let width t = t.width
+let equal a b = a.id = b.id
+let compare a b = Int.compare a.id b.id
+let hash t = t.id
+let make ~id ~name ~width = { id; name; width }
+let pp fmt t = Format.fprintf fmt "%s<%d>#%d" t.name t.width t.id

@@ -1,0 +1,17 @@
+(** Nets: named wire bundles with a bit width.
+
+    Nets are value records identified by an integer id unique within their
+    owning {!Netlist.t}; the netlist is the only intended constructor. *)
+
+type t
+
+val make : id:int -> name:string -> width:int -> t
+(** Used by {!Netlist}; not intended for direct use. *)
+
+val id : t -> int
+val name : t -> string
+val width : t -> int
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val hash : t -> int
+val pp : Format.formatter -> t -> unit

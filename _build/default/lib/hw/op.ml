@@ -1,0 +1,107 @@
+(* Combinational operator catalogue.
+
+   Each operator is characterised, independently of any technology, by two
+   structural quantities derived from its canonical gate-level
+   implementation at a given bit width:
+
+   - [levels]: depth in equivalent 2-input gate levels (drives timing);
+   - [gates]: number of equivalent 2-input gates (drives area and power).
+
+   A technology library (see {!Ggpu_tech}) converts levels to nanoseconds
+   and gates to square micrometres. *)
+
+type t =
+  | Buf (* repeater / fanout buffer *)
+  | Not
+  | And
+  | Or
+  | Xor
+  | Add
+  | Sub
+  | Mul
+  | Div
+  | Shl
+  | Shr
+  | Eq
+  | Lt
+  | Mux of int (* n-way word-level multiplexer *)
+  | Decode (* binary address decoder *)
+  | Encode (* priority encoder *)
+
+let to_string = function
+  | Buf -> "buf"
+  | Not -> "not"
+  | And -> "and"
+  | Or -> "or"
+  | Xor -> "xor"
+  | Add -> "add"
+  | Sub -> "sub"
+  | Mul -> "mul"
+  | Div -> "div"
+  | Shl -> "shl"
+  | Shr -> "shr"
+  | Eq -> "eq"
+  | Lt -> "lt"
+  | Mux n -> Printf.sprintf "mux%d" n
+  | Decode -> "decode"
+  | Encode -> "encode"
+
+let pp fmt op = Format.pp_print_string fmt (to_string op)
+
+(* ceil (log2 n), with log2 1 = 0. *)
+let clog2 n =
+  if n <= 1 then 0
+  else
+    let rec go acc v = if v >= n then acc else go (acc + 1) (v * 2) in
+    go 0 1
+
+(* Depth in 2-input gate levels of the canonical implementation.  Adders
+   and comparators use a prefix (Kogge-Stone-like) structure, multipliers
+   a Wallace tree feeding a final prefix adder, shifters a logarithmic
+   barrel.  [Div] models a combinational restoring array divider; real
+   designs pipeline it, which is exactly what the planner does when such a
+   path fails timing. *)
+let levels op ~width =
+  let w = max 1 width in
+  match op with
+  | Buf -> 1
+  | Not -> 1
+  | And | Or | Xor -> 1
+  | Add | Sub -> (2 * clog2 w) + 2
+  | Mul -> (2 * clog2 w) + clog2 w + 4
+  | Div -> 4 * w / 3 (* array divider: one subtract-and-shift row per bit *)
+  | Shl | Shr -> clog2 w + 1
+  | Eq -> clog2 w + 1
+  | Lt -> (2 * clog2 w) + 2
+  | Mux n -> clog2 (max 2 n) + 1
+  | Decode -> clog2 w + 1
+  | Encode -> (2 * clog2 w) + 1
+
+(* Equivalent 2-input gate count of the canonical implementation. *)
+let gates op ~width =
+  let w = max 1 width in
+  match op with
+  | Buf -> (w + 3) / 4
+  | Not -> (w + 1) / 2
+  | And | Or | Xor -> w
+  | Add | Sub -> 5 * w
+  | Mul -> (11 * w * w / 10) + (6 * w)
+  | Div -> (3 * w * w / 2) + (8 * w)
+  | Shl | Shr -> w * clog2 w
+  | Eq -> w + clog2 w
+  | Lt -> (3 * w) + clog2 w
+  | Mux n ->
+      let n = max 2 n in
+      w * (n - 1)
+  | Decode -> (1 lsl min 12 w) / 2
+  | Encode -> 3 * w
+
+(* Operators whose output toggles on most cycles (datapath) versus rarely
+   (control); used by the power model as a default activity factor. *)
+let default_activity = function
+  | Buf | Not | And | Or | Xor -> 0.15
+  | Add | Sub | Mul | Div -> 0.25
+  | Shl | Shr -> 0.20
+  | Eq | Lt -> 0.10
+  | Mux _ -> 0.15
+  | Decode | Encode -> 0.08

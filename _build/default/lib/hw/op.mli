@@ -1,0 +1,41 @@
+(** Combinational operator catalogue.
+
+    Technology-independent structural characterisation of the
+    combinational primitives a netlist may instantiate.  Depth (gate
+    levels) and size (equivalent 2-input gates) are derived from canonical
+    implementations; a technology library converts them to nanoseconds and
+    square micrometres. *)
+
+type t =
+  | Buf  (** repeater / fanout buffer *)
+  | Not
+  | And
+  | Or
+  | Xor
+  | Add
+  | Sub
+  | Mul
+  | Div
+  | Shl
+  | Shr
+  | Eq
+  | Lt
+  | Mux of int  (** [Mux n] is an n-way word-level multiplexer *)
+  | Decode  (** binary address decoder *)
+  | Encode  (** priority encoder *)
+
+val to_string : t -> string
+val pp : Format.formatter -> t -> unit
+
+val clog2 : int -> int
+(** [clog2 n] is the ceiling of log2 [n]; [clog2 1 = 0]. *)
+
+val levels : t -> width:int -> int
+(** Depth of the operator in equivalent 2-input gate levels at the given
+    bit width.  Always at least 1 for non-trivial operators. *)
+
+val gates : t -> width:int -> int
+(** Equivalent 2-input gate count at the given bit width. *)
+
+val default_activity : t -> float
+(** Default switching-activity factor used by the power model. *)

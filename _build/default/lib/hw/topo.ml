@@ -1,0 +1,70 @@
+(* Topological ordering of the combinational subgraph.
+
+   Sequential cells (flip-flops and macros) cut the graph: their outputs
+   are timing sources and their inputs are timing sinks.  The order lists
+   only combinational cells such that every comb cell appears after all
+   comb cells driving its inputs.  Combinational loops are reported as an
+   error (a generated netlist must never contain one). *)
+
+exception Combinational_loop of string list
+
+(* Comb cells feeding [cell]'s inputs. *)
+let comb_predecessors netlist cell =
+  List.filter_map
+    (fun net ->
+      match Netlist.driver_of netlist net with
+      | Some driver when Cell.is_comb driver -> Some driver
+      | Some _ | None -> None)
+    (Cell.inputs cell)
+
+let order netlist =
+  let indegree = Hashtbl.create 256 in
+  let comb_cells = ref [] in
+  Netlist.iter_cells netlist (fun cell ->
+      if Cell.is_comb cell then begin
+        comb_cells := cell :: !comb_cells;
+        Hashtbl.replace indegree (Cell.id cell) 0
+      end);
+  let bump cell =
+    let id = Cell.id cell in
+    Hashtbl.replace indegree id (Hashtbl.find indegree id + 1)
+  in
+  List.iter
+    (fun cell -> List.iter (fun _pred -> bump cell) (comb_predecessors netlist cell))
+    !comb_cells;
+  let ready = Queue.create () in
+  Hashtbl.iter (fun id deg -> if deg = 0 then Queue.add id ready) indegree;
+  let out = ref [] in
+  let emitted = ref 0 in
+  while not (Queue.is_empty ready) do
+    let id = Queue.pop ready in
+    let cell = Netlist.find_cell netlist id in
+    out := cell :: !out;
+    incr emitted;
+    List.iter
+      (fun net ->
+        List.iter
+          (fun reader ->
+            if Cell.is_comb reader then begin
+              let rid = Cell.id reader in
+              let deg = Hashtbl.find indegree rid - 1 in
+              Hashtbl.replace indegree rid deg;
+              if deg = 0 then Queue.add rid ready
+            end)
+          (Netlist.readers_of netlist net))
+      (Cell.outputs cell)
+  done;
+  if !emitted <> List.length !comb_cells then begin
+    let stuck =
+      Hashtbl.fold
+        (fun id deg acc ->
+          if deg > 0 then Cell.name (Netlist.find_cell netlist id) :: acc
+          else acc)
+        indegree []
+    in
+    raise (Combinational_loop stuck)
+  end;
+  List.rev !out
+
+(* Fold over comb cells in topological order. *)
+let fold netlist ~init ~f = List.fold_left f init (order netlist)

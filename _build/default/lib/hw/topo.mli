@@ -1,0 +1,15 @@
+(** Topological ordering of the combinational subgraph.
+
+    Flip-flops and SRAM macros cut the graph; the order covers only
+    combinational cells, each after all combinational cells driving it. *)
+
+exception Combinational_loop of string list
+(** Raised with the names of cells stuck in a cycle. *)
+
+val order : Netlist.t -> Cell.t list
+(** @raise Combinational_loop if the netlist has a combinational cycle. *)
+
+val fold : Netlist.t -> init:'a -> f:('a -> Cell.t -> 'a) -> 'a
+
+val comb_predecessors : Netlist.t -> Cell.t -> Cell.t list
+(** Combinational cells driving the given cell's inputs. *)

@@ -1,0 +1,170 @@
+(* Structural Verilog export.
+
+   Emits the netlist as a single flat Verilog module so generated
+   designs can be inspected (and linted) by standard EDA tooling - the
+   closest this repository can get to the paper's "tapeout-ready IP"
+   hand-off.  Combinational cells print as continuous assignments over
+   behavioural operators, flip-flops as always @(posedge clk) blocks,
+   and SRAM macros as instantiations of the memory compiler's cell names
+   (sram_<words>x<bits>_2p), matching how hand-instantiated macros
+   appear in an ASIC netlist.
+
+   Replicated cells (count > 1) emit a generate-for over their count;
+   the replica index is appended to instance names. *)
+
+let sanitize name =
+  String.map
+    (fun c ->
+      match c with
+      | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' -> c
+      | _ -> '_')
+    name
+
+let net_ref net = sanitize (Printf.sprintf "%s_%d" (Net.name net) (Net.id net))
+
+let range width = if width = 1 then "" else Printf.sprintf "[%d:0] " (width - 1)
+
+let comb_expr op inputs =
+  let fold sep = String.concat sep (List.map net_ref inputs) in
+  match (op, inputs) with
+  | Op.Buf, _ -> "{" ^ fold ", " ^ "}"
+  | Op.Not, [ a ] -> "~" ^ net_ref a
+  | Op.And, _ -> fold " & "
+  | Op.Or, _ -> fold " | "
+  | Op.Xor, _ -> fold " ^ "
+  | Op.Add, _ -> fold " + "
+  | Op.Sub, [ a; b ] -> Printf.sprintf "%s - %s" (net_ref a) (net_ref b)
+  | Op.Mul, _ -> fold " * "
+  | Op.Div, [ a; b ] -> Printf.sprintf "%s / %s" (net_ref a) (net_ref b)
+  | Op.Shl, [ a; b ] -> Printf.sprintf "%s << %s" (net_ref a) (net_ref b)
+  | Op.Shl, [ a ] -> net_ref a ^ " << 1"
+  | Op.Shr, [ a; b ] -> Printf.sprintf "%s >> %s" (net_ref a) (net_ref b)
+  | Op.Shr, [ a ] -> net_ref a ^ " >> 1"
+  | Op.Eq, [ a; b ] -> Printf.sprintf "%s == %s" (net_ref a) (net_ref b)
+  | Op.Lt, [ a; b ] ->
+      Printf.sprintf "$signed(%s) < $signed(%s)" (net_ref a) (net_ref b)
+  | Op.Mux n, sel :: data when List.length data = n ->
+      (* nested ternary over the selector *)
+      let rec chain i = function
+        | [ last ] -> net_ref last
+        | d :: rest ->
+            Printf.sprintf "(%s == %d) ? %s : (%s)" (net_ref sel) i (net_ref d)
+              (chain (i + 1) rest)
+        | [] -> "'0"
+      in
+      chain 0 data
+  | Op.Decode, [ a ] -> Printf.sprintf "1'b1 << %s" (net_ref a)
+  | Op.Encode, [ a ] -> Printf.sprintf "$clog2(%s)" (net_ref a)
+  | _, _ ->
+      (* fallback for arity mismatches: reduce everything *)
+      (match inputs with [] -> "'0" | [ a ] -> net_ref a | _ -> fold " ^ ")
+  |> fun body -> "(" ^ body ^ ")"
+
+let cell_instance buffer cell =
+  let name = sanitize (Cell.name cell) in
+  let emit fmt = Printf.ksprintf (Buffer.add_string buffer) fmt in
+  let replicate body =
+    if Cell.count cell = 1 then body ()
+    else begin
+      emit "  genvar %s_g;\n  generate\n    for (%s_g = 0; %s_g < %d; %s_g = %s_g + 1) begin : %s_rep\n"
+        name name name (Cell.count cell) name name name;
+      body ();
+      emit "    end\n  endgenerate\n"
+    end
+  in
+  match Cell.kind cell with
+  | Cell.Comb op -> (
+      match Cell.outputs cell with
+      | [ out ] ->
+          emit "  assign %s = %s; // %s\n" (net_ref out)
+            (comb_expr op (Cell.inputs cell))
+            name
+      | outs ->
+          List.iter
+            (fun out ->
+              emit "  assign %s = %s; // %s\n" (net_ref out)
+                (comb_expr op (Cell.inputs cell))
+                name)
+            outs)
+  | Cell.Dff ->
+      let d = match Cell.inputs cell with d :: _ -> Some d | [] -> None in
+      List.iter
+        (fun q ->
+          match d with
+          | Some d when not (Net.equal d q) ->
+              emit "  always @(posedge clk) %s <= %s; // %s\n" (net_ref q)
+                (net_ref d) name
+          | Some _ | None ->
+              emit "  // %s: self-held state register %s\n" name (net_ref q))
+        (Cell.outputs cell)
+  | Cell.Macro spec ->
+      replicate (fun () ->
+          emit "      %s u_%s (.clk(clk)" (Macro_spec.to_string spec) name;
+          List.iteri
+            (fun i net -> emit ", .i%d(%s)" i (net_ref net))
+            (Cell.inputs cell);
+          List.iteri
+            (fun i net -> emit ", .o%d(%s)" i (net_ref net))
+            (Cell.outputs cell);
+          emit ");\n")
+
+(* Wire declarations: every net once; registers must be 'reg'. *)
+let declarations buffer netlist =
+  let reg_nets = Hashtbl.create 64 in
+  Netlist.iter_cells netlist (fun cell ->
+      match Cell.kind cell with
+      | Cell.Dff ->
+          List.iter
+            (fun q -> Hashtbl.replace reg_nets (Net.id q) ())
+            (Cell.outputs cell)
+      | Cell.Comb _ | Cell.Macro _ -> ());
+  let port_nets = Hashtbl.create 16 in
+  List.iter
+    (fun net -> Hashtbl.replace port_nets (Net.id net) ())
+    (Netlist.inputs netlist @ Netlist.outputs netlist);
+  Netlist.iter_nets netlist (fun net ->
+      if not (Hashtbl.mem port_nets (Net.id net)) then begin
+        let keyword =
+          if Hashtbl.mem reg_nets (Net.id net) then "reg" else "wire"
+        in
+        Buffer.add_string buffer
+          (Printf.sprintf "  %s %s%s;\n" keyword
+             (range (Net.width net))
+             (net_ref net))
+      end)
+
+let to_string netlist =
+  let buffer = Buffer.create 65536 in
+  let emit fmt = Printf.ksprintf (Buffer.add_string buffer) fmt in
+  let module_name = sanitize (Netlist.name netlist) in
+  let ports =
+    ("input wire clk"
+    :: List.map
+         (fun net ->
+           Printf.sprintf "input wire %s%s" (range (Net.width net))
+             (net_ref net))
+         (Netlist.inputs netlist))
+    @ List.map
+        (fun net ->
+          Printf.sprintf "output wire %s%s" (range (Net.width net))
+            (net_ref net))
+        (Netlist.outputs netlist)
+  in
+  emit "// Generated by GPUPlanner (G-GPU reproduction); structural netlist.\n";
+  emit "module %s (\n  %s\n);\n\n" module_name (String.concat ",\n  " ports);
+  declarations buffer netlist;
+  emit "\n";
+  let cells =
+    List.sort
+      (fun a b -> Int.compare (Cell.id a) (Cell.id b))
+      (Netlist.cells netlist)
+  in
+  List.iter (fun cell -> cell_instance buffer cell) cells;
+  emit "\nendmodule\n";
+  Buffer.contents buffer
+
+let write netlist ~path =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (to_string netlist))

@@ -1,0 +1,13 @@
+(** Structural Verilog export: the netlist as a single flat module,
+    with combinational cells as continuous assignments, flip-flops as
+    clocked always blocks, and SRAM macros instantiated by their memory
+    compiler cell names (sram_<words>x<bits>_2p) — how hand-instantiated
+    macros appear in an ASIC netlist. *)
+
+val sanitize : string -> string
+(** Make a hierarchical name a legal Verilog identifier. *)
+
+val to_string : Netlist.t -> string
+
+val write : Netlist.t -> path:string -> unit
+(** Write {!to_string} to a file. *)

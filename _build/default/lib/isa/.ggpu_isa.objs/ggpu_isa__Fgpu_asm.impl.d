@@ -1,0 +1,1 @@
+lib/isa/fgpu_asm.ml: Array Fgpu_isa Format Hashtbl Int32 List Printf

@@ -1,0 +1,1 @@
+lib/isa/fgpu_asm.mli: Fgpu_isa Format

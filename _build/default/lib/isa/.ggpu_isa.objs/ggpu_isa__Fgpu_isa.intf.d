@@ -1,0 +1,1 @@
+lib/isa/fgpu_isa.mli: Format

@@ -1,0 +1,1 @@
+lib/isa/rv32.ml: Format Int32 Printf

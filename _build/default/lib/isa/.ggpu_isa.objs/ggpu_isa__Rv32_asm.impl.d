@@ -1,0 +1,1 @@
+lib/isa/rv32_asm.ml: Array Format Hashtbl Int32 List Printf Rv32

@@ -1,0 +1,1 @@
+lib/isa/rv32_asm.mli: Format Rv32

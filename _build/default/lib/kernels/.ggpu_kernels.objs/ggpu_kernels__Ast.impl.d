@@ -1,0 +1,1 @@
+lib/kernels/ast.ml: Int32 List

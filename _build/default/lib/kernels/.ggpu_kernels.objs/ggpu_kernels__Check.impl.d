@@ -1,0 +1,1 @@
+lib/kernels/check.ml: Ast List Printf Set String

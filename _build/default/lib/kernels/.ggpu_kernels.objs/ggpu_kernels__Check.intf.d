@@ -1,0 +1,1 @@
+lib/kernels/check.mli: Ast

@@ -1,0 +1,1 @@
+lib/kernels/codegen_fgpu.ml: Ast Fgpu_asm Fgpu_isa Ggpu_isa Int32 List Lower Opt Printf Regalloc Vir

@@ -1,0 +1,1 @@
+lib/kernels/codegen_fgpu.mli: Ast Ggpu_isa

@@ -1,0 +1,1 @@
+lib/kernels/codegen_rv32.ml: Ast Ggpu_isa Int32 List Lower Opt Printf Regalloc Rv32 Rv32_asm Vir

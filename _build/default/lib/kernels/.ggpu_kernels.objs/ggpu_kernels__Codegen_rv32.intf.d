@@ -1,0 +1,1 @@
+lib/kernels/codegen_rv32.mli: Ast Ggpu_isa

@@ -1,0 +1,1 @@
+lib/kernels/interp.ml: Array Ast Check Hashtbl Int32 List Printf

@@ -1,0 +1,1 @@
+lib/kernels/interp.mli: Ast

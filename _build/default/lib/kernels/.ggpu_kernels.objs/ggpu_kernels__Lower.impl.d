@@ -1,0 +1,1 @@
+lib/kernels/lower.ml: Ast Check Hashtbl List Printf Vir

@@ -1,0 +1,1 @@
+lib/kernels/lower.mli: Ast Vir

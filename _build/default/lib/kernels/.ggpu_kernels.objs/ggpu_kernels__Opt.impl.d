@@ -1,0 +1,1 @@
+lib/kernels/opt.ml: Ast Hashtbl Int32 List Option String Vir

@@ -1,0 +1,1 @@
+lib/kernels/opt.mli: Ast Vir

@@ -1,0 +1,1 @@
+lib/kernels/parse.ml: Array Ast Check Int32 List Printf String

@@ -1,0 +1,1 @@
+lib/kernels/regalloc.ml: Hashtbl Int List Printf Vir

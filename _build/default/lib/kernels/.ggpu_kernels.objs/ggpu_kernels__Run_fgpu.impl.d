@@ -1,0 +1,1 @@
+lib/kernels/run_fgpu.ml: Array Codegen_fgpu Config Ggpu_fgpu Gpu Int Int32 Interp List Printf Stats String

@@ -1,0 +1,1 @@
+lib/kernels/run_fgpu.mli: Codegen_fgpu Ggpu_fgpu Interp

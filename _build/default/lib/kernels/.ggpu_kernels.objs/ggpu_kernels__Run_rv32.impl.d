@@ -1,0 +1,1 @@
+lib/kernels/run_rv32.ml: Array Codegen_rv32 Cpu Ggpu_riscv Int32 Interp List Printf String

@@ -1,0 +1,1 @@
+lib/kernels/run_rv32.mli: Codegen_rv32 Ggpu_riscv Interp

@@ -1,0 +1,1 @@
+lib/kernels/suite.ml: Array Ast Int32 Interp List Printf String

@@ -1,0 +1,1 @@
+lib/kernels/suite.mli: Ast Interp

@@ -1,0 +1,1 @@
+lib/kernels/vir.ml: Ast Format Int32 List Printf

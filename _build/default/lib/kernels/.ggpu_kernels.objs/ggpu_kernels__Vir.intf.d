@@ -1,0 +1,1 @@
+lib/kernels/vir.mli: Ast Format

@@ -1,0 +1,104 @@
+(* Static checks on kernels: well-scoped variables, no redefinition, no
+   assignment to parameters or loop counters, buffers and scalars used in
+   the right positions.  Rejecting bad kernels here gives both code
+   generators the invariant that every [Var] is bound. *)
+
+type error = { where : string; message : string }
+
+exception Error of error
+
+let fail where fmt =
+  Printf.ksprintf (fun message -> raise (Error { where; message })) fmt
+
+module Sset = Set.Make (String)
+
+type env = {
+  buffers : Sset.t;
+  scalars : Sset.t;
+  locals : Sset.t; (* assignable *)
+  loop_vars : Sset.t; (* readable, not assignable *)
+}
+
+let rec check_expr env ~where e =
+  match e with
+  | Ast.Const _ | Ast.Global_id | Ast.Local_id | Ast.Group_id
+  | Ast.Local_size | Ast.Global_size ->
+      ()
+  | Ast.Var name ->
+      if
+        not
+          (Sset.mem name env.locals || Sset.mem name env.scalars
+          || Sset.mem name env.loop_vars)
+      then
+        if Sset.mem name env.buffers then
+          fail where "buffer %s used as a scalar value" name
+        else fail where "unbound variable %s" name
+  | Ast.Binop (_, a, b) | Ast.Cmp (_, a, b) ->
+      check_expr env ~where a;
+      check_expr env ~where b
+  | Ast.Load (buf, idx) ->
+      if not (Sset.mem buf env.buffers) then
+        fail where "load from unknown buffer %s" buf;
+      check_expr env ~where idx
+
+let defined env name =
+  Sset.mem name env.locals || Sset.mem name env.scalars
+  || Sset.mem name env.loop_vars || Sset.mem name env.buffers
+
+let rec check_stmts env ~where stmts =
+  List.fold_left (fun env stmt -> check_stmt env ~where stmt) env stmts
+
+and check_stmt env ~where stmt =
+  match stmt with
+  | Ast.Let (name, e) ->
+      if defined env name then fail where "redefinition of %s" name;
+      check_expr env ~where e;
+      { env with locals = Sset.add name env.locals }
+  | Ast.Assign (name, e) ->
+      if not (Sset.mem name env.locals) then begin
+        if Sset.mem name env.loop_vars then
+          fail where "assignment to loop counter %s" name
+        else if Sset.mem name env.scalars then
+          fail where "assignment to parameter %s" name
+        else fail where "assignment to undeclared variable %s" name
+      end;
+      check_expr env ~where e;
+      env
+  | Ast.Store (buf, idx, v) ->
+      if not (Sset.mem buf env.buffers) then
+        fail where "store to unknown buffer %s" buf;
+      check_expr env ~where idx;
+      check_expr env ~where v;
+      env
+  | Ast.If (c, a, b) ->
+      check_expr env ~where c;
+      (* branch-local declarations do not escape *)
+      ignore (check_stmts env ~where a);
+      ignore (check_stmts env ~where b);
+      env
+  | Ast.While (c, body) ->
+      check_expr env ~where c;
+      ignore (check_stmts env ~where body);
+      env
+  | Ast.For (v, lo, hi, body) ->
+      if defined env v then fail where "loop counter %s shadows a binding" v;
+      check_expr env ~where lo;
+      check_expr env ~where hi;
+      let env' = { env with loop_vars = Sset.add v env.loop_vars } in
+      ignore (check_stmts env' ~where body);
+      env
+  | Ast.Barrier -> env
+
+let check kernel =
+  let where = kernel.Ast.name in
+  let buffers = Sset.of_list (Ast.buffers kernel) in
+  let scalars = Sset.of_list (Ast.scalars kernel) in
+  let names = List.map Ast.param_name kernel.Ast.params in
+  let dup =
+    List.filter (fun n -> List.length (List.filter (String.equal n) names) > 1) names
+  in
+  (match dup with
+  | [] -> ()
+  | n :: _ -> fail where "duplicate parameter %s" n);
+  let env = { buffers; scalars; locals = Sset.empty; loop_vars = Sset.empty } in
+  ignore (check_stmts env ~where kernel.Ast.body)

@@ -1,0 +1,11 @@
+(** Static checks on kernels: well-scoped variables, no redefinition or
+    assignment to parameters/loop counters, buffers and scalars used in
+    the right positions. Establishes the invariant (every [Var] bound)
+    that the interpreter and both code generators rely on. *)
+
+type error = { where : string; message : string }
+
+exception Error of error
+
+val check : Ast.kernel -> unit
+(** @raise Error on the first violation found. *)

@@ -1,0 +1,211 @@
+(* RISC-V code generator.
+
+   The GPU executes the kernel once per work-item; the CPU gets an outer
+   driver loop over global ids, which is how the paper runs the same
+   OpenCL micro-benchmarks on its RISC-V baseline.
+
+   Calling convention (set up by the benchmark harness before [Cpu.run]):
+   - x10..x17 hold kernel parameters in declaration order (buffer
+     parameters as byte base addresses, scalars as values);
+   - x5 holds the global size, x7 the local (workgroup) size.
+   Internals: x6 is the driver's global-id counter, x28/x29/x30 are code
+   generator scratch, and x8/x9/x18..x27/x31 belong to the allocator. *)
+
+open Ggpu_isa
+
+type compiled = {
+  kernel_name : string;
+  code : Rv32.t array;
+  param_regs : (string * int) list;
+  gsize_reg : int;
+  lsize_reg : int;
+  max_live : int;
+}
+
+exception Too_many_params of string
+
+let pool = [ 8; 9; 18; 19; 20; 21; 22; 23; 24; 25; 26; 27; 31 ]
+let reg_gsize = 5
+let reg_gid = 6
+let reg_lsize = 7
+let scratch0 = 28
+let scratch1 = 29
+let scratch2 = 30
+
+let fits_imm12 v = v >= -2048l && v <= 2047l
+
+let compile ?(optimise = true) kernel =
+  let program = Lower.lower kernel in
+  let program = if optimise then Opt.optimise program else program in
+  let param_regs =
+    List.mapi (fun i p -> (Ast.param_name p, 10 + i)) kernel.Ast.params
+  in
+  if List.length param_regs > 8 then raise (Too_many_params kernel.Ast.name);
+  (* argument registers not taken by parameters join the allocator pool *)
+  let spare_args =
+    List.filter
+      (fun r -> r >= 10 + List.length param_regs)
+      [ 10; 11; 12; 13; 14; 15; 16; 17 ]
+  in
+  let phys, max_live = Regalloc.allocate program ~pool:(pool @ spare_args) in
+  let param_reg name =
+    match List.assoc_opt name param_regs with
+    | Some r -> r
+    | None -> invalid_arg (Printf.sprintf "unknown parameter %s" name)
+  in
+  let items = ref [] in
+  let emit item = items := item :: !items in
+  let insn i = emit (Rv32_asm.I i) in
+  let value_in ~scratch = function
+    | Vir.Reg v -> phys v
+    | Vir.Imm 0l -> 0
+    | Vir.Imm i ->
+        emit (Rv32_asm.Li32 (scratch, i));
+        scratch
+  in
+  let mov ~dst ~src = if dst <> src then insn (Rv32.Addi (dst, src, 0l)) in
+  let emit_cmp op dst ra rb =
+    match op with
+    | Ast.Lt -> insn (Rv32.Slt (dst, ra, rb))
+    | Ast.Gt -> insn (Rv32.Slt (dst, rb, ra))
+    | Ast.Ge ->
+        insn (Rv32.Slt (dst, ra, rb));
+        insn (Rv32.Xori (dst, dst, 1l))
+    | Ast.Le ->
+        insn (Rv32.Slt (dst, rb, ra));
+        insn (Rv32.Xori (dst, dst, 1l))
+    | Ast.Eq ->
+        insn (Rv32.Xor (dst, ra, rb));
+        insn (Rv32.Sltiu (dst, dst, 1l))
+    | Ast.Ne ->
+        insn (Rv32.Xor (dst, ra, rb));
+        insn (Rv32.Sltu (dst, 0, dst))
+  in
+  let bin_reg op dst ra rb =
+    match op with
+    | Ast.Add -> insn (Rv32.Add (dst, ra, rb))
+    | Ast.Sub -> insn (Rv32.Sub (dst, ra, rb))
+    | Ast.Mul -> insn (Rv32.Mul (dst, ra, rb))
+    | Ast.Div -> insn (Rv32.Div (dst, ra, rb))
+    | Ast.Rem -> insn (Rv32.Rem (dst, ra, rb))
+    | Ast.And -> insn (Rv32.And (dst, ra, rb))
+    | Ast.Or -> insn (Rv32.Or (dst, ra, rb))
+    | Ast.Xor -> insn (Rv32.Xor (dst, ra, rb))
+    | Ast.Shl -> insn (Rv32.Sll (dst, ra, rb))
+    | Ast.Shr -> insn (Rv32.Srl (dst, ra, rb))
+    | Ast.Sra -> insn (Rv32.Sra (dst, ra, rb))
+  in
+  let bin_imm op dst ra i =
+    (* returns true when an immediate form was emitted *)
+    match op with
+    | Ast.Add when fits_imm12 i ->
+        insn (Rv32.Addi (dst, ra, i));
+        true
+    | Ast.Sub when fits_imm12 (Int32.neg i) ->
+        insn (Rv32.Addi (dst, ra, Int32.neg i));
+        true
+    | Ast.And when fits_imm12 i ->
+        insn (Rv32.Andi (dst, ra, i));
+        true
+    | Ast.Or when fits_imm12 i ->
+        insn (Rv32.Ori (dst, ra, i));
+        true
+    | Ast.Xor when fits_imm12 i ->
+        insn (Rv32.Xori (dst, ra, i));
+        true
+    | Ast.Shl when i >= 0l && i < 32l ->
+        insn (Rv32.Slli (dst, ra, Int32.to_int i));
+        true
+    | Ast.Shr when i >= 0l && i < 32l ->
+        insn (Rv32.Srli (dst, ra, Int32.to_int i));
+        true
+    | Ast.Sra when i >= 0l && i < 32l ->
+        insn (Rv32.Srai (dst, ra, Int32.to_int i));
+        true
+    | _ -> false
+  in
+  (* byte address of buffer element into scratch1 *)
+  let address buf idx =
+    let base = param_reg buf in
+    (match idx with
+    | Vir.Imm i ->
+        let byte = Int32.mul i 4l in
+        if fits_imm12 byte then insn (Rv32.Addi (scratch1, base, byte))
+        else begin
+          emit (Rv32_asm.Li32 (scratch1, byte));
+          insn (Rv32.Add (scratch1, scratch1, base))
+        end
+    | Vir.Reg v ->
+        insn (Rv32.Slli (scratch1, phys v, 2));
+        insn (Rv32.Add (scratch1, scratch1, base)));
+    scratch1
+  in
+  let branch_cond op ra rb label =
+    match op with
+    | Ast.Eq -> emit (Rv32_asm.Beq_to (ra, rb, label))
+    | Ast.Ne -> emit (Rv32_asm.Bne_to (ra, rb, label))
+    | Ast.Lt -> emit (Rv32_asm.Blt_to (ra, rb, label))
+    | Ast.Ge -> emit (Rv32_asm.Bge_to (ra, rb, label))
+    | Ast.Gt -> emit (Rv32_asm.Blt_to (rb, ra, label))
+    | Ast.Le -> emit (Rv32_asm.Bge_to (rb, ra, label))
+  in
+  let item_done = "__item_done" in
+  let lower_insn = function
+    | Vir.Bin (op, d, a, b) -> (
+        let dst = phys d in
+        match (a, b) with
+        | Vir.Reg va, Vir.Imm i when bin_imm op dst (phys va) i -> ()
+        | _ ->
+            let ra = value_in ~scratch:scratch0 a in
+            let rb = value_in ~scratch:scratch2 b in
+            bin_reg op dst ra rb)
+    | Vir.Cmp (op, d, a, b) ->
+        let ra = value_in ~scratch:scratch0 a in
+        let rb = value_in ~scratch:scratch2 b in
+        emit_cmp op (phys d) ra rb
+    | Vir.Mov (d, Vir.Imm i) -> emit (Rv32_asm.Li32 (phys d, i))
+    | Vir.Mov (d, Vir.Reg v) -> mov ~dst:(phys d) ~src:(phys v)
+    | Vir.Load (d, buf, idx) ->
+        let addr = address buf idx in
+        insn (Rv32.Lw (phys d, addr, 0))
+    | Vir.Store (buf, idx, v) ->
+        let rv = value_in ~scratch:scratch0 v in
+        let addr = address buf idx in
+        insn (Rv32.Sw (rv, addr, 0))
+    | Vir.Read_special (sp, d) -> (
+        let dst = phys d in
+        match sp with
+        | Vir.Gid -> mov ~dst ~src:reg_gid
+        | Vir.GSize -> mov ~dst ~src:reg_gsize
+        | Vir.LSize -> mov ~dst ~src:reg_lsize
+        | Vir.Lid -> insn (Rv32.Rem (dst, reg_gid, reg_lsize))
+        | Vir.WGid -> insn (Rv32.Div (dst, reg_gid, reg_lsize)))
+    | Vir.Read_param (name, d) -> mov ~dst:(phys d) ~src:(param_reg name)
+    | Vir.Label l -> emit (Rv32_asm.Label l)
+    | Vir.Jump l -> emit (Rv32_asm.Jal_to (0, l))
+    | Vir.Branch_if (op, a, b, l) ->
+        let ra = value_in ~scratch:scratch0 a in
+        let rb = value_in ~scratch:scratch2 b in
+        branch_cond op ra rb l
+    | Vir.Barrier -> () (* a sequential CPU needs no workgroup barrier *)
+    | Vir.Ret -> emit (Rv32_asm.Jal_to (0, item_done))
+  in
+  (* driver loop *)
+  emit (Rv32_asm.I (Rv32.Addi (reg_gid, 0, 0l)));
+  emit (Rv32_asm.Label "__loop");
+  emit (Rv32_asm.Bge_to (reg_gid, reg_gsize, "__done"));
+  List.iter lower_insn program.Vir.insns;
+  emit (Rv32_asm.Label item_done);
+  emit (Rv32_asm.I (Rv32.Addi (reg_gid, reg_gid, 1l)));
+  emit (Rv32_asm.Jal_to (0, "__loop"));
+  emit (Rv32_asm.Label "__done");
+  emit (Rv32_asm.I Rv32.Ecall);
+  let code = Rv32_asm.assemble (List.rev !items) in
+  {
+    kernel_name = kernel.Ast.name;
+    code;
+    param_regs;
+    gsize_reg = reg_gsize;
+    lsize_reg = reg_lsize;
+    max_live;
+  }

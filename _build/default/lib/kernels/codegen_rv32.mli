@@ -1,0 +1,21 @@
+(** RISC-V code generator: wraps the per-work-item kernel body in a
+    driver loop over global ids, as the paper runs its OpenCL
+    micro-benchmarks on the CPU baseline.
+
+    Calling convention (honoured by {!Run_rv32}): x10..x17 hold
+    parameters in declaration order; x5 the global size, x7 the local
+    size; x6 is the driver's global-id counter. *)
+
+type compiled = {
+  kernel_name : string;
+  code : Ggpu_isa.Rv32.t array;
+  param_regs : (string * int) list;
+  gsize_reg : int;
+  lsize_reg : int;
+  max_live : int;
+}
+
+exception Too_many_params of string
+
+val compile : ?optimise:bool -> Ast.kernel -> compiled
+(** See {!Codegen_fgpu.compile} for the raised exceptions. *)

@@ -1,0 +1,18 @@
+(** Reference interpreter: the semantic ground truth both code
+    generators are tested against. Arithmetic follows RISC-V M
+    semantics so all three executors agree bit-for-bit. *)
+
+type args = {
+  buffers : (string * int32 array) list;  (** mutated in place *)
+  scalars : (string * int32) list;
+}
+
+exception Runtime_error of string
+exception Unsupported of string
+
+val run :
+  Ast.kernel -> args:args -> global_size:int -> local_size:int -> unit
+(** Execute every work-item sequentially.
+    @raise Runtime_error on out-of-bounds accesses or missing arguments.
+    @raise Unsupported for kernels containing workgroup barriers.
+    @raise Check.Error if the kernel is ill-formed. *)

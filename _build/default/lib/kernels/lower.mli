@@ -1,0 +1,8 @@
+(** Lowering from the kernel AST to the virtual-register IR. Named
+    variables get stable virtual registers; temporaries fresh ones;
+    comparison conditions lower to single conditional branches. *)
+
+exception Lower_error of string
+
+val lower : Ast.kernel -> Vir.program
+(** @raise Check.Error if the kernel is ill-formed. *)

@@ -1,0 +1,385 @@
+(* Textual front end for the kernel language.
+
+   An OpenCL-C-flavoured concrete syntax, so kernels can live in files
+   and the repository's claim of "programmable with modern languages"
+   has a real surface:
+
+     kernel vec_mul(global int* a, global int* b, global int* out, int n) {
+       int i = get_global_id(0);
+       if (i < n) {
+         out[i] = a[i] * b[i];
+       }
+     }
+
+   Grammar (hand-written recursive descent, precedence climbing):
+
+     kernel   := "kernel" IDENT "(" params ")" block
+     param    := "global" "int" "*" IDENT | "int" IDENT
+     stmt     := "int" IDENT "=" expr ";"           declaration
+               | IDENT "=" expr ";"                 assignment
+               | IDENT "[" expr "]" "=" expr ";"    store
+               | "if" "(" expr ")" block ("else" block)?
+               | "while" "(" expr ")" block
+               | "for" "(" "int" IDENT "=" expr ";" IDENT "<" expr ";"
+                  IDENT "++" ")" block
+               | "barrier" "(" ")" ";"
+     expr     := precedence-climbing over || && == != < <= > >= | ^ &
+                 << >> + - * / %  with unary - and !
+     atom     := INT | IDENT | IDENT "[" expr "]" | call | "(" expr ")"
+     call     := get_global_id(0) | get_local_id(0) | get_group_id(0)
+               | get_local_size(0) | get_global_size(0)
+
+   Errors carry line/column positions. *)
+
+type position = { line : int; column : int }
+
+exception Parse_error of { position : position; message : string }
+
+let error position fmt =
+  Printf.ksprintf (fun message -> raise (Parse_error { position; message })) fmt
+
+(* --- Lexer ------------------------------------------------------------ *)
+
+type token =
+  | INT of int32
+  | IDENT of string
+  | KW of string (* kernel global int if else while for barrier *)
+  | PUNCT of string (* ( ) { } [ ] ; , = == != < <= > >= + ++ - * / % ! & && | || ^ << >> *)
+  | EOF
+
+type lexed = { token : token; pos : position }
+
+let keywords = [ "kernel"; "global"; "int"; "if"; "else"; "while"; "for"; "barrier" ]
+
+let lex source =
+  let tokens = ref [] in
+  let line = ref 1 and col = ref 1 in
+  let n = String.length source in
+  let i = ref 0 in
+  let pos () = { line = !line; column = !col } in
+  let advance k =
+    for j = !i to min (n - 1) (!i + k - 1) do
+      if source.[j] = '\n' then begin
+        incr line;
+        col := 1
+      end
+      else incr col
+    done;
+    i := !i + k
+  in
+  let emit token p = tokens := { token; pos = p } :: !tokens in
+  let is_digit c = c >= '0' && c <= '9' in
+  let is_ident_start c =
+    (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+  in
+  let is_ident c = is_ident_start c || is_digit c in
+  while !i < n do
+    let p = pos () in
+    let c = source.[!i] in
+    if c = ' ' || c = '\t' || c = '\r' || c = '\n' then advance 1
+    else if c = '/' && !i + 1 < n && source.[!i + 1] = '/' then begin
+      (* line comment *)
+      while !i < n && source.[!i] <> '\n' do
+        advance 1
+      done
+    end
+    else if c = '/' && !i + 1 < n && source.[!i + 1] = '*' then begin
+      advance 2;
+      let rec skip () =
+        if !i + 1 >= n then error p "unterminated comment"
+        else if source.[!i] = '*' && source.[!i + 1] = '/' then advance 2
+        else begin
+          advance 1;
+          skip ()
+        end
+      in
+      skip ()
+    end
+    else if is_digit c then begin
+      let start = !i in
+      while !i < n && is_digit source.[!i] do
+        advance 1
+      done;
+      let text = String.sub source start (!i - start) in
+      match Int32.of_string_opt text with
+      | Some v -> emit (INT v) p
+      | None -> error p "integer literal %s out of 32-bit range" text
+    end
+    else if is_ident_start c then begin
+      let start = !i in
+      while !i < n && is_ident source.[!i] do
+        advance 1
+      done;
+      let text = String.sub source start (!i - start) in
+      if List.mem text keywords then emit (KW text) p else emit (IDENT text) p
+    end
+    else begin
+      let two =
+        if !i + 1 < n then String.sub source !i 2 else ""
+      in
+      match two with
+      | "==" | "!=" | "<=" | ">=" | "&&" | "||" | "<<" | ">>" | "++" ->
+          emit (PUNCT two) p;
+          advance 2
+      | _ -> (
+          match c with
+          | '(' | ')' | '{' | '}' | '[' | ']' | ';' | ',' | '=' | '<' | '>'
+          | '+' | '-' | '*' | '/' | '%' | '!' | '&' | '|' | '^' ->
+              emit (PUNCT (String.make 1 c)) p;
+              advance 1
+          | _ -> error p "unexpected character %c" c)
+    end
+  done;
+  emit EOF (pos ());
+  Array.of_list (List.rev !tokens)
+
+(* --- Parser ----------------------------------------------------------- *)
+
+type state = { tokens : lexed array; mutable cursor : int }
+
+let peek st = st.tokens.(st.cursor)
+let next st =
+  let t = st.tokens.(st.cursor) in
+  if t.token <> EOF then st.cursor <- st.cursor + 1;
+  t
+
+let token_to_string = function
+  | INT v -> Int32.to_string v
+  | IDENT s -> s
+  | KW s -> s
+  | PUNCT s -> s
+  | EOF -> "<eof>"
+
+let expect st want =
+  let t = next st in
+  if t.token <> want then
+    error t.pos "expected %s, found %s" (token_to_string want)
+      (token_to_string t.token)
+
+let expect_ident st =
+  let t = next st in
+  match t.token with
+  | IDENT name -> name
+  | other -> error t.pos "expected identifier, found %s" (token_to_string other)
+
+let accept st want =
+  if (peek st).token = want then begin
+    ignore (next st);
+    true
+  end
+  else false
+
+(* the builtin id functions and their AST forms *)
+let builtins =
+  [
+    ("get_global_id", Ast.Global_id);
+    ("get_local_id", Ast.Local_id);
+    ("get_group_id", Ast.Group_id);
+    ("get_local_size", Ast.Local_size);
+    ("get_global_size", Ast.Global_size);
+  ]
+
+(* binary operators: token -> (precedence, AST builder); higher binds
+   tighter, all left-associative *)
+let binops =
+  [
+    ("||", (1, fun a b -> Ast.Cmp (Ast.Ne, Ast.Binop (Ast.Or, Ast.Cmp (Ast.Ne, a, Ast.Const 0l), Ast.Cmp (Ast.Ne, b, Ast.Const 0l)), Ast.Const 0l)));
+    ("&&", (2, fun a b -> Ast.Binop (Ast.And, Ast.Cmp (Ast.Ne, a, Ast.Const 0l), Ast.Cmp (Ast.Ne, b, Ast.Const 0l))));
+    ("|", (3, fun a b -> Ast.Binop (Ast.Or, a, b)));
+    ("^", (4, fun a b -> Ast.Binop (Ast.Xor, a, b)));
+    ("&", (5, fun a b -> Ast.Binop (Ast.And, a, b)));
+    ("==", (6, fun a b -> Ast.Cmp (Ast.Eq, a, b)));
+    ("!=", (6, fun a b -> Ast.Cmp (Ast.Ne, a, b)));
+    ("<", (7, fun a b -> Ast.Cmp (Ast.Lt, a, b)));
+    ("<=", (7, fun a b -> Ast.Cmp (Ast.Le, a, b)));
+    (">", (7, fun a b -> Ast.Cmp (Ast.Gt, a, b)));
+    (">=", (7, fun a b -> Ast.Cmp (Ast.Ge, a, b)));
+    ("<<", (8, fun a b -> Ast.Binop (Ast.Shl, a, b)));
+    (">>", (8, fun a b -> Ast.Binop (Ast.Shr, a, b)));
+    ("+", (9, fun a b -> Ast.Binop (Ast.Add, a, b)));
+    ("-", (9, fun a b -> Ast.Binop (Ast.Sub, a, b)));
+    ("*", (10, fun a b -> Ast.Binop (Ast.Mul, a, b)));
+    ("/", (10, fun a b -> Ast.Binop (Ast.Div, a, b)));
+    ("%", (10, fun a b -> Ast.Binop (Ast.Rem, a, b)));
+  ]
+
+let rec parse_expr st min_prec =
+  let lhs = parse_unary st in
+  parse_binop_rhs st lhs min_prec
+
+and parse_binop_rhs st lhs min_prec =
+  match (peek st).token with
+  | PUNCT p -> (
+      match List.assoc_opt p binops with
+      | Some (prec, build) when prec >= min_prec ->
+          ignore (next st);
+          let rhs = parse_expr st (prec + 1) in
+          parse_binop_rhs st (build lhs rhs) min_prec
+      | _ -> lhs)
+  | _ -> lhs
+
+and parse_unary st =
+  let t = peek st in
+  match t.token with
+  | PUNCT "-" ->
+      ignore (next st);
+      Ast.Binop (Ast.Sub, Ast.Const 0l, parse_unary st)
+  | PUNCT "!" ->
+      ignore (next st);
+      Ast.Cmp (Ast.Eq, parse_unary st, Ast.Const 0l)
+  | _ -> parse_atom st
+
+and parse_atom st =
+  let t = next st in
+  match t.token with
+  | INT v -> Ast.Const v
+  | PUNCT "(" ->
+      let e = parse_expr st 1 in
+      expect st (PUNCT ")");
+      e
+  | IDENT name -> (
+      match (peek st).token with
+      | PUNCT "(" -> (
+          ignore (next st);
+          (* builtin call: argument must be the literal dimension 0 *)
+          expect st (INT 0l);
+          expect st (PUNCT ")");
+          match List.assoc_opt name builtins with
+          | Some ast -> ast
+          | None -> error t.pos "unknown function %s" name)
+      | PUNCT "[" ->
+          ignore (next st);
+          let idx = parse_expr st 1 in
+          expect st (PUNCT "]");
+          Ast.Load (name, idx)
+      | _ -> Ast.Var name)
+  | other -> error t.pos "expected expression, found %s" (token_to_string other)
+
+let rec parse_block st =
+  expect st (PUNCT "{");
+  let rec go acc =
+    if accept st (PUNCT "}") then List.rev acc else go (parse_stmt st :: acc)
+  in
+  go []
+
+and parse_stmt st =
+  let t = peek st in
+  match t.token with
+  | KW "int" ->
+      ignore (next st);
+      let name = expect_ident st in
+      expect st (PUNCT "=");
+      let e = parse_expr st 1 in
+      expect st (PUNCT ";");
+      Ast.Let (name, e)
+  | KW "if" ->
+      ignore (next st);
+      expect st (PUNCT "(");
+      let cond = parse_expr st 1 in
+      expect st (PUNCT ")");
+      let then_ = parse_block st in
+      let else_ = if accept st (KW "else") then parse_block st else [] in
+      Ast.If (cond, then_, else_)
+  | KW "while" ->
+      ignore (next st);
+      expect st (PUNCT "(");
+      let cond = parse_expr st 1 in
+      expect st (PUNCT ")");
+      Ast.While (cond, parse_block st)
+  | KW "for" ->
+      ignore (next st);
+      expect st (PUNCT "(");
+      expect st (KW "int");
+      let v = expect_ident st in
+      expect st (PUNCT "=");
+      let lo = parse_expr st 1 in
+      expect st (PUNCT ";");
+      let v2 = expect_ident st in
+      if not (String.equal v v2) then
+        error t.pos "for-loop condition must test %s" v;
+      expect st (PUNCT "<");
+      let hi = parse_expr st 1 in
+      expect st (PUNCT ";");
+      let v3 = expect_ident st in
+      if not (String.equal v v3) then
+        error t.pos "for-loop increment must bump %s" v;
+      expect st (PUNCT "++");
+      expect st (PUNCT ")");
+      Ast.For (v, lo, hi, parse_block st)
+  | KW "barrier" ->
+      ignore (next st);
+      expect st (PUNCT "(");
+      expect st (PUNCT ")");
+      expect st (PUNCT ";");
+      Ast.Barrier
+  | IDENT name -> (
+      ignore (next st);
+      match (peek st).token with
+      | PUNCT "[" ->
+          ignore (next st);
+          let idx = parse_expr st 1 in
+          expect st (PUNCT "]");
+          expect st (PUNCT "=");
+          let value = parse_expr st 1 in
+          expect st (PUNCT ";");
+          Ast.Store (name, idx, value)
+      | PUNCT "=" ->
+          ignore (next st);
+          let e = parse_expr st 1 in
+          expect st (PUNCT ";");
+          Ast.Assign (name, e)
+      | other ->
+          error t.pos "expected = or [ after %s, found %s" name
+            (token_to_string other))
+  | other -> error t.pos "expected statement, found %s" (token_to_string other)
+
+let parse_param st =
+  if accept st (KW "global") then begin
+    expect st (KW "int");
+    expect st (PUNCT "*");
+    Ast.Buffer (expect_ident st)
+  end
+  else begin
+    expect st (KW "int");
+    Ast.Scalar (expect_ident st)
+  end
+
+let parse_kernel st =
+  expect st (KW "kernel");
+  let name = expect_ident st in
+  expect st (PUNCT "(");
+  let rec params acc =
+    if accept st (PUNCT ")") then List.rev acc
+    else begin
+      let p = parse_param st in
+      if accept st (PUNCT ",") then params (p :: acc)
+      else begin
+        expect st (PUNCT ")");
+        List.rev (p :: acc)
+      end
+    end
+  in
+  let params = params [] in
+  let body = parse_block st in
+  { Ast.name; params; body }
+
+(* Parse a source string holding one or more kernels; each is
+   statically checked. *)
+let parse source =
+  let st = { tokens = lex source; cursor = 0 } in
+  let rec go acc =
+    if (peek st).token = EOF then List.rev acc
+    else begin
+      let kernel = parse_kernel st in
+      Check.check kernel;
+      go (kernel :: acc)
+    end
+  in
+  go []
+
+let parse_one source =
+  match parse source with
+  | [ kernel ] -> kernel
+  | kernels ->
+      error { line = 1; column = 1 } "expected exactly one kernel, found %d"
+        (List.length kernels)

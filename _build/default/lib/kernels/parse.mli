@@ -1,0 +1,16 @@
+(** Textual front end: an OpenCL-C-flavoured concrete syntax for the
+    kernel language, with positions in errors. Parsed kernels are
+    statically checked before being returned. *)
+
+type position = { line : int; column : int }
+
+exception Parse_error of { position : position; message : string }
+
+val parse : string -> Ast.kernel list
+(** Parse a source string holding one or more kernels.
+    @raise Parse_error on lexical/syntactic errors.
+    @raise Check.Error on semantic errors (unbound variables, ...). *)
+
+val parse_one : string -> Ast.kernel
+(** @raise Parse_error additionally when the source does not hold
+    exactly one kernel. *)

@@ -1,0 +1,130 @@
+(* Linear-scan register allocation over the virtual IR.
+
+   Live intervals are computed on the linear instruction order and then
+   widened across loops: for every backward branch [i -> j], any interval
+   intersecting [j, i] is extended to cover all of it.  This is the
+   classic conservative fix that makes linear intervals sound in the
+   presence of back edges.
+
+   There is no spilling: the G-GPU has no per-work-item stack (as in
+   FGPU), so exceeding the physical register file is a compile error the
+   kernel author must resolve.  The paper's seven micro-benchmarks use
+   well under the 20+ registers available on either target. *)
+
+exception Register_pressure of { kernel : string; needed : int; available : int }
+
+type interval = { vreg : Vir.vreg; mutable start_ : int; mutable stop : int }
+
+let intervals_of program =
+  let table : (Vir.vreg, interval) Hashtbl.t = Hashtbl.create 64 in
+  let touch idx v =
+    match Hashtbl.find_opt table v with
+    | Some itv ->
+        if idx < itv.start_ then itv.start_ <- idx;
+        if idx > itv.stop then itv.stop <- idx
+    | None -> Hashtbl.replace table v { vreg = v; start_ = idx; stop = idx }
+  in
+  List.iteri
+    (fun idx insn ->
+      List.iter (touch idx) (Vir.defs insn);
+      List.iter (touch idx) (Vir.uses insn))
+    program.Vir.insns;
+  table
+
+let label_positions program =
+  let labels = Hashtbl.create 16 in
+  List.iteri
+    (fun idx insn ->
+      match insn with
+      | Vir.Label name -> Hashtbl.replace labels name idx
+      | _ -> ())
+    program.Vir.insns;
+  labels
+
+let backward_edges program =
+  let labels = label_positions program in
+  let edges = ref [] in
+  List.iteri
+    (fun idx insn ->
+      let target =
+        match insn with
+        | Vir.Jump name | Vir.Branch_if (_, _, _, name) ->
+            Hashtbl.find_opt labels name
+        | _ -> None
+      in
+      match target with
+      | Some j when j <= idx -> edges := (j, idx) :: !edges
+      | Some _ | None -> ())
+    program.Vir.insns;
+  !edges
+
+(* Widen intervals across loop bodies until fixpoint. *)
+let extend_over_loops table edges =
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    List.iter
+      (fun (j, i) ->
+        Hashtbl.iter
+          (fun _ itv ->
+            let intersects = itv.start_ <= i && itv.stop >= j in
+            if intersects && (itv.start_ > j || itv.stop < i) then begin
+              if itv.start_ > j then itv.start_ <- j;
+              if itv.stop < i then itv.stop <- i;
+              changed := true
+            end)
+          table)
+      edges
+  done
+
+(* Allocate virtual registers to the given physical register pool.
+   Returns a lookup function. *)
+let allocate program ~pool =
+  let table = intervals_of program in
+  extend_over_loops table (backward_edges program);
+  let intervals =
+    Hashtbl.fold (fun _ itv acc -> itv :: acc) table []
+    |> List.sort (fun a b ->
+           match Int.compare a.start_ b.start_ with
+           | 0 -> Int.compare a.vreg b.vreg
+           | c -> c)
+  in
+  let assignment : (Vir.vreg, int) Hashtbl.t = Hashtbl.create 64 in
+  let free = ref pool in
+  (* active intervals sorted by stop *)
+  let active : interval list ref = ref [] in
+  let expire current =
+    let expired, live =
+      List.partition (fun itv -> itv.stop < current) !active
+    in
+    List.iter
+      (fun itv -> free := Hashtbl.find assignment itv.vreg :: !free)
+      expired;
+    active := live
+  in
+  let max_live = ref 0 in
+  List.iter
+    (fun itv ->
+      expire itv.start_;
+      (match !free with
+      | reg :: rest ->
+          Hashtbl.replace assignment itv.vreg reg;
+          free := rest
+      | [] ->
+          raise
+            (Register_pressure
+               {
+                 kernel = program.Vir.kernel_name;
+                 needed = List.length !active + 1;
+                 available = List.length pool;
+               }));
+      active := itv :: !active;
+      max_live := max !max_live (List.length !active))
+    intervals;
+  let lookup vreg =
+    match Hashtbl.find_opt assignment vreg with
+    | Some phys -> phys
+    | None ->
+        invalid_arg (Printf.sprintf "Regalloc: vreg v%d was never live" vreg)
+  in
+  (lookup, !max_live)

@@ -1,0 +1,14 @@
+(** Linear-scan register allocation over the virtual IR, with intervals
+    widened across loop back edges. No spilling: the G-GPU has no
+    per-work-item stack (as in FGPU), so exceeding the register file is
+    a compile-time error. *)
+
+exception
+  Register_pressure of { kernel : string; needed : int; available : int }
+
+val allocate : Vir.program -> pool:int list -> (Vir.vreg -> int) * int
+(** [allocate program ~pool] returns a total lookup function from
+    virtual to physical registers, and the maximum number of
+    simultaneously live intervals.
+    @raise Register_pressure when [pool] is exhausted.
+    @raise Invalid_argument when looking up a vreg that was never live. *)

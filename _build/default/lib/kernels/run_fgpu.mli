@@ -1,0 +1,23 @@
+(** Harness gluing a compiled kernel to the G-GPU simulator: buffer
+    layout in global memory, parameter passing, launch, read-back —
+    the OpenCL-runtime role of the paper's software stack. *)
+
+type result = {
+  stats : Ggpu_fgpu.Stats.t;
+  buffers : (string * int32 array) list;  (** final contents *)
+}
+
+exception Setup_error of string
+
+val run :
+  ?config:Ggpu_fgpu.Config.t ->
+  ?base_addr:int ->
+  Codegen_fgpu.compiled ->
+  args:Interp.args ->
+  global_size:int ->
+  local_size:int ->
+  unit ->
+  result
+
+val output : result -> string -> int32 array
+(** @raise Setup_error on an unknown buffer name. *)

@@ -1,0 +1,68 @@
+(* Harness gluing a compiled RV32 kernel to the CPU simulator: lays the
+   kernel's buffers out in data memory, loads parameters into their
+   convention registers, runs to completion and reads the results back.
+   This plays the role of the bare-metal runtime in the paper's RISC-V
+   baseline. *)
+
+open Ggpu_riscv
+
+type result = {
+  stats : Cpu.stats;
+  buffers : (string * int32 array) list; (* final contents *)
+}
+
+exception Setup_error of string
+
+let align64 a = (a + 63) land lnot 63
+
+(* Buffers are placed consecutively from [base_addr], 64-byte aligned,
+   mimicking an OpenCL runtime allocating device buffers. *)
+let layout_buffers ~base_addr buffers =
+  let addr = ref (align64 base_addr) in
+  List.map
+    (fun (name, data) ->
+      let placed = !addr in
+      addr := align64 (!addr + (4 * Array.length data));
+      (name, placed, data))
+    buffers
+
+let run ?(fuel = 500_000_000) ?(base_addr = 0x1000) ?mem_words
+    (compiled : Codegen_rv32.compiled) ~(args : Interp.args) ~global_size
+    ~local_size () =
+  let placed = layout_buffers ~base_addr args.Interp.buffers in
+  let needed_words =
+    List.fold_left
+      (fun acc (_, addr, data) -> max acc ((addr / 4) + Array.length data))
+      (base_addr / 4) placed
+  in
+  let mem_words =
+    match mem_words with Some w -> w | None -> needed_words + 64
+  in
+  let cpu = Cpu.create ~mem_words ~program:compiled.Codegen_rv32.code () in
+  List.iter (fun (_, addr, data) -> Cpu.write_block cpu ~addr data) placed;
+  let param_value name =
+    match List.find_opt (fun (n, _, _) -> String.equal n name) placed with
+    | Some (_, addr, _) -> Int32.of_int addr
+    | None -> (
+        match List.assoc_opt name args.Interp.scalars with
+        | Some v -> v
+        | None -> raise (Setup_error (Printf.sprintf "missing argument %s" name)))
+  in
+  List.iter
+    (fun (name, reg) -> Cpu.set_reg cpu reg (param_value name))
+    compiled.Codegen_rv32.param_regs;
+  Cpu.set_reg cpu compiled.Codegen_rv32.gsize_reg (Int32.of_int global_size);
+  Cpu.set_reg cpu compiled.Codegen_rv32.lsize_reg (Int32.of_int local_size);
+  let stats = Cpu.run ~fuel cpu in
+  let buffers =
+    List.map
+      (fun (name, addr, data) ->
+        (name, Cpu.read_block cpu ~addr ~len:(Array.length data)))
+      placed
+  in
+  { stats; buffers }
+
+let output result name =
+  match List.assoc_opt name result.buffers with
+  | Some a -> a
+  | None -> raise (Setup_error (Printf.sprintf "no such buffer %s" name))

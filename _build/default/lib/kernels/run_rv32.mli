@@ -1,0 +1,23 @@
+(** Harness gluing a compiled RV32 kernel to the CPU simulator: buffer
+    layout in data memory, convention registers, run, read-back. *)
+
+type result = {
+  stats : Ggpu_riscv.Cpu.stats;
+  buffers : (string * int32 array) list;
+}
+
+exception Setup_error of string
+
+val run :
+  ?fuel:int ->
+  ?base_addr:int ->
+  ?mem_words:int ->
+  Codegen_rv32.compiled ->
+  args:Interp.args ->
+  global_size:int ->
+  local_size:int ->
+  unit ->
+  result
+
+val output : result -> string -> int32 array
+(** @raise Setup_error on an unknown buffer name. *)

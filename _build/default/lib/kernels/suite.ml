@@ -1,0 +1,463 @@
+(* The paper's seven micro-benchmarks (from the AMD OpenCL SDK),
+   re-written in the kernel DSL with independent OCaml reference
+   implementations and deterministic input generators.
+
+   "Input size" follows the paper's Table III convention: the number of
+   work-items launched.  Each workload records a RISC-V size and a G-GPU
+   size with the paper's exact ratio between them; the comparison harness
+   scales RISC-V cycles by that ratio, exactly as the paper does. *)
+
+open Ast
+
+(* Deterministic 32-bit LCG so that every run and both targets see the
+   same data. *)
+let lcg_stream ~seed =
+  (* Knuth multiplicative scramble, then force odd: distinct seeds give
+     distinct streams (a plain [seed lor 1] would collapse 42 and 43); the multiplier is
+     2654435761 = golden-ratio hash, as a signed int32 *)
+  let scrambled = Int32.mul (Int32.of_int seed) (-1640531527l) in
+  let state = ref (Int32.logor scrambled 1l) in
+  fun () ->
+    state := Int32.add (Int32.mul !state 1103515245l) 12345l;
+    !state
+
+let gen_array ~seed ~len ~modulus =
+  let next = lcg_stream ~seed in
+  Array.init len (fun _ ->
+      let v = Int32.rem (next ()) (Int32.of_int modulus) in
+      Int32.abs v)
+
+let zeroes len = Array.make len 0l
+
+type t = {
+  name : string;
+  kernel : Ast.kernel;
+  output_buffer : string;
+  local_size : int;
+  round_size : int -> int;
+      (* nearest legal size not above the request (e.g. mat_mul needs a
+         perfect square) *)
+  mk_args : size:int -> Interp.args;
+  expected : size:int -> Interp.args -> int32 array;
+  global_size : size:int -> int;
+  riscv_size : int; (* Table III "RISC-V input size" *)
+  ggpu_size : int; (* Table III "G-GPU input size" *)
+}
+
+let find_buffer args name =
+  match List.assoc_opt name args.Interp.buffers with
+  | Some a -> a
+  | None -> invalid_arg (Printf.sprintf "Suite: missing buffer %s" name)
+
+(* --- copy: out[i] = in[i] --------------------------------------------- *)
+
+let copy =
+  let kernel =
+    {
+      name = "copy";
+      params = [ Buffer "src"; Buffer "dst"; Scalar "n" ];
+      body =
+        [
+          Let ("i", Global_id);
+          If (var "i" <: var "n", [ Store ("dst", var "i", load "src" (var "i")) ], []);
+        ];
+    }
+  in
+  {
+    name = "copy";
+    kernel;
+    output_buffer = "dst";
+    local_size = 256;
+    round_size = (fun size -> size);
+    mk_args =
+      (fun ~size ->
+        {
+          Interp.buffers =
+            [ ("src", gen_array ~seed:11 ~len:size ~modulus:1000000); ("dst", zeroes size) ];
+          scalars = [ ("n", Int32.of_int size) ];
+        });
+    expected = (fun ~size:_ args -> Array.copy (find_buffer args "src"));
+    global_size = (fun ~size -> size);
+    riscv_size = 512;
+    ggpu_size = 32768;
+  }
+
+(* --- vec_mul: out[i] = a[i] * b[i] ------------------------------------ *)
+
+let vec_mul =
+  let kernel =
+    {
+      name = "vec_mul";
+      params = [ Buffer "a"; Buffer "b"; Buffer "out"; Scalar "n" ];
+      body =
+        [
+          Let ("i", Global_id);
+          If
+            ( var "i" <: var "n",
+              [
+                Store
+                  ( "out",
+                    var "i",
+                    load "a" (var "i") *: load "b" (var "i") );
+              ],
+              [] );
+        ];
+    }
+  in
+  {
+    name = "vec_mul";
+    kernel;
+    output_buffer = "out";
+    local_size = 256;
+    round_size = (fun size -> size);
+    mk_args =
+      (fun ~size ->
+        {
+          Interp.buffers =
+            [
+              ("a", gen_array ~seed:21 ~len:size ~modulus:10000);
+              ("b", gen_array ~seed:22 ~len:size ~modulus:10000);
+              ("out", zeroes size);
+            ];
+          scalars = [ ("n", Int32.of_int size) ];
+        });
+    expected =
+      (fun ~size args ->
+        let a = find_buffer args "a" and b = find_buffer args "b" in
+        Array.init size (fun i -> Int32.mul a.(i) b.(i)));
+    global_size = (fun ~size -> size);
+    riscv_size = 1024;
+    ggpu_size = 65536;
+  }
+
+(* --- mat_mul: C = A x B with A tall (n/16 x 16) and B 16 x 16 -------- *)
+
+(* One work-item per element of C.  The inner dimension is fixed at 16,
+   so total work is linear in the number of work-items - matching the
+   paper's methodology of scaling RISC-V cycle counts linearly with
+   input size.  Row/column decode uses shift/mask, as the FGPU LLVM
+   backend emits for power-of-two dimensions. *)
+
+let matmul_inner = 16
+
+let mat_mul =
+  let kernel =
+    {
+      name = "mat_mul";
+      params = [ Buffer "a"; Buffer "b"; Buffer "c"; Scalar "n" ];
+      body =
+        [
+          Let ("i", Global_id);
+          If
+            ( var "i" <: var "n",
+              [
+                Let ("row", Binop (Shr, var "i", const 4));
+                Let ("col", Binop (And, var "i", const 15));
+                Let ("acc", const 0);
+                For
+                  ( "k",
+                    const 0,
+                    const matmul_inner,
+                    [
+                      Assign
+                        ( "acc",
+                          var "acc"
+                          +: load "a" (Binop (Shl, var "row", const 4) +: var "k")
+                             *: load "b" (Binop (Shl, var "k", const 4) +: var "col") );
+                    ] );
+                Store ("c", var "i", var "acc");
+              ],
+              [] );
+        ];
+    }
+  in
+  {
+    name = "mat_mul";
+    kernel;
+    output_buffer = "c";
+    local_size = 64;
+    round_size = (fun size -> max matmul_inner (size / matmul_inner * matmul_inner));
+    mk_args =
+      (fun ~size ->
+        {
+          Interp.buffers =
+            [
+              ("a", gen_array ~seed:31 ~len:size ~modulus:100);
+              ("b", gen_array ~seed:32 ~len:(matmul_inner * matmul_inner) ~modulus:100);
+              ("c", zeroes size);
+            ];
+          scalars = [ ("n", Int32.of_int size) ];
+        });
+    expected =
+      (fun ~size args ->
+        let a = find_buffer args "a" and b = find_buffer args "b" in
+        Array.init size (fun i ->
+            let row = i lsr 4 and col = i land 15 in
+            let acc = ref 0l in
+            for k = 0 to matmul_inner - 1 do
+              acc :=
+                Int32.add !acc
+                  (Int32.mul a.((row * 16) + k) b.((k * 16) + col))
+            done;
+            !acc));
+    global_size = (fun ~size -> size);
+    riscv_size = 256;
+    ggpu_size = 4096 (* paper's 16x input ratio *);
+  }
+
+(* --- fir: out[i] = sum_k coeff[k] * x[i+k], 16 taps ------------------- *)
+
+let fir_taps = 16
+
+let fir =
+  let kernel =
+    {
+      name = "fir";
+      params = [ Buffer "x"; Buffer "coeff"; Buffer "out"; Scalar "n"; Scalar "taps" ];
+      body =
+        [
+          Let ("i", Global_id);
+          If
+            ( var "i" <: var "n",
+              [
+                Let ("acc", const 0);
+                For
+                  ( "k",
+                    const 0,
+                    var "taps",
+                    [
+                      Assign
+                        ( "acc",
+                          var "acc"
+                          +: load "coeff" (var "k")
+                             *: load "x" (var "i" +: var "k") );
+                    ] );
+                Store ("out", var "i", var "acc");
+              ],
+              [] );
+        ];
+    }
+  in
+  {
+    name = "fir";
+    kernel;
+    output_buffer = "out";
+    local_size = 128;
+    round_size = (fun size -> size);
+    mk_args =
+      (fun ~size ->
+        {
+          Interp.buffers =
+            [
+              ("x", gen_array ~seed:41 ~len:(size + fir_taps) ~modulus:1000);
+              ("coeff", gen_array ~seed:42 ~len:fir_taps ~modulus:64);
+              ("out", zeroes size);
+            ];
+          scalars =
+            [ ("n", Int32.of_int size); ("taps", Int32.of_int fir_taps) ];
+        });
+    expected =
+      (fun ~size args ->
+        let x = find_buffer args "x" and coeff = find_buffer args "coeff" in
+        Array.init size (fun i ->
+            let acc = ref 0l in
+            for k = 0 to fir_taps - 1 do
+              acc := Int32.add !acc (Int32.mul coeff.(k) x.(i + k))
+            done;
+            !acc));
+    global_size = (fun ~size -> size);
+    riscv_size = 128;
+    ggpu_size = 4096;
+  }
+
+(* --- div_int: out[i] = a[i] / b[i] ------------------------------------ *)
+
+let div_int =
+  let kernel =
+    {
+      name = "div_int";
+      params = [ Buffer "a"; Buffer "b"; Buffer "out"; Scalar "n" ];
+      body =
+        [
+          Let ("i", Global_id);
+          If
+            ( var "i" <: var "n",
+              [
+                Store ("out", var "i", load "a" (var "i") /: load "b" (var "i"));
+              ],
+              [] );
+        ];
+    }
+  in
+  {
+    name = "div_int";
+    kernel;
+    output_buffer = "out";
+    local_size = 256;
+    round_size = (fun size -> size);
+    mk_args =
+      (fun ~size ->
+        let b = gen_array ~seed:52 ~len:size ~modulus:97 in
+        let b = Array.map (fun v -> Int32.add v 1l) b in
+        {
+          Interp.buffers =
+            [
+              ("a", gen_array ~seed:51 ~len:size ~modulus:1000000);
+              ("b", b);
+              ("out", zeroes size);
+            ];
+          scalars = [ ("n", Int32.of_int size) ];
+        });
+    expected =
+      (fun ~size args ->
+        let a = find_buffer args "a" and b = find_buffer args "b" in
+        Array.init size (fun i -> Int32.div a.(i) b.(i)));
+    global_size = (fun ~size -> size);
+    riscv_size = 512;
+    ggpu_size = 4096;
+  }
+
+(* --- xcorr: out[lag] = sum_i a[i] * b[i+lag] over an n-sample window -- *)
+
+(* The window grows with the lag count (full O(n^2) correlation, as in
+   the AMD SDK kernel): the paper scales RISC-V cycles linearly with
+   input size, which deliberately understates quadratic kernels - that
+   methodology, reproduced here, is why xcorr shows so little G-GPU
+   speed-up in Fig. 5. *)
+let xcorr_window_of ~size = size
+
+let xcorr =
+  let kernel =
+    {
+      name = "xcorr";
+      params = [ Buffer "a"; Buffer "b"; Buffer "out"; Scalar "nlags"; Scalar "w" ];
+      body =
+        [
+          Let ("lag", Global_id);
+          If
+            ( var "lag" <: var "nlags",
+              [
+                Let ("acc", const 0);
+                For
+                  ( "i",
+                    const 0,
+                    var "w",
+                    [
+                      Assign
+                        ( "acc",
+                          var "acc"
+                          +: load "a" (var "i")
+                             *: load "b" (var "i" +: var "lag") );
+                    ] );
+                Store ("out", var "lag", var "acc");
+              ],
+              [] );
+        ];
+    }
+  in
+  {
+    name = "xcorr";
+    kernel;
+    output_buffer = "out";
+    local_size = 128;
+    round_size = (fun size -> size);
+    mk_args =
+      (fun ~size ->
+        {
+          Interp.buffers =
+            [
+              ("a", gen_array ~seed:61 ~len:(xcorr_window_of ~size) ~modulus:1000);
+              ("b", gen_array ~seed:62 ~len:(xcorr_window_of ~size + size) ~modulus:1000);
+              ("out", zeroes size);
+            ];
+          scalars =
+            [ ("nlags", Int32.of_int size); ("w", Int32.of_int (xcorr_window_of ~size)) ];
+        });
+    expected =
+      (fun ~size args ->
+        let a = find_buffer args "a" and b = find_buffer args "b" in
+        Array.init size (fun lag ->
+            let acc = ref 0l in
+            for i = 0 to xcorr_window_of ~size - 1 do
+              acc := Int32.add !acc (Int32.mul a.(i) b.(i + lag))
+            done;
+            !acc));
+    global_size = (fun ~size -> size);
+    riscv_size = 64;
+    ggpu_size = 1024 (* paper's 16x ratio; kept small: work is O(n^2) *);
+  }
+
+(* --- parallel_sel: parallel selection sort ---------------------------- *)
+
+(* Each work-item ranks its element against the whole array and writes it
+   to its final position; ties break by index, making the permutation
+   well-defined on duplicate keys. *)
+let parallel_sel =
+  let kernel =
+    {
+      name = "parallel_sel";
+      params = [ Buffer "src"; Buffer "dst"; Scalar "n" ];
+      body =
+        [
+          Let ("i", Global_id);
+          If
+            ( var "i" <: var "n",
+              [
+                Let ("key", load "src" (var "i"));
+                Let ("rank", const 0);
+                For
+                  ( "j",
+                    const 0,
+                    var "n",
+                    [
+                      Let ("other", load "src" (var "j"));
+                      If
+                        ( Binop
+                            ( Or,
+                              var "other" <: var "key",
+                              Binop
+                                ( And,
+                                  var "other" ==: var "key",
+                                  var "j" <: var "i" ) ),
+                          [ Assign ("rank", var "rank" +: const 1) ],
+                          [] );
+                    ] );
+                Store ("dst", var "rank", var "key");
+              ],
+              [] );
+        ];
+    }
+  in
+  {
+    name = "parallel_sel";
+    kernel;
+    output_buffer = "dst";
+    local_size = 128;
+    round_size = (fun size -> size);
+    mk_args =
+      (fun ~size ->
+        {
+          Interp.buffers =
+            [
+              ("src", gen_array ~seed:71 ~len:size ~modulus:10000);
+              ("dst", zeroes size);
+            ];
+          scalars = [ ("n", Int32.of_int size) ];
+        });
+    expected =
+      (fun ~size:_ args ->
+        let src = find_buffer args "src" in
+        let sorted = Array.copy src in
+        Array.sort Int32.compare sorted;
+        sorted);
+    global_size = (fun ~size -> size);
+    riscv_size = 128;
+    ggpu_size = 2048;
+  }
+
+let all = [ mat_mul; copy; vec_mul; fir; div_int; xcorr; parallel_sel ]
+
+let find name =
+  match List.find_opt (fun w -> String.equal w.name name) all with
+  | Some w -> w
+  | None -> invalid_arg (Printf.sprintf "Suite.find: unknown workload %s" name)

@@ -1,0 +1,42 @@
+(** The paper's seven micro-benchmarks, rewritten in the kernel DSL
+    with independent OCaml reference implementations and deterministic
+    input generators. "Input size" = number of work-items (Table III);
+    each workload records RISC-V and G-GPU sizes with the paper's exact
+    ratio between them. *)
+
+type t = {
+  name : string;
+  kernel : Ast.kernel;
+  output_buffer : string;
+  local_size : int;
+  round_size : int -> int;
+      (** nearest legal size not above the request (mat_mul needs a
+          multiple of 16) *)
+  mk_args : size:int -> Interp.args;
+  expected : size:int -> Interp.args -> int32 array;
+      (** reference output computed from the args' input buffers *)
+  global_size : size:int -> int;
+  riscv_size : int;
+  ggpu_size : int;
+}
+
+val gen_array : seed:int -> len:int -> modulus:int -> int32 array
+(** Deterministic pseudo-random inputs (both targets see the same data). *)
+
+val matmul_inner : int
+val fir_taps : int
+val xcorr_window_of : size:int -> int
+
+val mat_mul : t
+val copy : t
+val vec_mul : t
+val fir : t
+val div_int : t
+val xcorr : t
+val parallel_sel : t
+
+val all : t list
+(** In the paper's Table III order. *)
+
+val find : string -> t
+(** @raise Invalid_argument on an unknown name. *)

@@ -1,0 +1,1 @@
+lib/layout/floorplan.ml: Area Float Ggpu_hw Ggpu_synth List Printf String

@@ -1,0 +1,1 @@
+lib/layout/floorplan.mli: Ggpu_hw Ggpu_synth Ggpu_tech

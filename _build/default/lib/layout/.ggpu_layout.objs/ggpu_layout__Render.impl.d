@@ -1,0 +1,1 @@
+lib/layout/render.ml: Array Buffer Floorplan List Printf String

@@ -1,0 +1,1 @@
+lib/layout/route.ml: Cell Float Floorplan Format Ggpu_hw Ggpu_tech List Metal Net Netlist Option String Tech

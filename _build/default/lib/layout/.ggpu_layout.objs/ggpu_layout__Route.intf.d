@@ -1,0 +1,1 @@
+lib/layout/route.mli: Floorplan Format Ggpu_hw Ggpu_tech

@@ -1,0 +1,1 @@
+lib/layout/timing_post.ml: Cell Float Floorplan Format Ggpu_hw Ggpu_synth Ggpu_tech Hashtbl List Memlib Metal Net Netlist Option Stdcell String Tech Timing

@@ -1,0 +1,1 @@
+lib/layout/timing_post.mli: Floorplan Format Ggpu_hw Ggpu_tech

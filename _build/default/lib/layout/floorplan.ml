@@ -1,0 +1,187 @@
+(* Partitioned floorplan.
+
+   The paper breaks the design into three partition types: compute-unit
+   partitions (one per CU, placed and routed once, then cloned), the
+   general memory controller (GMC), and the top.  CU and GMC are packed
+   at 70% placement density; the top level, holding the glue between
+   partitions, is deliberately sparse at 30%.
+
+   Geometry: the GMC sits in a central column with the top logic above
+   and below it; CU partitions stack in two columns, left and right of
+   the centre.  This mirrors the published layouts (Figs. 3 and 4) and
+   produces the long GMC-to-peripheral-CU routes that derate the 8-CU
+   design. *)
+
+open Ggpu_synth
+
+type rect = { x : float; y : float; w : float; h : float } (* mm *)
+
+type partition = {
+  part_name : string; (* "cu0".."cu7", "gmc", "top" *)
+  rect : rect;
+  area : Area.t;
+  macro_count : int;
+  divided_macros : int; (* banks/slices created by the planner *)
+}
+
+type t = {
+  design : string;
+  die : rect;
+  partitions : partition list;
+  num_cus : int;
+}
+
+let centre r = (r.x +. (r.w /. 2.0), r.y +. (r.h /. 2.0))
+
+let partition_centre t name =
+  match List.find_opt (fun p -> String.equal p.part_name name) t.partitions with
+  | Some p -> Some (centre p.rect)
+  | None -> None
+
+(* All placed copies of a region ("gmc" may be replicated as "gmc#1",
+   "gmc#2", ... under the future-work floorplan). *)
+let region_centres t region =
+  List.filter_map
+    (fun p ->
+      let name = p.part_name in
+      let is_copy =
+        String.equal name region
+        || String.length name > String.length region
+           && String.sub name 0 (String.length region) = region
+           && name.[String.length region] = '#'
+      in
+      if is_copy then Some (centre p.rect) else None)
+    t.partitions
+
+(* Manhattan distance between two regions, in mm; a net to a replicated
+   region reaches its nearest copy. *)
+let distance t ~from_ ~to_ =
+  let froms = region_centres t from_ and tos = region_centres t to_ in
+  match (froms, tos) with
+  | [], _ | _, [] -> 0.0
+  | _ ->
+      List.fold_left
+        (fun acc (x1, y1) ->
+          List.fold_left
+            (fun acc (x2, y2) ->
+              Float.min acc (abs_float (x1 -. x2) +. abs_float (y1 -. y2)))
+            acc tos)
+        infinity froms
+
+let cu_density = 0.70
+let top_density = 0.30
+
+let region_macro_stats netlist region =
+  Ggpu_hw.Netlist.fold_cells netlist ~init:(0, 0) ~f:(fun (total, divided) cell ->
+      if
+        String.equal (Ggpu_hw.Cell.region cell) region
+        && Ggpu_hw.Cell.is_macro cell
+      then begin
+        let n = Ggpu_hw.Cell.count cell in
+        let name = Ggpu_hw.Cell.name cell in
+        let is_divided =
+          (* banks and slices carry the transform's naming *)
+          let has sub =
+            let rec find i =
+              i + String.length sub <= String.length name
+              && (String.equal (String.sub name i (String.length sub)) sub
+                 || find (i + 1))
+            in
+            find 0
+          in
+          has "/bank" || has "/slice"
+        in
+        (total + n, if is_divided then divided + n else divided)
+      end
+      else (total, divided))
+
+(* Footprint of a region in mm^2 given its placed area and density. *)
+let footprint area ~density =
+  (area.Area.logic_mm2 /. density) +. area.Area.memory_mm2
+
+(* [gmc_copies = 2] implements the paper's future-work proposal:
+   replicate the general memory controller so each half of the CU stack
+   talks to a nearby copy, shortening the worst CU-GMC route. *)
+let build ?(gmc_copies = 1) tech netlist ~num_cus =
+  if gmc_copies < 1 || gmc_copies > 4 then
+    invalid_arg "Floorplan.build: gmc_copies outside 1..4";
+  let cu_regions = List.init num_cus (fun i -> Printf.sprintf "cu%d" i) in
+  let area_of region = Area.of_region tech netlist ~region in
+  let cu_areas = List.map area_of cu_regions in
+  let gmc_area = area_of "gmc" in
+  let top_area = area_of "top" in
+  let cu_fp =
+    match cu_areas with
+    | a :: _ -> footprint a ~density:cu_density
+    | [] -> invalid_arg "Floorplan.build: no CUs"
+  in
+  let gmc_fp = footprint gmc_area ~density:cu_density in
+  let top_fp = footprint top_area ~density:top_density in
+  (* two CU columns flanking the central GMC+top column *)
+  let rows = max 1 ((num_cus + 1) / 2) in
+  let cu_h = sqrt (cu_fp /. 1.6) in
+  let cu_w = cu_fp /. cu_h in
+  let column_h = float_of_int rows *. cu_h in
+  let centre_w = (gmc_fp +. top_fp) /. column_h in
+  let left_cus = (num_cus + 1) / 2 in
+  let die_w =
+    (if num_cus > 1 then 2.0 *. cu_w else cu_w) +. centre_w
+  in
+  let die_h = column_h in
+  let cu_rect i =
+    if i < left_cus then
+      { x = 0.0; y = float_of_int i *. cu_h; w = cu_w; h = cu_h }
+    else
+      {
+        x = cu_w +. centre_w;
+        y = float_of_int (i - left_cus) *. cu_h;
+        w = cu_w;
+        h = cu_h;
+      }
+  in
+  let gmc_h = gmc_fp /. centre_w /. float_of_int gmc_copies in
+  let gmc_rects =
+    (* one copy at the centre; several spread evenly along the column *)
+    List.init gmc_copies (fun k ->
+        let centre_y =
+          die_h *. (float_of_int (2 * k) +. 1.0)
+          /. float_of_int (2 * gmc_copies)
+        in
+        { x = cu_w; y = centre_y -. (gmc_h /. 2.0); w = centre_w; h = gmc_h })
+  in
+  let top_rect = { x = cu_w; y = 0.0; w = centre_w; h = die_h } in
+  let part name rect area region =
+    let macro_count, divided_macros = region_macro_stats netlist region in
+    { part_name = name; rect; area; macro_count; divided_macros }
+  in
+  let gmc_parts =
+    List.mapi
+      (fun k rect ->
+        let name = if k = 0 then "gmc" else Printf.sprintf "gmc#%d" k in
+        part name rect gmc_area "gmc")
+      gmc_rects
+  in
+  let partitions =
+    List.mapi
+      (fun i region -> part region (cu_rect i) (List.nth cu_areas i) region)
+      cu_regions
+    @ gmc_parts
+    @ [ part "top" top_rect top_area "top" ]
+  in
+  {
+    design = Ggpu_hw.Netlist.name netlist;
+    die = { x = 0.0; y = 0.0; w = die_w; h = die_h };
+    partitions;
+    num_cus;
+  }
+
+let die_area_mm2 t = t.die.w *. t.die.h
+
+(* Worst CU-to-GMC distance: the length of the paper's problematic
+   routes in the 8-CU floorplan. *)
+let worst_cu_gmc_distance_mm t =
+  List.fold_left
+    (fun acc i ->
+      max acc (distance t ~from_:(Printf.sprintf "cu%d" i) ~to_:"gmc"))
+    0.0
+    (List.init t.num_cus (fun i -> i))

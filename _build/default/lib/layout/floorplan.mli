@@ -1,0 +1,46 @@
+(** Partitioned floorplans: compute-unit partitions flanking a central
+    general-memory-controller column, top-level glue at low density —
+    the paper's Figs. 3/4 organisation. *)
+
+type rect = { x : float; y : float; w : float; h : float }  (** mm *)
+
+type partition = {
+  part_name : string;  (** "cu0".."cu7", "gmc" (or "gmc#k"), "top" *)
+  rect : rect;
+  area : Ggpu_synth.Area.t;
+  macro_count : int;
+  divided_macros : int;  (** banks/slices created by the planner *)
+}
+
+type t = {
+  design : string;
+  die : rect;
+  partitions : partition list;
+  num_cus : int;
+}
+
+val cu_density : float
+(** 0.70, the paper's CU/GMC placement density. *)
+
+val top_density : float
+(** 0.30, the paper's sparse top partition. *)
+
+val centre : rect -> float * float
+val partition_centre : t -> string -> (float * float) option
+
+val region_centres : t -> string -> (float * float) list
+(** All placed copies of a region (the GMC may be replicated under the
+    future-work floorplan). *)
+
+val distance : t -> from_:string -> to_:string -> float
+(** Manhattan distance in mm; a net to a replicated region reaches its
+    nearest copy. *)
+
+val build :
+  ?gmc_copies:int -> Ggpu_tech.Tech.t -> Ggpu_hw.Netlist.t -> num_cus:int -> t
+(** [gmc_copies > 1] implements the paper's future-work proposal of
+    replicating the general memory controller.
+    @raise Invalid_argument if [gmc_copies] is outside 1..4. *)
+
+val die_area_mm2 : t -> float
+val worst_cu_gmc_distance_mm : t -> float

@@ -1,0 +1,79 @@
+(* ASCII rendering of a floorplan (the repo's stand-in for the paper's
+   layout screenshots, Figs. 3 and 4).  Partitions draw as labelled
+   boxes scaled to the die; the macro annotation distinguishes original
+   macros from the banks/slices the planner created, which the paper
+   highlights in colour. *)
+
+let columns = 72
+
+let render (fp : Floorplan.t) =
+  let die_w = fp.Floorplan.die.Floorplan.w in
+  let die_h = fp.Floorplan.die.Floorplan.h in
+  let rows = max 12 (int_of_float (float_of_int columns *. die_h /. die_w /. 2.2)) in
+  let canvas = Array.make_matrix rows columns ' ' in
+  let scale_x v = int_of_float (v /. die_w *. float_of_int (columns - 1)) in
+  let scale_y v = int_of_float (v /. die_h *. float_of_int (rows - 1)) in
+  let draw_box (p : Floorplan.partition) =
+    let r = p.Floorplan.rect in
+    let x0 = scale_x r.Floorplan.x
+    and x1 = scale_x (r.Floorplan.x +. r.Floorplan.w) in
+    let y0 = scale_y r.Floorplan.y
+    and y1 = scale_y (r.Floorplan.y +. r.Floorplan.h) in
+    let x1 = min (columns - 1) (max x1 (x0 + 1)) in
+    let y1 = min (rows - 1) (max y1 (y0 + 1)) in
+    for x = x0 to x1 do
+      canvas.(y0).(x) <- '-';
+      canvas.(y1).(x) <- '-'
+    done;
+    for y = y0 to y1 do
+      canvas.(y).(x0) <- '|';
+      canvas.(y).(x1) <- '|'
+    done;
+    canvas.(y0).(x0) <- '+';
+    canvas.(y0).(x1) <- '+';
+    canvas.(y1).(x0) <- '+';
+    canvas.(y1).(x1) <- '+';
+    let label =
+      Printf.sprintf "%s m=%d(+%d)" p.Floorplan.part_name
+        (p.Floorplan.macro_count - p.Floorplan.divided_macros)
+        p.Floorplan.divided_macros
+    in
+    let ly = (y0 + y1) / 2 in
+    let lx = x0 + 1 in
+    String.iteri
+      (fun i c -> if lx + i < x1 then canvas.(ly).(lx + i) <- c)
+      label
+  in
+  (* draw top first so CU/GMC boxes overwrite its outline *)
+  let top, others =
+    List.partition
+      (fun p -> String.equal p.Floorplan.part_name "top")
+      fp.Floorplan.partitions
+  in
+  List.iter draw_box top;
+  List.iter draw_box others;
+  let buffer = Buffer.create (rows * (columns + 1)) in
+  Buffer.add_string buffer
+    (Printf.sprintf "%s  die %.2f x %.2f mm (%.2f mm2)\n" fp.Floorplan.design
+       die_w die_h
+       (Floorplan.die_area_mm2 fp));
+  Array.iter
+    (fun row ->
+      Buffer.add_string buffer (String.init columns (Array.get row));
+      Buffer.add_char buffer '\n')
+    canvas;
+  Buffer.add_string buffer
+    "legend: m=<original macros>(+<banks/slices from memory division>)\n";
+  Buffer.add_string buffer "partitions:\n";
+  List.iter
+    (fun (p : Floorplan.partition) ->
+      let r = p.Floorplan.rect in
+      Buffer.add_string buffer
+        (Printf.sprintf
+           "  %-6s %.2f x %.2f mm at (%.2f, %.2f)  macros %d (+%d divided)\n"
+           p.Floorplan.part_name r.Floorplan.w r.Floorplan.h r.Floorplan.x
+           r.Floorplan.y
+           (p.Floorplan.macro_count - p.Floorplan.divided_macros)
+           p.Floorplan.divided_macros))
+    fp.Floorplan.partitions;
+  Buffer.contents buffer

@@ -1,0 +1,8 @@
+(** ASCII rendering of floorplans: the repository's stand-in for the
+    paper's layout screenshots (Figs. 3 and 4), with divided memories
+    annotated per partition. *)
+
+val columns : int
+(** Canvas width in characters. *)
+
+val render : Floorplan.t -> string

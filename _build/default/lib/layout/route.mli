@@ -1,0 +1,30 @@
+(** Global-routing wirelength estimation per metal layer (Table II).
+
+    Statistical, net-by-net: intra-partition nets get a Rent-style
+    average length scaled by a congestion factor (timing pressure ×
+    macro fragmentation); cross-partition nets use partition distances.
+    Demand spreads over signal layers M2-M7, short wire low, long wire
+    high. *)
+
+type t = {
+  per_layer_um : (string * float) list;  (** signal layers, bottom-up *)
+  total_um : float;
+  intra_um : float;
+  inter_um : float;
+  congestion : float;
+}
+
+val congestion_factor :
+  period_ns:float -> macros:int -> base_macros:int -> float
+
+val estimate :
+  Ggpu_tech.Tech.t ->
+  Ggpu_hw.Netlist.t ->
+  Floorplan.t ->
+  period_ns:float ->
+  base_macros:int ->
+  t
+(** [period_ns] should be the period the layout actually achieves. *)
+
+val layer_um : t -> string -> float
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,32 @@
+(** Post-route timing: in-partition paths keep their logic-synthesis
+    delay; cross-partition routes add unbuffered (quadratic) RC wire
+    delay, the mechanism that derates the paper's 8-CU design from
+    667 to ~600 MHz and that pipeline insertion cannot fix. *)
+
+type cross_path = {
+  net : Ggpu_hw.Net.t;
+  from_region : string;
+  to_region : string;
+  distance_mm : float;
+  wire_delay_ns : float;
+  total_ns : float;
+}
+
+type t = {
+  internal_ns : float;  (** worst in-partition register path *)
+  worst_cross : cross_path option;
+  post_route_period_ns : float;
+  achieved_mhz : float;
+}
+
+val cross_detour : float
+(** Routed length / centre distance for cross-partition nets. *)
+
+val unbuffered_rc_ns : Ggpu_tech.Tech.t -> length_mm:float -> float
+val analyse : Ggpu_tech.Tech.t -> Ggpu_hw.Netlist.t -> Floorplan.t -> t
+
+val quantised_mhz : t -> float
+(** Achieved frequency rounded down to 10 MHz steps, as the paper
+    reports ("600 MHz"). *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/riscv/cpu.ml: Array Format Ggpu_isa Int32 Int64 Printf Rv32 Timing_model

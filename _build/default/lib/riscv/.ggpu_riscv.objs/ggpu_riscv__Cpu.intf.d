@@ -1,0 +1,1 @@
+lib/riscv/cpu.mli: Format Ggpu_isa Timing_model

@@ -1,0 +1,1 @@
+lib/riscv/timing_model.ml: Ggpu_isa

@@ -1,0 +1,1 @@
+lib/riscv/timing_model.mli: Ggpu_isa

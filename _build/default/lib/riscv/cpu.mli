@@ -1,0 +1,48 @@
+(** RV32IM functional + timing simulator: a Harvard machine with a
+    decoded program array and a word-addressed data memory. Semantics
+    follow the RISC-V unprivileged specification, including division
+    corner cases; [Ecall] halts. *)
+
+type stats = {
+  mutable cycles : int;
+  mutable instructions : int;
+  mutable loads : int;
+  mutable stores : int;
+  mutable branches : int;
+  mutable taken_branches : int;
+}
+
+type t
+
+exception Trap of string
+exception Out_of_fuel of int
+
+val create :
+  ?timing:Timing_model.t ->
+  mem_words:int ->
+  program:Ggpu_isa.Rv32.t array ->
+  unit ->
+  t
+
+val stats : t -> stats
+val halted : t -> bool
+val mem_words : t -> int
+val get_reg : t -> int -> int32
+val set_reg : t -> int -> int32 -> unit
+
+val load_word : t -> addr:int -> int32
+(** @raise Trap on misaligned or out-of-range addresses. *)
+
+val store_word : t -> addr:int -> int32 -> unit
+val write_block : t -> addr:int -> int32 array -> unit
+val read_block : t -> addr:int -> len:int -> int32 array
+
+val step : t -> unit
+(** Execute one instruction (no-op once halted).
+    @raise Trap on bad memory accesses or a wild pc. *)
+
+val run : ?fuel:int -> t -> stats
+(** Run to the halting [Ecall].
+    @raise Out_of_fuel after [fuel] instructions (default 5e8). *)
+
+val pp_stats : Format.formatter -> stats -> unit

@@ -1,0 +1,16 @@
+(** Cycle-cost model of the baseline RISC-V CPU, calibrated on the
+    CV32E40P with external-SRAM wait states (the paper's synthesised
+    comparison point). *)
+
+type t = {
+  base : int;
+  load : int;
+  store : int;
+  branch_taken : int;
+  jump : int;
+  mul : int;
+  div : int;
+}
+
+val cv32e40p : t
+val cost : t -> Ggpu_isa.Rv32.t -> taken:bool -> int

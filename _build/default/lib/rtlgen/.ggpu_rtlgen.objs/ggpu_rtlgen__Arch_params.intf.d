@@ -1,0 +1,1 @@
+lib/rtlgen/arch_params.mli:

@@ -1,0 +1,1 @@
+lib/rtlgen/generate.ml: Arch_params Cell Ggpu_hw List Macro_spec Net Netlist Op Printf String

@@ -1,0 +1,1 @@
+lib/rtlgen/generate.mli: Arch_params Ggpu_hw

@@ -1,0 +1,60 @@
+(** Architectural parameters of the generated G-GPU netlist.
+
+    The default inventory mirrors the FGPU-to-ASIC port of the paper —
+    42 SRAM macros per compute unit plus 9 shared (51/93/177/345 for
+    1/2/4/8 CUs, Table I's #Memory column) — with read-path depths set
+    so the base design closes at ~500 MHz and the published 590/667 MHz
+    targets trigger memory division and on-demand pipelining. *)
+
+type memory_component = {
+  mem_name : string;
+  words : int;
+  bits : int;
+  instances : int;
+  read_levels : int;  (** logic depth, macro output to capture FF *)
+  mux_after : int;  (** n-way read mux straight after the macro (0=none) *)
+}
+
+type register_component = {
+  reg_name : string;
+  width : int;
+  count : int;
+  levels : int;
+}
+
+type logic_chain = {
+  chain_name : string;
+  chain_levels : int;
+  chain_width : int;
+  chain_count : int;
+}
+
+type t = {
+  num_cus : int;
+  cu_memories : memory_component list;
+  gmc_memories : memory_component list;
+  top_memories : memory_component list;
+  cu_registers : register_component list;
+  gmc_registers : register_component list;
+  top_registers : register_component list;
+  cu_chains : logic_chain list;
+  pes_per_cu : int;
+  cu_ff_target : int;  (** published-scale filler targets (Table I) *)
+  gmc_ff_target : int;
+  top_ff_target : int;
+  cu_comb_target : int;
+  gmc_comb_target : int;
+  top_comb_target : int;
+}
+
+exception Bad_params of string
+
+val mem :
+  ?mux_after:int -> string -> int -> int -> int -> int -> memory_component
+
+val regs : string -> int -> int -> int -> register_component
+
+val default : num_cus:int -> t
+(** @raise Bad_params outside 1..8 CUs. *)
+
+val macro_count : t -> int

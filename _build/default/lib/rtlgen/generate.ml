@@ -1,0 +1,328 @@
+(* G-GPU netlist elaboration.
+
+   Produces the base (non-optimised) structural netlist for a given CU
+   count: per-CU register files, scratchpads, instruction memories,
+   divergence stacks, operand collectors and data movers; a general
+   memory controller (GMC) with the central cache; runtime memory and
+   AXI control at top level; plus the cross-partition request/response
+   nets between each CU and the GMC that dominate post-layout timing in
+   the 8-CU floorplan.
+
+   Every memory component follows the same register-to-register shape:
+
+     addr FF -> macro -> (read mux) -> read logic -> capture FF
+
+   so the planner's static timing analysis sees realistic launch/capture
+   paths, and its transforms (macro division, pipeline insertion) apply
+   without special cases. *)
+
+open Ggpu_hw
+
+let region_cu i = Printf.sprintf "cu%d" i
+
+(* Build a logic chain of the requested depth (in gate levels) from
+   [input], returning the chain's output net.  Uses 32-bit adders,
+   shifters and xors so area and depth are both realistic. *)
+let build_chain nl ~region ~base ~count ~levels ~input =
+  let rec go input remaining idx =
+    if remaining <= 0 then input
+    else begin
+      let op, consumed =
+        if remaining >= Op.levels Op.Add ~width:32 then
+          (Op.Add, Op.levels Op.Add ~width:32)
+        else if remaining >= Op.levels Op.Shl ~width:32 then
+          (Op.Shl, Op.levels Op.Shl ~width:32)
+        else (Op.Xor, 1)
+      in
+      let out =
+        Netlist.add_net nl ~name:(Printf.sprintf "%s/n%d" base idx) ~width:32
+      in
+      let inputs =
+        match op with Op.Add -> [ input; input ] | _ -> [ input ]
+      in
+      let _ =
+        Netlist.add_cell nl
+          ~name:(Printf.sprintf "%s/l%d" base idx)
+          ~region ~kind:(Cell.Comb op) ~inputs ~outputs:[ out ] ~count ()
+      in
+      go out (remaining - consumed) (idx + 1)
+    end
+  in
+  go input levels 0
+
+(* A self-feeding register: FF whose next value is a function of its
+   output (no combinational loop; the FF breaks it). *)
+let build_counter nl ~region ~base ~width ~count =
+  let d = Netlist.add_net nl ~name:(base ^ "/d") ~width in
+  let q = Netlist.add_net nl ~name:(base ^ "/q") ~width in
+  let _ff =
+    Netlist.add_cell nl ~name:(base ^ "/ff") ~region ~kind:Cell.Dff
+      ~inputs:[ d ] ~outputs:[ q ] ~count ()
+  in
+  let _next =
+    Netlist.add_cell nl ~name:(base ^ "/next") ~region
+      ~kind:(Cell.Comb Op.Add) ~inputs:[ q; q ] ~outputs:[ d ] ~count ()
+  in
+  q
+
+let build_capture nl ~region ~base ~count input =
+  let q =
+    Netlist.add_net nl ~name:(base ^ "/capture_q") ~width:(Net.width input)
+  in
+  let _ff =
+    Netlist.add_cell nl ~name:(base ^ "/capture") ~region ~kind:Cell.Dff
+      ~inputs:[ input ] ~outputs:[ q ] ~count ()
+  in
+  q
+
+(* Elaborate one memory component; returns the read-path output net
+   (after the capture FF) for optional further wiring. *)
+let build_memory nl ~region ~base (m : Arch_params.memory_component) =
+  let spec =
+    Macro_spec.make ~words:m.Arch_params.words ~bits:m.Arch_params.bits
+      ~ports:Macro_spec.Dual_port
+  in
+  let addr =
+    build_counter nl ~region ~base:(base ^ "/addr")
+      ~width:(Macro_spec.address_bits spec)
+      ~count:m.Arch_params.instances
+  in
+  let wdata =
+    build_counter nl ~region ~base:(base ^ "/wdata") ~width:m.Arch_params.bits
+      ~count:m.Arch_params.instances
+  in
+  let rdata =
+    Netlist.add_net nl ~name:(base ^ "/rdata") ~width:m.Arch_params.bits
+  in
+  let _macro =
+    Netlist.add_cell nl ~name:base ~region ~kind:(Cell.Macro spec)
+      ~inputs:[ addr; wdata ] ~outputs:[ rdata ]
+      ~count:m.Arch_params.instances ()
+  in
+  let after_mux =
+    if m.Arch_params.mux_after = 0 then rdata
+    else begin
+      let ways = m.Arch_params.mux_after in
+      let sel =
+        build_counter nl ~region ~base:(base ^ "/rsel")
+          ~width:(max 1 (Op.clog2 ways))
+          ~count:m.Arch_params.instances
+      in
+      let out =
+        Netlist.add_net nl ~name:(base ^ "/muxed") ~width:m.Arch_params.bits
+      in
+      let _mux =
+        Netlist.add_cell nl ~name:(base ^ "/rmux") ~region
+          ~kind:(Cell.Comb (Op.Mux ways))
+          ~inputs:(sel :: List.init ways (fun _ -> rdata))
+          ~outputs:[ out ] ~count:m.Arch_params.instances ()
+      in
+      out
+    end
+  in
+  let chain_out =
+    build_chain nl ~region ~base:(base ^ "/read")
+      ~count:m.Arch_params.instances ~levels:m.Arch_params.read_levels
+      ~input:after_mux
+  in
+  build_capture nl ~region ~base ~count:m.Arch_params.instances chain_out
+
+(* A register component: the full state bank plus one representative
+   register-to-register timing path through its logic cloud.  The bank's
+   state is a self-looped flip-flop array (no multiplied gates); the
+   region's gate budget is topped up by the calibrated filler instead,
+   which keeps published-scale cell counts exact. *)
+let build_register_bank nl ~region ~base (r : Arch_params.register_component) =
+  let q = Netlist.add_net nl ~name:(base ^ "/q") ~width:r.Arch_params.width in
+  ignore
+    (Netlist.add_cell nl ~name:(base ^ "/bank") ~region ~kind:Cell.Dff
+       ~inputs:[ q ] ~outputs:[ q ] ~count:r.Arch_params.count ());
+  let rep =
+    build_counter nl ~region ~base:(base ^ "/rep") ~width:r.Arch_params.width
+      ~count:1
+  in
+  let out =
+    build_chain nl ~region ~base:(base ^ "/logic") ~count:1
+      ~levels:r.Arch_params.levels ~input:rep
+  in
+  ignore (build_capture nl ~region ~base:(base ^ "/sink") ~count:1 out)
+
+let build_logic_chain nl ~region ~base (c : Arch_params.logic_chain) =
+  let q =
+    build_counter nl ~region ~base ~width:c.Arch_params.chain_width
+      ~count:c.Arch_params.chain_count
+  in
+  let out =
+    build_chain nl ~region ~base:(base ^ "/chain")
+      ~count:c.Arch_params.chain_count ~levels:c.Arch_params.chain_levels
+      ~input:q
+  in
+  ignore
+    (build_capture nl ~region ~base:(base ^ "/sink")
+       ~count:c.Arch_params.chain_count out)
+
+(* A flip-flop bank looped onto itself: contributes state bits and no
+   combinational gates - timing-neutral filler. *)
+let build_selfloop_regs nl ~region ~base ~width ~count =
+  let q = Netlist.add_net nl ~name:(base ^ "/q") ~width in
+  ignore
+    (Netlist.add_cell nl ~name:(base ^ "/ff") ~region ~kind:Cell.Dff
+       ~inputs:[ q ] ~outputs:[ q ] ~count ())
+
+let build_selfloop_anchor nl ~region ~base =
+  let q = Netlist.add_net nl ~name:(base ^ "/anchor_q") ~width:32 in
+  ignore
+    (Netlist.add_cell nl ~name:(base ^ "/anchor") ~region ~kind:Cell.Dff
+       ~inputs:[ q ] ~outputs:[ q ] ());
+  q
+
+let region_stats nl region =
+  Netlist.fold_cells nl ~init:(0, 0) ~f:(fun (ff, comb) cell ->
+      if String.equal (Cell.region cell) region then
+        (ff + Cell.ff_bits cell, comb + Cell.comb_gates cell)
+      else (ff, comb))
+
+(* Filler sized to reach the published flip-flop and gate scale of the
+   region (see Arch_params): first shallow datapath cells for the gate
+   deficit (their capture registers count toward state), then pure
+   self-looped register banks for the remaining flip-flop deficit. *)
+let fill_region nl ~region ~ff_target ~comb_target =
+  let base = region ^ "/filler" in
+  let _, comb = region_stats nl region in
+  if comb_target > comb then begin
+    let gates = Op.gates Op.Add ~width:32 in
+    let count = (comb_target - comb + gates - 1) / gates in
+    let q = build_selfloop_anchor nl ~region ~base in
+    let sum = Netlist.add_net nl ~name:(base ^ "/dp/sum") ~width:32 in
+    let _ =
+      Netlist.add_cell nl ~name:(base ^ "/dp/alu") ~region
+        ~kind:(Cell.Comb Op.Add) ~inputs:[ q; q ] ~outputs:[ sum ] ~count ()
+    in
+    ignore (build_capture nl ~region ~base:(base ^ "/dp") ~count:1 sum)
+  end;
+  let ff, _ = region_stats nl region in
+  if ff_target > ff then begin
+    let width = 64 in
+    let count = (ff_target - ff + width - 1) / width in
+    build_selfloop_regs nl ~region ~base:(base ^ "/state") ~width ~count
+  end
+
+(* The full design. *)
+let generate (params : Arch_params.t) =
+  let nl =
+    Netlist.create ~name:(Printf.sprintf "ggpu_%dcu" params.Arch_params.num_cus)
+  in
+  (* general memory controller *)
+  let gmc_outputs =
+    List.map
+      (fun m ->
+        build_memory nl ~region:"gmc"
+          ~base:(Printf.sprintf "gmc/%s" m.Arch_params.mem_name)
+          m)
+      params.Arch_params.gmc_memories
+  in
+  List.iter
+    (fun r ->
+      build_register_bank nl ~region:"gmc"
+        ~base:(Printf.sprintf "gmc/%s" r.Arch_params.reg_name)
+        r)
+    params.Arch_params.gmc_registers;
+  (* the cache response driving every CU's data-return port *)
+  let cache_resp =
+    match gmc_outputs with
+    | resp :: _ -> resp
+    | [] -> raise (Arch_params.Bad_params "no GMC memories")
+  in
+  (* compute units *)
+  for i = 0 to params.Arch_params.num_cus - 1 do
+    let region = region_cu i in
+    List.iter
+      (fun m ->
+        ignore
+          (build_memory nl ~region
+             ~base:(Printf.sprintf "%s/%s" region m.Arch_params.mem_name)
+             m))
+      params.Arch_params.cu_memories;
+    List.iter
+      (fun r ->
+        build_register_bank nl ~region
+          ~base:(Printf.sprintf "%s/%s" region r.Arch_params.reg_name)
+          r)
+      params.Arch_params.cu_registers;
+    List.iter
+      (fun c ->
+        build_logic_chain nl ~region
+          ~base:(Printf.sprintf "%s/%s" region c.Arch_params.chain_name)
+          c)
+      params.Arch_params.cu_chains;
+    (* cross-partition response: GMC -> CU (the long wires of Fig. 4) *)
+    let resp_net =
+      Netlist.add_net nl
+        ~name:(Printf.sprintf "gmc/resp_to_%s" region)
+        ~width:32
+    in
+    let _resp_buf =
+      Netlist.add_cell nl
+        ~name:(Printf.sprintf "gmc/resp_drv_%s" region)
+        ~region:"gmc" ~kind:(Cell.Comb Op.Buf) ~inputs:[ cache_resp ]
+        ~outputs:[ resp_net ] ()
+    in
+    ignore
+      (build_capture nl ~region
+         ~base:(Printf.sprintf "%s/gmc_resp" region)
+         ~count:1 resp_net);
+    (* cross-partition request: CU -> GMC *)
+    let req_src =
+      build_counter nl ~region
+        ~base:(Printf.sprintf "%s/gmc_req" region)
+        ~width:32 ~count:1
+    in
+    let req_net =
+      Netlist.add_net nl
+        ~name:(Printf.sprintf "%s/req_to_gmc" region)
+        ~width:32
+    in
+    let _req_buf =
+      Netlist.add_cell nl
+        ~name:(Printf.sprintf "%s/req_drv" region)
+        ~region ~kind:(Cell.Comb Op.Buf) ~inputs:[ req_src ]
+        ~outputs:[ req_net ] ()
+    in
+    ignore
+      (build_capture nl ~region:"gmc"
+         ~base:(Printf.sprintf "gmc/req_from_%s" region)
+         ~count:1 req_net)
+  done;
+  (* top level *)
+  List.iter
+    (fun m ->
+      ignore
+        (build_memory nl ~region:"top"
+           ~base:(Printf.sprintf "top/%s" m.Arch_params.mem_name)
+           m))
+    params.Arch_params.top_memories;
+  List.iter
+    (fun r ->
+      build_register_bank nl ~region:"top"
+        ~base:(Printf.sprintf "top/%s" r.Arch_params.reg_name)
+        r)
+    params.Arch_params.top_registers;
+  (* calibrated filler to published scale *)
+  for i = 0 to params.Arch_params.num_cus - 1 do
+    fill_region nl ~region:(region_cu i)
+      ~ff_target:params.Arch_params.cu_ff_target
+      ~comb_target:params.Arch_params.cu_comb_target
+  done;
+  fill_region nl ~region:"gmc" ~ff_target:params.Arch_params.gmc_ff_target
+    ~comb_target:params.Arch_params.gmc_comb_target;
+  fill_region nl ~region:"top" ~ff_target:params.Arch_params.top_ff_target
+    ~comb_target:params.Arch_params.top_comb_target;
+  (match Netlist.validate nl with
+  | Ok () -> ()
+  | Error errors ->
+      failwith
+        (Printf.sprintf "generated netlist invalid: %s"
+           (String.concat "; " errors)));
+  nl
+
+let generate_cus ~num_cus = generate (Arch_params.default ~num_cus)

@@ -1,0 +1,15 @@
+(** G-GPU netlist elaboration: builds the base (non-optimised)
+    structural netlist — per-CU memories and pipelines, the general
+    memory controller with the central cache, top-level runtime memory
+    and AXI control, and the cross-partition request/response nets that
+    dominate post-layout timing at 8 CUs. The result validates and
+    matches the published scale (see {!Arch_params}). *)
+
+val generate : Arch_params.t -> Ggpu_hw.Netlist.t
+(** @raise Failure if the generated netlist fails validation (a bug). *)
+
+val generate_cus : num_cus:int -> Ggpu_hw.Netlist.t
+(** [generate] with {!Arch_params.default}. *)
+
+val region_cu : int -> string
+(** The region name of CU [i] ("cu0", "cu1", ...). *)

@@ -1,0 +1,1 @@
+lib/synth/area.ml: Cell Format Ggpu_hw Ggpu_tech Memlib Netlist Stdcell String Tech

@@ -1,0 +1,1 @@
+lib/synth/area.mli: Format Ggpu_hw Ggpu_tech

@@ -1,0 +1,1 @@
+lib/synth/power.ml: Cell Format Ggpu_hw Ggpu_tech Memlib Netlist Stdcell Tech

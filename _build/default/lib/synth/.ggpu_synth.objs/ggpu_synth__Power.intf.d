@@ -1,0 +1,1 @@
+lib/synth/power.mli: Format Ggpu_hw Ggpu_tech

@@ -1,0 +1,1 @@
+lib/synth/report.ml: Area Format Ggpu_hw List Netlist Power Printf Timing

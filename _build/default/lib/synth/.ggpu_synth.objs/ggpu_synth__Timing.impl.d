@@ -1,0 +1,1 @@
+lib/synth/timing.ml: Cell Format Ggpu_hw Ggpu_tech Hashtbl List Memlib Net Netlist Option Stdcell Tech Topo

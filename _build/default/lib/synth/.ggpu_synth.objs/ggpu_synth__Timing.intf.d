@@ -1,0 +1,1 @@
+lib/synth/timing.mli: Format Ggpu_hw Ggpu_tech Hashtbl

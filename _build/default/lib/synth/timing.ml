@@ -1,0 +1,160 @@
+(* Static timing analysis.
+
+   Computes worst arrival times over the combinational graph between
+   sequential elements (flip-flops and SRAM macros), then checks every
+   register-to-register path against a clock period:
+
+     launch clk-to-q  +  combinational delay  +  setup  +  skew  <= T
+
+   Launch and setup numbers come from the technology: flip-flops from
+   the standard-cell model, macros from the memory-compiler model (which
+   is how macro geometry ends up on the critical path - the pivot of the
+   paper's whole design-space exploration). *)
+
+open Ggpu_hw
+open Ggpu_tech
+
+type path = {
+  launch : Cell.t; (* sequential cell the path starts at *)
+  capture : Cell.t; (* sequential cell the path ends at *)
+  through : Cell.t list; (* combinational cells, launch-to-capture order *)
+  delay_ns : float; (* total including clk-to-q, setup and skew *)
+}
+
+type report = {
+  worst : path;
+  max_delay_ns : float;
+  fmax_mhz : float;
+  endpoint_count : int;
+}
+
+exception No_paths
+
+let launch_delay tech cell =
+  match Cell.kind cell with
+  | Cell.Dff -> tech.Tech.stdcell.Stdcell.dff_clk_to_q_ns
+  | Cell.Macro spec -> (Memlib.query tech.Tech.memory spec).Memlib.clk_to_q_ns
+  | Cell.Comb _ -> invalid_arg "launch_delay: combinational cell"
+
+let setup_time tech cell =
+  match Cell.kind cell with
+  | Cell.Dff -> tech.Tech.stdcell.Stdcell.dff_setup_ns
+  | Cell.Macro spec -> (Memlib.query tech.Tech.memory spec).Memlib.setup_ns
+  | Cell.Comb _ -> invalid_arg "setup_time: combinational cell"
+
+let cell_delay tech cell =
+  match Cell.kind cell with
+  | Cell.Comb op ->
+      Stdcell.comb_delay_ns tech.Tech.stdcell op ~width:(Cell.output_width cell)
+  | Cell.Dff | Cell.Macro _ -> invalid_arg "cell_delay: sequential cell"
+
+(* Arrival time and worst predecessor for every net driven by the
+   combinational subgraph.  Sequential outputs seed with clk-to-q. *)
+type arrivals = {
+  net_arrival : (int, float) Hashtbl.t;
+  (* net id -> (driving comb cell, worst input net) *)
+  net_pred : (int, Cell.t * Net.t option) Hashtbl.t;
+}
+
+let compute_arrivals tech netlist =
+  let net_arrival = Hashtbl.create 1024 in
+  let net_pred = Hashtbl.create 1024 in
+  let arrival net =
+    Option.value ~default:0.0 (Hashtbl.find_opt net_arrival (Net.id net))
+  in
+  (* seed: sequential outputs *)
+  Netlist.iter_cells netlist (fun cell ->
+      if Cell.is_sequential cell then begin
+        let t = launch_delay tech cell in
+        List.iter
+          (fun net -> Hashtbl.replace net_arrival (Net.id net) t)
+          (Cell.outputs cell)
+      end);
+  (* propagate in topological order *)
+  List.iter
+    (fun cell ->
+      let worst_in =
+        List.fold_left
+          (fun acc net ->
+            let t = arrival net in
+            match acc with
+            | Some (best, _) when best >= t -> acc
+            | _ -> Some (t, Some net))
+          None (Cell.inputs cell)
+      in
+      let in_time, in_net =
+        match worst_in with Some (t, net) -> (t, net) | None -> (0.0, None)
+      in
+      let out_time = in_time +. cell_delay tech cell in
+      List.iter
+        (fun net ->
+          Hashtbl.replace net_arrival (Net.id net) out_time;
+          Hashtbl.replace net_pred (Net.id net) (cell, in_net))
+        (Cell.outputs cell))
+    (Topo.order netlist);
+  { net_arrival; net_pred }
+
+(* Walk predecessor pointers from an endpoint input net back to the
+   launching sequential cell. *)
+let trace_path netlist arrivals ~endpoint_net ~capture tech =
+  let rec walk net acc =
+    match Hashtbl.find_opt arrivals.net_pred (Net.id net) with
+    | Some (cell, Some prev) -> walk prev (cell :: acc)
+    | Some (cell, None) -> (cell :: acc, None)
+    | None -> (acc, Netlist.driver_of netlist net)
+  in
+  let through, launch_opt = walk endpoint_net [] in
+  let launch =
+    match launch_opt with
+    | Some cell when Cell.is_sequential cell -> Some cell
+    | Some _ | None -> None
+  in
+  match launch with
+  | None -> None (* path from a primary input; not a register path *)
+  | Some launch ->
+      let arrival =
+        Option.value ~default:0.0
+          (Hashtbl.find_opt arrivals.net_arrival (Net.id endpoint_net))
+      in
+      let delay_ns =
+        arrival +. setup_time tech capture
+        +. tech.Tech.stdcell.Stdcell.clock_skew_ns
+      in
+      Some { launch; capture; through; delay_ns }
+
+(* Full analysis: worst register-to-register path. *)
+let analyse tech netlist =
+  let arrivals = compute_arrivals tech netlist in
+  let worst = ref None in
+  let endpoints = ref 0 in
+  Netlist.iter_cells netlist (fun cell ->
+      if Cell.is_sequential cell then
+        List.iter
+          (fun net ->
+            incr endpoints;
+            match
+              trace_path netlist arrivals ~endpoint_net:net ~capture:cell tech
+            with
+            | None -> ()
+            | Some path -> (
+                match !worst with
+                | Some best when best.delay_ns >= path.delay_ns -> ()
+                | Some _ | None -> worst := Some path))
+          (Cell.inputs cell));
+  match !worst with
+  | None -> raise No_paths
+  | Some worst ->
+      {
+        worst;
+        max_delay_ns = worst.delay_ns;
+        fmax_mhz = 1000.0 /. worst.delay_ns;
+        endpoint_count = !endpoints;
+      }
+
+let slack_ns report ~period_ns = period_ns -. report.max_delay_ns
+let meets report ~period_ns = slack_ns report ~period_ns >= 0.0
+
+let pp_path fmt path =
+  Format.fprintf fmt "%s -> %s (%.3f ns, %d cells)"
+    (Cell.name path.launch) (Cell.name path.capture) path.delay_ns
+    (List.length path.through)

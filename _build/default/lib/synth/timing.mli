@@ -1,0 +1,43 @@
+(** Static timing analysis over a netlist: worst register-to-register
+    paths between flip-flops and SRAM macros, with launch/setup numbers
+    drawn from the technology models. Macro geometry on the critical
+    path is the pivot of the paper's design-space exploration. *)
+
+type path = {
+  launch : Ggpu_hw.Cell.t;  (** sequential cell the path starts at *)
+  capture : Ggpu_hw.Cell.t;
+  through : Ggpu_hw.Cell.t list;  (** combinational cells, in order *)
+  delay_ns : float;  (** clk-to-q + logic + setup + skew *)
+}
+
+type report = {
+  worst : path;
+  max_delay_ns : float;
+  fmax_mhz : float;
+  endpoint_count : int;
+}
+
+exception No_paths
+
+val launch_delay : Ggpu_tech.Tech.t -> Ggpu_hw.Cell.t -> float
+(** Clock-to-q of a sequential cell.
+    @raise Invalid_argument on a combinational cell. *)
+
+val setup_time : Ggpu_tech.Tech.t -> Ggpu_hw.Cell.t -> float
+val cell_delay : Ggpu_tech.Tech.t -> Ggpu_hw.Cell.t -> float
+
+type arrivals = {
+  net_arrival : (int, float) Hashtbl.t;  (** net id -> worst arrival *)
+  net_pred : (int, Ggpu_hw.Cell.t * Ggpu_hw.Net.t option) Hashtbl.t;
+}
+
+val compute_arrivals : Ggpu_tech.Tech.t -> Ggpu_hw.Netlist.t -> arrivals
+(** Exposed for post-route analysis ({!Ggpu_layout.Timing_post}). *)
+
+val analyse : Ggpu_tech.Tech.t -> Ggpu_hw.Netlist.t -> report
+(** @raise No_paths if the netlist has no register-to-register path.
+    @raise Ggpu_hw.Topo.Combinational_loop on a combinational cycle. *)
+
+val slack_ns : report -> period_ns:float -> float
+val meets : report -> period_ns:float -> bool
+val pp_path : Format.formatter -> path -> unit

@@ -1,0 +1,1 @@
+lib/tech/memlib.ml: Format Ggpu_hw List Macro_spec Op Printf

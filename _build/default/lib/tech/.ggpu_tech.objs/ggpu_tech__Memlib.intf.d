@@ -1,0 +1,1 @@
+lib/tech/memlib.mli: Format Ggpu_hw

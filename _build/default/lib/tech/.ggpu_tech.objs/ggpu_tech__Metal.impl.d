@@ -1,0 +1,1 @@
+lib/tech/metal.ml: List Printf

@@ -1,0 +1,1 @@
+lib/tech/stdcell.ml: Format Ggpu_hw

@@ -1,0 +1,1 @@
+lib/tech/stdcell.mli: Format Ggpu_hw

@@ -1,0 +1,1 @@
+test/main.ml: Alcotest Test_compiler Test_fgpu Test_hw Test_isa Test_kernels Test_layout Test_misc Test_planner Test_riscv Test_synth Test_tech

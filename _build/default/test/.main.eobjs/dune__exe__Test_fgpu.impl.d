@@ -1,0 +1,1 @@
+test/test_fgpu.ml: Alcotest Array Ast Codegen_fgpu Config Ggpu_fgpu Ggpu_kernels Int32 Interp List Printf QCheck QCheck_alcotest Run_fgpu Stats Suite

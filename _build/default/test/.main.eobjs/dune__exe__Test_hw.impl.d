@@ -1,0 +1,1 @@
+test/test_hw.ml: Alcotest Cell Ggpu_hw List Macro_spec Net Netlist Op Printf QCheck QCheck_alcotest Result String Topo

@@ -1,0 +1,1 @@
+test/test_isa.ml: Alcotest Array Fgpu_asm Fgpu_isa Ggpu_isa Int32 List Printf QCheck QCheck_alcotest Rv32 Rv32_asm

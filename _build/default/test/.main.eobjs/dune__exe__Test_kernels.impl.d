@@ -1,0 +1,1 @@
+test/test_kernels.ml: Alcotest Array Ast Check Codegen_fgpu Codegen_rv32 Ggpu_kernels Ggpu_riscv Int32 Interp List Lower Printf QCheck QCheck_alcotest Regalloc Run_rv32 Suite Vir

@@ -1,0 +1,1 @@
+test/test_misc.ml: Alcotest Array Codegen_fgpu Compare Fgpu_asm Fgpu_isa Ggpu_core Ggpu_fgpu Ggpu_isa Ggpu_kernels Ggpu_tech Int32 Interp List Parse Printf Run_fgpu Rv32_asm Spec Suite

@@ -1,0 +1,1 @@
+test/test_planner.ml: Alcotest Dse Flow Ggpu_core Ggpu_hw Ggpu_layout Ggpu_rtlgen Ggpu_synth Ggpu_tech List Map Printf Result Spec String Tech Timing

@@ -1,0 +1,1 @@
+test/test_riscv.ml: Alcotest Cpu Ggpu_isa Ggpu_riscv Int32 Rv32 Rv32_asm

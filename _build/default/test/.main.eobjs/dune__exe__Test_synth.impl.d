@@ -1,0 +1,1 @@
+test/test_synth.ml: Alcotest Arch_params Area Cell Generate Ggpu_hw Ggpu_rtlgen Ggpu_synth Ggpu_tech List Macro_spec Memlib Netlist Op Power Printf QCheck QCheck_alcotest Stdcell String Tech Timing

@@ -1,0 +1,1 @@
+test/test_tech.ml: Alcotest Float Ggpu_hw Ggpu_tech List Macro_spec Memlib Metal Op QCheck QCheck_alcotest Stdcell Tech Wire

@@ -1,0 +1,271 @@
+(* Tests for the compiler front end and middle end: the textual parser,
+   the VIR optimiser, and their end-to-end composition (parsed +
+   optimised kernels still agree with the reference interpreter on both
+   targets). *)
+
+open Ggpu_kernels
+
+let i32_array = Alcotest.(array int32)
+
+(* --- Parser ------------------------------------------------------------ *)
+
+let vec_mul_src =
+  {|
+  // element-wise product
+  kernel vec_mul(global int* a, global int* b, global int* out, int n) {
+    int i = get_global_id(0);
+    if (i < n) {
+      out[i] = a[i] * b[i];
+    }
+  }
+|}
+
+let test_parse_vec_mul () =
+  let kernel = Parse.parse_one vec_mul_src in
+  Alcotest.(check string) "name" "vec_mul" kernel.Ast.name;
+  Alcotest.(check (list string)) "buffers" [ "a"; "b"; "out" ]
+    (Ast.buffers kernel);
+  Alcotest.(check (list string)) "scalars" [ "n" ] (Ast.scalars kernel)
+
+let test_parse_matches_dsl_semantics () =
+  (* the parsed vec_mul and the hand-built suite vec_mul must compute
+     the same function *)
+  let parsed = Parse.parse_one vec_mul_src in
+  let size = 128 in
+  let args1 = Suite.vec_mul.Suite.mk_args ~size in
+  let args2 = Suite.vec_mul.Suite.mk_args ~size in
+  Interp.run Suite.vec_mul.Suite.kernel ~args:args1 ~global_size:size
+    ~local_size:64;
+  Interp.run parsed ~args:args2 ~global_size:size ~local_size:64;
+  Alcotest.check i32_array "same results"
+    (List.assoc "out" args1.Interp.buffers)
+    (List.assoc "out" args2.Interp.buffers)
+
+let test_parse_control_flow () =
+  let src =
+    {|
+    kernel count_down(global int* out, int n) {
+      int i = get_global_id(0);
+      if (i < n) {
+        int acc = 0;
+        for (int k = 0; k < 10; k++) {
+          acc = acc + k;
+        }
+        int v = i;
+        while (v > 0) {
+          acc = acc + 1;
+          v = v - 8;
+        }
+        out[i] = acc;
+      } else {
+        /* out of range: mark it */
+        out[i] = 0 - 1;
+      }
+    }
+  |}
+  in
+  let kernel = Parse.parse_one src in
+  let n = 32 in
+  let out = Array.make n 0l in
+  let args =
+    { Interp.buffers = [ ("out", out) ]; scalars = [ ("n", Int32.of_int n) ] }
+  in
+  (* reference: 45 + ceil(i/8) *)
+  Interp.run kernel ~args ~global_size:n ~local_size:32;
+  let expect i = Int32.of_int (45 + ((i + 7) / 8)) in
+  Array.iteri
+    (fun i v -> Alcotest.(check int32) (Printf.sprintf "out[%d]" i) (expect i) v)
+    out
+
+let test_parse_precedence () =
+  (* 2 + 3 * 4 == 14, (2 + 3) * 4 == 20, shifts bind looser than + *)
+  let src =
+    {|
+    kernel prec(global int* out) {
+      out[0] = 2 + 3 * 4;
+      out[1] = (2 + 3) * 4;
+      out[2] = 1 << 2 + 1;
+      out[3] = 10 - 2 - 3;
+      out[4] = -5 + 1;
+      out[5] = !0;
+    }
+  |}
+  in
+  let kernel = Parse.parse_one src in
+  let out = Array.make 6 99l in
+  let args = { Interp.buffers = [ ("out", out) ]; scalars = [] } in
+  Interp.run kernel ~args ~global_size:1 ~local_size:1;
+  Alcotest.check i32_array "precedence" [| 14l; 20l; 8l; 5l; -4l; 1l |] out
+
+let expect_parse_error src =
+  match Parse.parse src with
+  | _ -> Alcotest.fail "expected parse error"
+  | exception Parse.Parse_error _ -> ()
+  | exception Check.Error _ -> ()
+
+let test_parse_errors () =
+  expect_parse_error "kernel broken(";
+  expect_parse_error "kernel k() { int x = ; }";
+  expect_parse_error "kernel k() { y = 1; }" (* checker rejects unbound y *);
+  expect_parse_error "kernel k() { int x = get_nothing(0); }";
+  expect_parse_error "kernel k() { for (int i = 0; j < 4; i++) {} }"
+
+let test_parse_error_reports_check_violation () =
+  (* the parser runs the static checker: unknown variables are rejected
+     even though the syntax is fine *)
+  match Parse.parse "kernel k(global int* out) { out[0] = undefined_var; }" with
+  | _ -> Alcotest.fail "expected check error"
+  | exception Check.Error _ -> ()
+
+let test_parse_multiple_kernels () =
+  let kernels =
+    Parse.parse
+      {|
+      kernel a(global int* x) { x[0] = 1; }
+      kernel b(global int* x) { x[0] = 2; }
+    |}
+  in
+  Alcotest.(check (list string)) "names" [ "a"; "b" ]
+    (List.map (fun k -> k.Ast.name) kernels)
+
+(* --- Optimiser --------------------------------------------------------- *)
+
+let count_insns program = List.length program.Vir.insns
+
+let test_opt_constant_folding () =
+  let kernel =
+    Parse.parse_one
+      "kernel k(global int* out) { out[0] = 2 + 3 * 4; out[1] = 100 / 0; }"
+  in
+  let optimised = Opt.optimise (Lower.lower kernel) in
+  (* after folding there must be no Bin instructions left *)
+  let bins =
+    List.filter
+      (function Vir.Bin _ | Vir.Cmp _ -> true | _ -> false)
+      optimised.Vir.insns
+  in
+  Alcotest.(check int) "all arithmetic folded" 0 (List.length bins)
+
+let test_opt_division_semantics_preserved () =
+  (* folding 100/0 must produce the target semantics (-1), not crash *)
+  let kernel =
+    Parse.parse_one "kernel k(global int* out) { out[0] = 100 / 0; }"
+  in
+  let out = Array.make 1 0l in
+  let args = { Interp.buffers = [ ("out", out) ]; scalars = [] } in
+  Interp.run kernel ~args ~global_size:1 ~local_size:1;
+  let compiled = Codegen_rv32.compile kernel in
+  let result =
+    Run_rv32.run compiled
+      ~args:{ Interp.buffers = [ ("out", Array.make 1 0l) ]; scalars = [] }
+      ~global_size:1 ~local_size:1 ()
+  in
+  Alcotest.(check int32) "interp" (-1l) out.(0);
+  Alcotest.(check int32) "compiled+folded" (-1l) (Run_rv32.output result "out").(0)
+
+let test_opt_shrinks_programs () =
+  List.iter
+    (fun w ->
+      let plain = Lower.lower w.Suite.kernel in
+      let optimised = Opt.optimise plain in
+      Alcotest.(check bool)
+        (Printf.sprintf "%s not larger (%d -> %d)" w.Suite.name
+           (count_insns plain) (count_insns optimised))
+        true
+        (count_insns optimised <= count_insns plain))
+    Suite.all
+
+let test_opt_preserves_stores_and_control () =
+  let program = Lower.lower Suite.parallel_sel.Suite.kernel in
+  let optimised = Opt.optimise program in
+  let count p f = List.length (List.filter f p.Vir.insns) in
+  let stores = count program (function Vir.Store _ -> true | _ -> false) in
+  let stores' = count optimised (function Vir.Store _ -> true | _ -> false) in
+  Alcotest.(check int) "stores preserved" stores stores';
+  let rets = count optimised (function Vir.Ret -> true | _ -> false) in
+  Alcotest.(check bool) "ret preserved" true (rets >= 1)
+
+(* Property: optimised code computes the same function as unoptimised,
+   end to end on the GPU, for every suite kernel at a random size. *)
+let prop_opt_semantics_preserved =
+  QCheck.Test.make ~name:"optimiser preserves semantics (gpu)" ~count:15
+    QCheck.(pair (int_range 0 6) (int_range 1 200))
+    (fun (kernel_idx, size) ->
+      let w = List.nth Suite.all kernel_idx in
+      let size = w.Suite.round_size (max 1 size) in
+      let run ~optimise =
+        let args = w.Suite.mk_args ~size in
+        let compiled = Codegen_fgpu.compile ~optimise w.Suite.kernel in
+        let result =
+          Run_fgpu.run compiled ~args
+            ~global_size:(w.Suite.global_size ~size)
+            ~local_size:(min w.Suite.local_size size)
+            ()
+        in
+        Run_fgpu.output result w.Suite.output_buffer
+      in
+      run ~optimise:true = run ~optimise:false)
+
+let test_opt_speeds_up_execution () =
+  (* optimisation must reduce (or preserve) simulated cycles *)
+  let w = Suite.mat_mul in
+  let size = 256 in
+  let cycles ~optimise =
+    let args = w.Suite.mk_args ~size in
+    let compiled = Codegen_fgpu.compile ~optimise w.Suite.kernel in
+    let result =
+      Run_fgpu.run compiled ~args ~global_size:size ~local_size:64 ()
+    in
+    result.Run_fgpu.stats.Ggpu_fgpu.Stats.cycles
+  in
+  Alcotest.(check bool) "not slower" true
+    (cycles ~optimise:true <= cycles ~optimise:false)
+
+(* --- Verilog export ----------------------------------------------------- *)
+
+let contains s sub =
+  let n = String.length sub in
+  let rec go i = i + n <= String.length s && (String.sub s i n = sub || go (i + 1)) in
+  go 0
+
+let test_verilog_export () =
+  let nl = Ggpu_rtlgen.Generate.generate_cus ~num_cus:1 in
+  let v = Ggpu_hw.Verilog.to_string nl in
+  Alcotest.(check bool) "module header" true (contains v "module ggpu_1cu");
+  Alcotest.(check bool) "macro instantiated" true (contains v "sram_2048x128_2p");
+  Alcotest.(check bool) "has always blocks" true (contains v "always @(posedge clk)");
+  Alcotest.(check bool) "endmodule" true (contains v "endmodule");
+  (* divided memories show up as bank instances after the DSE *)
+  let _ =
+    Ggpu_core.Dse.explore Ggpu_tech.Tech.default_65nm nl ~num_cus:1
+      ~period_ns:1.695
+  in
+  let v2 = Ggpu_hw.Verilog.to_string nl in
+  Alcotest.(check bool) "bank macros appear" true (contains v2 "bank")
+
+let suite =
+  [
+    ( "compiler",
+      [
+        Alcotest.test_case "parse vec_mul" `Quick test_parse_vec_mul;
+        Alcotest.test_case "parse matches dsl" `Quick
+          test_parse_matches_dsl_semantics;
+        Alcotest.test_case "parse control flow" `Quick test_parse_control_flow;
+        Alcotest.test_case "parse precedence" `Quick test_parse_precedence;
+        Alcotest.test_case "parse errors" `Quick test_parse_errors;
+        Alcotest.test_case "parse runs checker" `Quick
+          test_parse_error_reports_check_violation;
+        Alcotest.test_case "parse multiple kernels" `Quick
+          test_parse_multiple_kernels;
+        Alcotest.test_case "opt constant folding" `Quick
+          test_opt_constant_folding;
+        Alcotest.test_case "opt division semantics" `Quick
+          test_opt_division_semantics_preserved;
+        Alcotest.test_case "opt shrinks programs" `Quick test_opt_shrinks_programs;
+        Alcotest.test_case "opt preserves stores" `Quick
+          test_opt_preserves_stores_and_control;
+        Alcotest.test_case "opt not slower" `Quick test_opt_speeds_up_execution;
+        Alcotest.test_case "verilog export" `Quick test_verilog_export;
+        QCheck_alcotest.to_alcotest prop_opt_semantics_preserved;
+      ] );
+  ]

@@ -1,0 +1,272 @@
+(* Unit and property tests for the hardware IR: netlist construction,
+   validation, statistics, topological order, and the planner's three
+   rewrites (word split, bit split, pipeline insertion). *)
+
+open Ggpu_hw
+
+let check = Alcotest.(check int)
+
+(* A small netlist: in -> add -> dff -> macro -> out, with a side mux. *)
+let build_small () =
+  let nl = Netlist.create ~name:"small" in
+  let a = Netlist.add_net nl ~name:"a" ~width:32 in
+  let b = Netlist.add_net nl ~name:"b" ~width:32 in
+  let sum = Netlist.add_net nl ~name:"sum" ~width:32 in
+  let q = Netlist.add_net nl ~name:"q" ~width:11 in
+  let rdata = Netlist.add_net nl ~name:"rdata" ~width:32 in
+  let _add =
+    Netlist.add_cell nl ~name:"u_add" ~region:"cu0" ~kind:(Cell.Comb Op.Add)
+      ~inputs:[ a; b ] ~outputs:[ sum ] ()
+  in
+  let _dff =
+    Netlist.add_cell nl ~name:"u_reg" ~region:"cu0" ~kind:Cell.Dff
+      ~inputs:[ sum ] ~outputs:[ q ] ()
+  in
+  let spec = Macro_spec.make ~words:2048 ~bits:32 ~ports:Macro_spec.Dual_port in
+  let macro =
+    Netlist.add_cell nl ~name:"u_mem" ~region:"cu0" ~kind:(Cell.Macro spec)
+      ~inputs:[ q ] ~outputs:[ rdata ] ()
+  in
+  Netlist.set_inputs nl [ a; b ];
+  Netlist.set_outputs nl [ rdata ];
+  (nl, macro, rdata)
+
+let test_stats () =
+  let nl, _, _ = build_small () in
+  let s = Netlist.stats nl in
+  check "ff bits" 11 s.Netlist.ff_bits;
+  check "macros" 1 s.Netlist.macro_count;
+  check "macro bits" (2048 * 32) s.Netlist.macro_bits;
+  check "gates" (Op.gates Op.Add ~width:32) s.Netlist.comb_gates
+
+let test_validate_ok () =
+  let nl, _, _ = build_small () in
+  match Netlist.validate nl with
+  | Ok () -> ()
+  | Error es -> Alcotest.failf "unexpected invalid: %s" (String.concat "; " es)
+
+let test_validate_undriven () =
+  let nl = Netlist.create ~name:"bad" in
+  let a = Netlist.add_net nl ~name:"a" ~width:8 in
+  let b = Netlist.add_net nl ~name:"b" ~width:8 in
+  let _c =
+    Netlist.add_cell nl ~name:"inv" ~region:"top" ~kind:(Cell.Comb Op.Not)
+      ~inputs:[ a ] ~outputs:[ b ] ()
+  in
+  (* [a] is read but neither driven nor a primary input *)
+  match Netlist.validate nl with
+  | Ok () -> Alcotest.fail "expected undriven-net error"
+  | Error _ -> ()
+
+let test_double_drive_rejected () =
+  let nl = Netlist.create ~name:"bad2" in
+  let a = Netlist.add_net nl ~name:"a" ~width:8 in
+  let b = Netlist.add_net nl ~name:"b" ~width:8 in
+  Netlist.set_inputs nl [ a ];
+  let _ =
+    Netlist.add_cell nl ~name:"n1" ~region:"top" ~kind:(Cell.Comb Op.Not)
+      ~inputs:[ a ] ~outputs:[ b ] ()
+  in
+  Alcotest.check_raises "double drive"
+    (Netlist.Invalid "net b already driven (cell n2)") (fun () ->
+      ignore
+        (Netlist.add_cell nl ~name:"n2" ~region:"top" ~kind:(Cell.Comb Op.Not)
+           ~inputs:[ a ] ~outputs:[ b ] ()))
+
+let test_split_words () =
+  let nl, macro, rdata = build_small () in
+  Netlist.split_macro_words nl macro ~banks:4;
+  let s = Netlist.stats nl in
+  check "4 banks" 4 s.Netlist.macro_count;
+  check "same total bits" (2048 * 32) s.Netlist.macro_bits;
+  (* the original output net must now be driven by a mux *)
+  (match Netlist.driver_of nl rdata with
+  | Some cell -> (
+      match Cell.kind cell with
+      | Cell.Comb (Op.Mux 4) -> ()
+      | k -> Alcotest.failf "expected mux4 driver, got %s" (Cell.kind_to_string k))
+  | None -> Alcotest.fail "rdata undriven after split");
+  match Netlist.validate nl with
+  | Ok () -> ()
+  | Error es -> Alcotest.failf "invalid after split: %s" (String.concat "; " es)
+
+let test_split_bits () =
+  let nl, macro, rdata = build_small () in
+  Netlist.split_macro_bits nl macro ~slices:2;
+  let s = Netlist.stats nl in
+  check "2 slices" 2 s.Netlist.macro_count;
+  check "same total bits" (2048 * 32) s.Netlist.macro_bits;
+  (match Netlist.driver_of nl rdata with
+  | Some cell -> (
+      match Cell.kind cell with
+      | Cell.Comb Op.Buf -> ()
+      | k -> Alcotest.failf "expected buf driver, got %s" (Cell.kind_to_string k))
+  | None -> Alcotest.fail "rdata undriven after split");
+  match Netlist.validate nl with
+  | Ok () -> ()
+  | Error es -> Alcotest.failf "invalid after split: %s" (String.concat "; " es)
+
+let test_insert_pipeline () =
+  let nl, _, _ = build_small () in
+  let sum =
+    List.find (fun n -> Net.name n = "sum") (Netlist.nets nl)
+  in
+  let before = (Netlist.stats nl).Netlist.ff_bits in
+  let staged = Netlist.insert_pipeline nl sum in
+  check "width preserved" (Net.width sum) (Net.width staged);
+  check "pipeline count" 1 (Netlist.pipeline_regs nl);
+  let after = (Netlist.stats nl).Netlist.ff_bits in
+  check "ff bits grew" (before + 32) after;
+  (* the original reader (the dff) now reads the staged net *)
+  (match Netlist.readers_of nl staged with
+  | [ cell ] -> Alcotest.(check string) "reader" "u_reg" (Cell.name cell)
+  | cells -> Alcotest.failf "expected 1 reader, got %d" (List.length cells));
+  match Netlist.validate nl with
+  | Ok () -> ()
+  | Error es -> Alcotest.failf "invalid after pipeline: %s" (String.concat "; " es)
+
+let test_topo_order () =
+  let nl = Netlist.create ~name:"topo" in
+  let a = Netlist.add_net nl ~name:"a" ~width:8 in
+  let b = Netlist.add_net nl ~name:"b" ~width:8 in
+  let c = Netlist.add_net nl ~name:"c" ~width:8 in
+  let d = Netlist.add_net nl ~name:"d" ~width:8 in
+  Netlist.set_inputs nl [ a ];
+  let c1 =
+    Netlist.add_cell nl ~name:"c1" ~region:"top" ~kind:(Cell.Comb Op.Not)
+      ~inputs:[ a ] ~outputs:[ b ] ()
+  in
+  let c2 =
+    Netlist.add_cell nl ~name:"c2" ~region:"top" ~kind:(Cell.Comb Op.Not)
+      ~inputs:[ b ] ~outputs:[ c ] ()
+  in
+  let c3 =
+    Netlist.add_cell nl ~name:"c3" ~region:"top" ~kind:(Cell.Comb Op.Add)
+      ~inputs:[ b; c ] ~outputs:[ d ] ()
+  in
+  let order = Topo.order nl in
+  let pos cell =
+    let rec go i = function
+      | [] -> Alcotest.failf "cell %s missing from order" (Cell.name cell)
+      | x :: rest -> if Cell.id x = Cell.id cell then i else go (i + 1) rest
+    in
+    go 0 order
+  in
+  Alcotest.(check bool) "c1 before c2" true (pos c1 < pos c2);
+  Alcotest.(check bool) "c2 before c3" true (pos c2 < pos c3);
+  Alcotest.(check bool) "c1 before c3" true (pos c1 < pos c3)
+
+let test_topo_loop_detected () =
+  let nl = Netlist.create ~name:"loop" in
+  let a = Netlist.add_net nl ~name:"a" ~width:1 in
+  let b = Netlist.add_net nl ~name:"b" ~width:1 in
+  let _ =
+    Netlist.add_cell nl ~name:"g1" ~region:"top" ~kind:(Cell.Comb Op.Not)
+      ~inputs:[ a ] ~outputs:[ b ] ()
+  in
+  let _ =
+    Netlist.add_cell nl ~name:"g2" ~region:"top" ~kind:(Cell.Comb Op.Not)
+      ~inputs:[ b ] ~outputs:[ a ] ()
+  in
+  match Topo.order nl with
+  | _ -> Alcotest.fail "expected combinational loop"
+  | exception Topo.Combinational_loop _ -> ()
+
+let test_macro_spec_ranges () =
+  Alcotest.check_raises "too small"
+    (Macro_spec.Out_of_range "macro words 8 outside [16, 65536]") (fun () ->
+      ignore (Macro_spec.make ~words:8 ~bits:32 ~ports:Macro_spec.Dual_port));
+  let spec = Macro_spec.make ~words:64 ~bits:8 ~ports:Macro_spec.Dual_port in
+  (* splitting below the compiler's minimum word count must fail *)
+  match Macro_spec.split_words spec ~banks:8 with
+  | _ -> Alcotest.fail "expected out-of-range"
+  | exception Macro_spec.Out_of_range _ -> ()
+
+(* Property: splitting by any legal bank count preserves total bits and
+   multiplies the macro count. *)
+let prop_split_preserves_bits =
+  QCheck.Test.make ~name:"split preserves macro bits" ~count:100
+    QCheck.(
+      pair (int_range 0 6) (int_range 1 4) (* words=16<<a, banks=2^b *))
+    (fun (wexp, bexp) ->
+      let words = 1024 lsl wexp and banks = 1 lsl bexp in
+      QCheck.assume (words / banks >= Macro_spec.min_words);
+      let nl = Netlist.create ~name:"prop" in
+      let addr = Netlist.add_net nl ~name:"addr" ~width:16 in
+      let rdata = Netlist.add_net nl ~name:"rdata" ~width:32 in
+      Netlist.set_inputs nl [ addr ];
+      Netlist.set_outputs nl [ rdata ];
+      let spec = Macro_spec.make ~words ~bits:32 ~ports:Macro_spec.Dual_port in
+      let macro =
+        Netlist.add_cell nl ~name:"m" ~region:"cu0" ~kind:(Cell.Macro spec)
+          ~inputs:[ addr ] ~outputs:[ rdata ] ()
+      in
+      let bits_before = (Netlist.stats nl).Netlist.macro_bits in
+      Netlist.split_macro_words nl macro ~banks;
+      let s = Netlist.stats nl in
+      s.Netlist.macro_bits = bits_before
+      && s.Netlist.macro_count = banks
+      && Result.is_ok (Netlist.validate nl))
+
+let prop_pipeline_keeps_validity =
+  QCheck.Test.make ~name:"pipeline insertion keeps netlist valid" ~count:50
+    QCheck.(int_range 1 64)
+    (fun width ->
+      let nl = Netlist.create ~name:"prop2" in
+      let a = Netlist.add_net nl ~name:"a" ~width in
+      let b = Netlist.add_net nl ~name:"b" ~width in
+      let c = Netlist.add_net nl ~name:"c" ~width in
+      Netlist.set_inputs nl [ a ];
+      Netlist.set_outputs nl [ c ];
+      let _ =
+        Netlist.add_cell nl ~name:"g1" ~region:"top" ~kind:(Cell.Comb Op.Not)
+          ~inputs:[ a ] ~outputs:[ b ] ()
+      in
+      let _ =
+        Netlist.add_cell nl ~name:"g2" ~region:"top" ~kind:(Cell.Comb Op.Not)
+          ~inputs:[ b ] ~outputs:[ c ] ()
+      in
+      let _ = Netlist.insert_pipeline nl b in
+      Result.is_ok (Netlist.validate nl))
+
+let test_op_monotonic () =
+  (* levels and gates grow (weakly) with width for the datapath ops *)
+  List.iter
+    (fun op ->
+      List.iter
+        (fun (w1, w2) ->
+          if Op.levels op ~width:w1 > Op.levels op ~width:w2 then
+            Alcotest.failf "levels %s not monotonic (%d vs %d)"
+              (Op.to_string op) w1 w2;
+          if Op.gates op ~width:w1 > Op.gates op ~width:w2 then
+            Alcotest.failf "gates %s not monotonic (%d vs %d)" (Op.to_string op)
+              w1 w2)
+        [ (1, 2); (2, 8); (8, 16); (16, 32); (32, 64) ])
+    [ Op.Add; Op.Sub; Op.Mul; Op.Div; Op.And; Op.Shl; Op.Lt; Op.Eq ]
+
+let test_clog2 () =
+  List.iter
+    (fun (n, expect) -> check (Printf.sprintf "clog2 %d" n) expect (Op.clog2 n))
+    [ (1, 0); (2, 1); (3, 2); (4, 2); (5, 3); (1024, 10); (1025, 11) ]
+
+let suite =
+  [
+    ( "hw",
+      [
+        Alcotest.test_case "stats" `Quick test_stats;
+        Alcotest.test_case "validate ok" `Quick test_validate_ok;
+        Alcotest.test_case "validate undriven" `Quick test_validate_undriven;
+        Alcotest.test_case "double drive rejected" `Quick
+          test_double_drive_rejected;
+        Alcotest.test_case "split words" `Quick test_split_words;
+        Alcotest.test_case "split bits" `Quick test_split_bits;
+        Alcotest.test_case "insert pipeline" `Quick test_insert_pipeline;
+        Alcotest.test_case "topo order" `Quick test_topo_order;
+        Alcotest.test_case "topo loop detected" `Quick test_topo_loop_detected;
+        Alcotest.test_case "macro spec ranges" `Quick test_macro_spec_ranges;
+        Alcotest.test_case "op monotonicity" `Quick test_op_monotonic;
+        Alcotest.test_case "clog2" `Quick test_clog2;
+        QCheck_alcotest.to_alcotest prop_split_preserves_bits;
+        QCheck_alcotest.to_alcotest prop_pipeline_keeps_validity;
+      ] );
+  ]

@@ -1,0 +1,151 @@
+(* RV32IM simulator tests: small hand-written programs, M-extension
+   corner cases, timing model sanity. *)
+
+open Ggpu_isa
+open Ggpu_riscv
+
+let run_program ?(mem_words = 1024) items ~setup =
+  let program = Rv32_asm.assemble items in
+  let cpu = Cpu.create ~mem_words ~program () in
+  setup cpu;
+  let stats = Cpu.run cpu in
+  (cpu, stats)
+
+let test_arith_loop () =
+  (* sum 1..10 into x10 *)
+  let items =
+    Rv32_asm.
+      [
+        I (Rv32.Addi (10, 0, 0l));
+        I (Rv32.Addi (5, 0, 1l));
+        I (Rv32.Addi (6, 0, 11l));
+        Label "loop";
+        I (Rv32.Add (10, 10, 5));
+        I (Rv32.Addi (5, 5, 1l));
+        Blt_to (5, 6, "loop");
+        I Rv32.Ecall;
+      ]
+  in
+  let cpu, _ = run_program items ~setup:(fun _ -> ()) in
+  Alcotest.(check int32) "sum 1..10" 55l (Cpu.get_reg cpu 10)
+
+let test_memory () =
+  let items =
+    Rv32_asm.
+      [
+        I (Rv32.Addi (5, 0, 0x100l));
+        I (Rv32.Addi (6, 0, 42l));
+        I (Rv32.Sw (6, 5, 0));
+        I (Rv32.Lw (7, 5, 0));
+        I (Rv32.Addi (7, 7, 1l));
+        I (Rv32.Sw (7, 5, 4));
+        I Rv32.Ecall;
+      ]
+  in
+  let cpu, _ = run_program items ~setup:(fun _ -> ()) in
+  Alcotest.(check int32) "store/load" 43l (Cpu.load_word cpu ~addr:0x104)
+
+let test_div_corner_cases () =
+  let check_op name op a b expect =
+    let items = [ Rv32_asm.I (op 10 5 6); Rv32_asm.I Rv32.Ecall ] in
+    let cpu, _ =
+      run_program items ~setup:(fun cpu ->
+          Cpu.set_reg cpu 5 a;
+          Cpu.set_reg cpu 6 b)
+    in
+    Alcotest.(check int32) name expect (Cpu.get_reg cpu 10)
+  in
+  let div d a b = Rv32.Div (d, a, b) in
+  let rem d a b = Rv32.Rem (d, a, b) in
+  let divu d a b = Rv32.Divu (d, a, b) in
+  let remu d a b = Rv32.Remu (d, a, b) in
+  check_op "div by zero" div 17l 0l (-1l);
+  check_op "rem by zero" rem 17l 0l 17l;
+  check_op "div overflow" div Int32.min_int (-1l) Int32.min_int;
+  check_op "rem overflow" rem Int32.min_int (-1l) 0l;
+  check_op "divu by zero" divu 17l 0l (-1l);
+  check_op "remu by zero" remu 17l 0l 17l;
+  check_op "plain div" div (-7l) 2l (-3l);
+  check_op "plain rem" rem (-7l) 2l (-1l)
+
+let test_mulh () =
+  let items = [ Rv32_asm.I (Rv32.Mulh (10, 5, 6)); Rv32_asm.I Rv32.Ecall ] in
+  let cpu, _ =
+    run_program items ~setup:(fun cpu ->
+        Cpu.set_reg cpu 5 0x40000000l;
+        Cpu.set_reg cpu 6 16l)
+  in
+  (* 0x40000000 * 16 = 2^34; high word = 4 *)
+  Alcotest.(check int32) "mulh" 4l (Cpu.get_reg cpu 10)
+
+let test_x0_is_zero () =
+  let items =
+    [ Rv32_asm.I (Rv32.Addi (0, 0, 42l)); Rv32_asm.I Rv32.Ecall ]
+  in
+  let cpu, _ = run_program items ~setup:(fun _ -> ()) in
+  Alcotest.(check int32) "x0 writes ignored" 0l (Cpu.get_reg cpu 0)
+
+let test_timing_div_heavier_than_add () =
+  let mk op = [ Rv32_asm.I op; Rv32_asm.I Rv32.Ecall ] in
+  let run items =
+    let _, stats =
+      run_program items ~setup:(fun cpu ->
+          Cpu.set_reg cpu 5 100l;
+          Cpu.set_reg cpu 6 7l)
+    in
+    stats.Cpu.cycles
+  in
+  let add_cycles = run (mk (Rv32.Add (10, 5, 6))) in
+  let div_cycles = run (mk (Rv32.Div (10, 5, 6))) in
+  Alcotest.(check bool) "div slower" true (div_cycles > add_cycles + 20)
+
+let test_taken_branch_penalty () =
+  (* taken branch costs more than fall-through *)
+  let taken =
+    Rv32_asm.
+      [ Beq_to (0, 0, "skip"); I (Rv32.Addi (5, 5, 1l)); Label "skip"; I Rv32.Ecall ]
+  in
+  let not_taken =
+    Rv32_asm.
+      [ Bne_to (0, 0, "skip"); I (Rv32.Addi (5, 5, 1l)); Label "skip"; I Rv32.Ecall ]
+  in
+  let cycles items =
+    let _, stats = run_program items ~setup:(fun _ -> ()) in
+    stats.Cpu.cycles
+  in
+  (* taken path: branch(3) + ecall; not taken: branch(1) + addi(1) + ecall *)
+  Alcotest.(check bool) "penalty" true (cycles taken > cycles not_taken - 1)
+
+let test_trap_on_bad_access () =
+  let items = [ Rv32_asm.I (Rv32.Lw (10, 5, 1)); Rv32_asm.I Rv32.Ecall ] in
+  match
+    run_program items ~setup:(fun cpu -> Cpu.set_reg cpu 5 0x100l)
+  with
+  | _ -> Alcotest.fail "expected misaligned trap"
+  | exception Cpu.Trap _ -> ()
+
+let test_out_of_fuel () =
+  let items = Rv32_asm.[ Label "spin"; Jal_to (0, "spin") ] in
+  match
+    let program = Rv32_asm.assemble items in
+    let cpu = Cpu.create ~mem_words:64 ~program () in
+    Cpu.run ~fuel:1000 cpu
+  with
+  | _ -> Alcotest.fail "expected out-of-fuel"
+  | exception Cpu.Out_of_fuel _ -> ()
+
+let suite =
+  [
+    ( "riscv",
+      [
+        Alcotest.test_case "arith loop" `Quick test_arith_loop;
+        Alcotest.test_case "memory" `Quick test_memory;
+        Alcotest.test_case "div corner cases" `Quick test_div_corner_cases;
+        Alcotest.test_case "mulh" `Quick test_mulh;
+        Alcotest.test_case "x0 is zero" `Quick test_x0_is_zero;
+        Alcotest.test_case "div timing" `Quick test_timing_div_heavier_than_add;
+        Alcotest.test_case "branch penalty" `Quick test_taken_branch_penalty;
+        Alcotest.test_case "trap on bad access" `Quick test_trap_on_bad_access;
+        Alcotest.test_case "out of fuel" `Quick test_out_of_fuel;
+      ] );
+  ]

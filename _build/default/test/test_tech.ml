@@ -1,0 +1,151 @@
+(* Technology-model tests: the two structural properties the paper's
+   design-space exploration relies on (delay grows with macro depth;
+   dividing a macro costs area), plus metal stack and wire sanity. *)
+
+open Ggpu_tech
+open Ggpu_hw
+
+let dual words bits = Macro_spec.make ~words ~bits ~ports:Macro_spec.Dual_port
+
+let test_delay_grows_with_words () =
+  let attrs words = Memlib.query Memlib.default_65nm (dual words 32) in
+  let d w = (attrs w).Memlib.clk_to_q_ns in
+  Alcotest.(check bool) "512 < 2048" true (d 512 < d 2048);
+  Alcotest.(check bool) "2048 < 16384" true (d 2048 < d 16384)
+
+let test_delay_grows_with_bits () =
+  let d bits =
+    (Memlib.query Memlib.default_65nm (dual 1024 bits)).Memlib.clk_to_q_ns
+  in
+  Alcotest.(check bool) "32 < 128" true (d 32 < d 128)
+
+(* Two banks of M/2 x N are bigger and leakier than one M x N - the
+   paper's stated cost of memory division. *)
+let test_division_costs_area_and_leakage () =
+  let whole = Memlib.query Memlib.default_65nm (dual 2048 32) in
+  let half = Memlib.query Memlib.default_65nm (dual 1024 32) in
+  Alcotest.(check bool) "area" true
+    ((2.0 *. half.Memlib.area_um2) > whole.Memlib.area_um2);
+  Alcotest.(check bool) "leakage" true
+    ((2.0 *. half.Memlib.leak_nw) > whole.Memlib.leak_nw);
+  (* but each bank must be faster than the whole *)
+  Alcotest.(check bool) "delay" true
+    (half.Memlib.clk_to_q_ns < whole.Memlib.clk_to_q_ns)
+
+let test_single_port_unsupported () =
+  let spec = Macro_spec.make ~words:256 ~bits:32 ~ports:Macro_spec.Single_port in
+  match Memlib.query Memlib.default_65nm spec with
+  | _ -> Alcotest.fail "expected Unsupported (paper future work)"
+  | exception Memlib.Unsupported _ -> ()
+
+let test_legal_splits () =
+  let spec = dual 2048 32 in
+  Alcotest.(check (list int))
+    "word splits" [ 2; 4; 8; 16; 32; 64; 128 ]
+    (Memlib.legal_word_splits spec);
+  Alcotest.(check (list int)) "bit splits" [ 2; 4; 8; 16 ]
+    (Memlib.legal_bit_splits spec)
+
+let test_dual_port_costs_more () =
+  let d = Memlib.query Memlib.default_65nm (dual 1024 32) in
+  let m = Memlib.default_65nm in
+  let s =
+    Memlib.query
+      { m with Memlib.supports_single_port = true }
+      (Macro_spec.make ~words:1024 ~bits:32 ~ports:Macro_spec.Single_port)
+  in
+  Alcotest.(check bool) "area" true (d.Memlib.area_um2 > s.Memlib.area_um2);
+  Alcotest.(check bool) "delay" true (d.Memlib.clk_to_q_ns > s.Memlib.clk_to_q_ns)
+
+let test_metal_stack () =
+  let stack = Metal.default_9layer in
+  Alcotest.(check int) "nine layers" 9 (List.length stack.Metal.layers);
+  Alcotest.(check int) "six signal layers" 6
+    (List.length (Metal.signal_layers stack));
+  (* M1/M8/M9 are power-only, as footnoted in the paper *)
+  List.iter
+    (fun name ->
+      Alcotest.(check bool) (name ^ " power only") false
+        (Metal.find stack name).Metal.signal)
+    [ "M1"; "M8"; "M9" ];
+  (* preference weights of signal layers sum to ~1 *)
+  let total =
+    List.fold_left
+      (fun acc l -> acc +. l.Metal.preference)
+      0.0
+      (Metal.signal_layers stack)
+  in
+  Alcotest.(check bool) "preferences sum to 1" true (abs_float (total -. 1.0) < 1e-6)
+
+let test_metal_capacity_decreases_up_the_stack () =
+  let stack = Metal.default_9layer in
+  let cap name = Metal.capacity_mm_per_mm2 (Metal.find stack name) in
+  Alcotest.(check bool) "M2 >= M4" true (cap "M2" >= cap "M4");
+  Alcotest.(check bool) "M4 >= M6" true (cap "M4" >= cap "M6")
+
+let test_wire_delay_linear () =
+  let w = Wire.default_65nm in
+  let d1 = Wire.delay_ns w ~length_mm:1.0 in
+  let d2 = Wire.delay_ns w ~length_mm:2.0 in
+  Alcotest.(check (float 1e-9)) "linear" (2.0 *. d1) d2
+
+let test_stdcell_delay_positive () =
+  let s = Stdcell.default_65nm in
+  List.iter
+    (fun op ->
+      Alcotest.(check bool)
+        (Op.to_string op ^ " positive delay")
+        true
+        (Stdcell.comb_delay_ns s op ~width:32 > 0.0))
+    [ Op.Add; Op.Mul; Op.Mux 4; Op.Not ]
+
+(* Property: for any legal dual-port geometry the model returns positive,
+   finite attributes. *)
+let prop_memlib_positive =
+  QCheck.Test.make ~name:"memlib attributes positive" ~count:200
+    QCheck.(pair (int_range 4 16) (int_range 1 7))
+    (fun (wexp, bexp) ->
+      let words = 1 lsl wexp and bits = min 144 (1 lsl bexp) in
+      QCheck.assume (bits >= Macro_spec.min_bits);
+      let a = Memlib.query Memlib.default_65nm (dual words bits) in
+      a.Memlib.clk_to_q_ns > 0.0
+      && a.Memlib.area_um2 > 0.0
+      && a.Memlib.leak_nw > 0.0
+      && a.Memlib.read_energy_pj > 0.0
+      && Float.is_finite a.Memlib.area_um2)
+
+(* Property: the 28nm scaled technology is strictly faster and denser. *)
+let prop_scaling_sane =
+  QCheck.Test.make ~name:"28nm faster and denser than 65nm" ~count:50
+    QCheck.(int_range 6 14)
+    (fun wexp ->
+      let spec = dual (1 lsl wexp) 32 in
+      let a65 = Memlib.query Tech.default_65nm.Tech.memory spec in
+      let a28 = Memlib.query Tech.scaled_28nm.Tech.memory spec in
+      a28.Memlib.clk_to_q_ns < a65.Memlib.clk_to_q_ns
+      && a28.Memlib.area_um2 < a65.Memlib.area_um2)
+
+let suite =
+  [
+    ( "tech",
+      [
+        Alcotest.test_case "delay grows with words" `Quick
+          test_delay_grows_with_words;
+        Alcotest.test_case "delay grows with bits" `Quick
+          test_delay_grows_with_bits;
+        Alcotest.test_case "division costs area/leakage" `Quick
+          test_division_costs_area_and_leakage;
+        Alcotest.test_case "single port unsupported" `Quick
+          test_single_port_unsupported;
+        Alcotest.test_case "legal splits" `Quick test_legal_splits;
+        Alcotest.test_case "dual port costs more" `Quick
+          test_dual_port_costs_more;
+        Alcotest.test_case "metal stack" `Quick test_metal_stack;
+        Alcotest.test_case "metal capacity order" `Quick
+          test_metal_capacity_decreases_up_the_stack;
+        Alcotest.test_case "wire delay linear" `Quick test_wire_delay_linear;
+        Alcotest.test_case "stdcell delays" `Quick test_stdcell_delay_positive;
+        QCheck_alcotest.to_alcotest prop_memlib_positive;
+        QCheck_alcotest.to_alcotest prop_scaling_sane;
+      ] );
+  ]
