@@ -234,9 +234,94 @@ let run_future_gmc () =
         (Ggpu_layout.Timing_post.quantised_mhz post))
     [ 1; 2; 4 ]
 
+(* --- Performance: incremental STA + parallel version grid -------------- *)
+
+(* Seed-vs-new comparison of the full Table-I sweep: the seed ran every
+   version sequentially and recomputed timing from scratch on each DSE
+   iteration; the new flow caches arrival tables in an incremental
+   engine and spreads versions over a domain pool.  Timings land in
+   BENCH_dse.json so regressions are visible across PRs. *)
+let bench_json_path = "BENCH_dse.json"
+
+let run_perf_dse () =
+  section "perf: incremental STA + parallel version grid";
+  (* representative single-version counters *)
+  let nl = Ggpu_rtlgen.Generate.generate_cus ~num_cus:1 in
+  let result = Dse.explore tech nl ~num_cus:1 ~period_ns:1.5 in
+  Format.printf "dse 1CU@667: %d iterations | %a@." result.Dse.iterations
+    Dse.pp_perf result.Dse.perf;
+  let time f =
+    let t0 = Unix.gettimeofday () in
+    let v = f () in
+    (v, Unix.gettimeofday () -. t0)
+  in
+  (* warm both paths once so cold-start (GC, page faults) does not
+     inflate whichever variant runs first *)
+  ignore (Versions.table1_syntheses ~tech ~parallel:false ~incremental:false ());
+  ignore (Versions.table1_syntheses ~tech ());
+  let seed_syntheses, seed_s =
+    time (fun () ->
+        Versions.table1_syntheses ~tech ~parallel:false ~incremental:false ())
+  in
+  let new_syntheses, new_s =
+    time (fun () -> Versions.table1_syntheses ~tech ())
+  in
+  let sta_calls syntheses =
+    List.fold_left
+      (fun acc s -> acc + s.Flow.syn_perf.Dse.sta_calls)
+      0 syntheses
+  in
+  let sta_full syntheses =
+    List.fold_left
+      (fun acc s -> acc + s.Flow.syn_perf.Dse.sta_full)
+      0 syntheses
+  in
+  let speedup = seed_s /. new_s in
+  let domains = Parallel.default_domains () in
+  Printf.printf
+    "table1 (12 versions): seed %.3fs (%d full STA recomputes) -> new %.3fs \
+     (%d STA calls, %d full) | %.1fx speedup on %d domains\n"
+    seed_s (sta_full seed_syntheses) new_s
+    (sta_calls new_syntheses)
+    (sta_full new_syntheses)
+    speedup domains;
+  let oc = open_out bench_json_path in
+  Printf.fprintf oc
+    {|{
+  "benchmark": "versions-table1",
+  "seed_wall_s": %.6f,
+  "new_wall_s": %.6f,
+  "speedup": %.3f,
+  "domains": %d,
+  "seed_sta_full_recomputes": %d,
+  "new_sta_calls": %d,
+  "new_sta_full_recomputes": %d,
+  "dse_1cu_667": {
+    "iterations": %d,
+    "sta_calls": %d,
+    "sta_full": %d,
+    "sta_incremental": %d,
+    "sta_wall_s": %.6f,
+    "edit_wall_s": %.6f,
+    "total_wall_s": %.6f
+  }
+}
+|}
+    seed_s new_s speedup domains
+    (sta_full seed_syntheses)
+    (sta_calls new_syntheses)
+    (sta_full new_syntheses)
+    result.Dse.iterations result.Dse.perf.Dse.sta_calls
+    result.Dse.perf.Dse.sta_full result.Dse.perf.Dse.sta_incremental
+    result.Dse.perf.Dse.sta_wall_s result.Dse.perf.Dse.edit_wall_s
+    result.Dse.perf.Dse.total_wall_s;
+  close_out oc;
+  Printf.printf "wrote %s\n" bench_json_path
+
 (* --- Bechamel performance benches -------------------------------------- *)
 
 let run_perf () =
+  run_perf_dse ();
   section "Bechamel: performance of the flow itself";
   let open Bechamel in
   let test_sta =
@@ -250,6 +335,13 @@ let run_perf () =
       (Staged.stage (fun () ->
            let nl = Ggpu_rtlgen.Generate.generate_cus ~num_cus:1 in
            ignore (Dse.explore tech nl ~num_cus:1 ~period_ns:1.5)))
+  in
+  let test_dse_seed =
+    Test.make ~name:"dse-1cu-667-seed"
+      (Staged.stage (fun () ->
+           let nl = Ggpu_rtlgen.Generate.generate_cus ~num_cus:1 in
+           ignore
+             (Dse.explore ~incremental:false tech nl ~num_cus:1 ~period_ns:1.5)))
   in
   let test_gpu_sim =
     Test.make ~name:"gpu-sim-copy-4k"
@@ -292,7 +384,8 @@ let run_perf () =
         | _ -> Printf.printf "%-18s (no estimate)\n" name)
       results
   in
-  List.iter benchmark [ test_sta; test_dse; test_gpu_sim; test_rv32_sim ]
+  List.iter benchmark
+    [ test_sta; test_dse; test_dse_seed; test_gpu_sim; test_rv32_sim ]
 
 (* --- Driver ------------------------------------------------------------- *)
 

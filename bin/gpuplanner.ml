@@ -62,11 +62,13 @@ let synth_cmd =
     | Error e -> Error e
     | Ok spec ->
         handle_dse_errors (fun () ->
-            let _nl, map, report = Flow.synthesise ~tech spec in
+            let syn = Flow.synthesise_timed ~tech spec in
             print_endline Ggpu_synth.Report.header;
-            print_endline (Ggpu_synth.Report.row_to_string report);
+            print_endline (Ggpu_synth.Report.row_to_string syn.Flow.syn_report);
             Printf.printf "(%d divisions, %d pipelines; see 'map' for detail)\n"
-              (Map.divisions map) (Map.pipelines map);
+              (Map.divisions syn.Flow.syn_map)
+              (Map.pipelines syn.Flow.syn_map);
+            Format.printf "perf: %a@." Dse.pp_perf syn.Flow.syn_perf;
             Ok ())
   in
   let term =
@@ -114,6 +116,11 @@ let layout_cmd =
             Format.printf "%a@." Ggpu_layout.Timing_post.pp impl.Flow.post_timing;
             Printf.printf "wirelength per layer (um):\n";
             Format.printf "%a" Ggpu_layout.Route.pp impl.Flow.route;
+            Printf.printf "phases:";
+            List.iter
+              (fun (name, s) -> Printf.printf " %s=%.3fs" name s)
+              impl.Flow.phases;
+            Format.printf "@.perf: %a@." Dse.pp_perf impl.Flow.dse_perf;
             Ok ())
   in
   let term =
@@ -128,14 +135,24 @@ let layout_cmd =
 (* --- table1 ------------------------------------------------------------ *)
 
 let table1_cmd =
-  let run tech =
+  let sequential_term =
+    let doc =
+      "Run versions one at a time with full STA recomputation (the seed \
+       behaviour) instead of the parallel incremental flow."
+    in
+    Arg.(value & flag & info [ "sequential" ] ~doc)
+  in
+  let run tech sequential =
+    let parallel = not sequential and incremental = not sequential in
     print_endline Ggpu_synth.Report.header;
     List.iter
       (fun r -> print_endline (Ggpu_synth.Report.row_to_string r))
-      (Versions.table1 ~tech ());
+      (Versions.table1 ~tech ~parallel ~incremental ());
     Ok ()
   in
-  let term = Term.(term_result ~usage:false (const run $ tech_term)) in
+  let term =
+    Term.(term_result ~usage:false (const run $ tech_term $ sequential_term))
+  in
   Cmd.v
     (Cmd.info "table1" ~doc:"Regenerate the paper's Table I (12 versions)")
     term

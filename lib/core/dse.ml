@@ -25,11 +25,30 @@ exception Cannot_meet of { period_ns : float; best_ns : float; detail : string }
    modes show what each buys on its own. *)
 type strategy = Full | Division_only | Pipeline_only
 
+(* Where the exploration spent its time.  [sta_wall_s] covers the
+   engine's initial full computation and every (incremental) analysis;
+   [edit_wall_s] covers candidate prediction and netlist rewriting. *)
+type perf = {
+  sta_calls : int;
+  sta_full : int; (* whole-graph recomputations *)
+  sta_incremental : int; (* journal-driven cone updates *)
+  sta_wall_s : float;
+  edit_wall_s : float;
+  total_wall_s : float;
+}
+
 type result = {
   map : Map.t;
   iterations : int;
   final : Timing.report;
+  perf : perf;
 }
+
+let pp_perf fmt p =
+  Format.fprintf fmt
+    "%d STA calls (%d full, %d incremental) | sta %.3fs edits %.3fs total %.3fs"
+    p.sta_calls p.sta_full p.sta_incremental p.sta_wall_s p.edit_wall_s
+    p.total_wall_s
 
 (* Predicted delay of the read path after dividing [spec]. *)
 let predicted_after_split tech ~path_delay ~old_clk2q candidate_spec ~mux_ways =
@@ -135,11 +154,32 @@ let pipeline_edit tech netlist (path : Timing.path) =
       ignore (Netlist.insert_pipeline netlist net);
       Some (Map.Pipeline { net_name = Net.name net })
 
-let explore ?(max_iterations = 400) ?(strategy = Full) tech netlist ~num_cus ~period_ns =
+let explore ?(max_iterations = 400) ?(strategy = Full) ?(incremental = true)
+    tech netlist ~num_cus ~period_ns =
+  let t_start = Unix.gettimeofday () in
+  let sta_calls = ref 0 and sta_wall = ref 0.0 and edit_wall = ref 0.0 in
+  let timed acc f =
+    let t0 = Unix.gettimeofday () in
+    let v = f () in
+    acc := !acc +. (Unix.gettimeofday () -. t0);
+    v
+  in
+  let engine =
+    if incremental then
+      Some (timed sta_wall (fun () -> Timing.make_engine tech netlist))
+    else None
+  in
+  let analyse () =
+    incr sta_calls;
+    timed sta_wall (fun () ->
+        match engine with
+        | Some engine -> Timing.engine_analyse engine
+        | None -> Timing.analyse tech netlist)
+  in
   let edits = ref [] in
   let iterations = ref 0 in
   let rec loop () =
-    let report = Timing.analyse tech netlist in
+    let report = analyse () in
     if Timing.meets report ~period_ns then (report, List.rev !edits)
     else if !iterations >= max_iterations then
       raise
@@ -171,6 +211,7 @@ let explore ?(max_iterations = 400) ?(strategy = Full) tech netlist ~num_cus ~pe
         match strategy with Full | Division_only -> true | Pipeline_only -> false
       in
       let applied =
+        timed edit_wall @@ fun () ->
         if
           division_allowed && Cell.is_macro path.Timing.launch
           && macro_dominates path.Timing.launch
@@ -225,8 +266,24 @@ let explore ?(max_iterations = 400) ?(strategy = Full) tech netlist ~num_cus ~pe
     end
   in
   let final, edit_list = loop () in
+  let sta_full, sta_incremental =
+    match engine with
+    | Some engine ->
+        let stats = Timing.engine_stats engine in
+        (stats.Timing.full_recomputes, stats.Timing.incremental_updates)
+    | None -> (!sta_calls, 0)
+  in
   {
     map = { Map.num_cus; target_period_ns = period_ns; edits = edit_list };
     iterations = !iterations;
     final;
+    perf =
+      {
+        sta_calls = !sta_calls;
+        sta_full;
+        sta_incremental;
+        sta_wall_s = !sta_wall;
+        edit_wall_s = !edit_wall;
+        total_wall_s = Unix.gettimeofday () -. t_start;
+      };
   }

@@ -14,18 +14,37 @@ type strategy =
   | Division_only  (** ablation: never insert pipelines *)
   | Pipeline_only  (** ablation: never divide memories *)
 
+(** Wall-clock and STA-call counters for one exploration. *)
+type perf = {
+  sta_calls : int;  (** timing analyses run by the loop *)
+  sta_full : int;  (** whole-graph recomputations *)
+  sta_incremental : int;  (** incremental cone updates *)
+  sta_wall_s : float;  (** time in static timing analysis *)
+  edit_wall_s : float;  (** time predicting and applying edits *)
+  total_wall_s : float;
+}
+
+val pp_perf : Format.formatter -> perf -> unit
+
 type result = {
   map : Map.t;
   iterations : int;
   final : Ggpu_synth.Timing.report;  (** meets the period by construction *)
+  perf : perf;
 }
 
 val explore :
   ?max_iterations:int ->
   ?strategy:strategy ->
+  ?incremental:bool ->
   Ggpu_tech.Tech.t ->
   Ggpu_hw.Netlist.t ->
   num_cus:int ->
   period_ns:float ->
   result
-(** @raise Cannot_meet when no sequence of edits reaches the period. *)
+(** [incremental] (default [true]) reuses one {!Ggpu_synth.Timing}
+    engine across iterations so each analysis after an edit relaxes only
+    the touched fan-out cone; [false] recomputes from scratch every
+    iteration (the pre-engine behaviour, kept for benchmarking).  Both
+    modes produce identical maps and reports.
+    @raise Cannot_meet when no sequence of edits reaches the period. *)

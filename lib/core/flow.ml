@@ -19,30 +19,66 @@ type implementation = {
   post_timing : Timing_post.t;
   achieved_mhz : float;
   spec_check : (unit, Spec.violation list) result;
+  dse_perf : Dse.perf;
+  phases : (string * float) list; (* per-phase wall-clock, flow order *)
 }
 
-(* Logic synthesis only - enough for a Table I row. *)
-let synthesise ?(tech = Tech.default_65nm) (spec : Spec.t) =
-  let netlist = Ggpu_rtlgen.Generate.generate_cus ~num_cus:spec.Spec.num_cus in
+type synthesis = {
+  syn_netlist : Ggpu_hw.Netlist.t;
+  syn_map : Map.t;
+  syn_report : Report.row;
+  syn_perf : Dse.perf;
+  syn_phases : (string * float) list;
+}
+
+(* Logic synthesis only - enough for a Table I row.  [base] supplies a
+   pre-elaborated netlist for the spec's CU count; it is copied, not
+   mutated, so one base can serve several frequency targets. *)
+let synthesise_timed ?(tech = Tech.default_65nm) ?(incremental = true) ?base
+    (spec : Spec.t) =
+  let t0 = Unix.gettimeofday () in
+  let netlist =
+    match base with
+    | Some base -> Ggpu_hw.Netlist.copy base
+    | None -> Ggpu_rtlgen.Generate.generate_cus ~num_cus:spec.Spec.num_cus
+  in
+  let t1 = Unix.gettimeofday () in
   let dse =
-    Dse.explore tech netlist ~num_cus:spec.Spec.num_cus
+    Dse.explore ~incremental tech netlist ~num_cus:spec.Spec.num_cus
       ~period_ns:(Spec.period_ns spec)
   in
+  let t2 = Unix.gettimeofday () in
   let report =
-    Report.of_netlist tech netlist ~num_cus:spec.Spec.num_cus
-      ~freq_mhz:spec.Spec.freq_mhz
+    Report.of_netlist tech ~timing:dse.Dse.final netlist
+      ~num_cus:spec.Spec.num_cus ~freq_mhz:spec.Spec.freq_mhz
   in
-  (netlist, dse.Dse.map, report)
+  let t3 = Unix.gettimeofday () in
+  {
+    syn_netlist = netlist;
+    syn_map = dse.Dse.map;
+    syn_report = report;
+    syn_perf = dse.Dse.perf;
+    syn_phases =
+      [ ("generate", t1 -. t0); ("dse", t2 -. t1); ("report", t3 -. t2) ];
+  }
+
+let synthesise ?tech spec =
+  let s = synthesise_timed ?tech spec in
+  (s.syn_netlist, s.syn_map, s.syn_report)
 
 let base_macro_count ~num_cus =
   Ggpu_rtlgen.Arch_params.macro_count
     (Ggpu_rtlgen.Arch_params.default ~num_cus)
 
 (* Full RTL-to-layout implementation. *)
-let implement ?(tech = Tech.default_65nm) (spec : Spec.t) =
-  let netlist, map, logic_report = synthesise ~tech spec in
+let implement ?(tech = Tech.default_65nm) ?incremental ?base (spec : Spec.t) =
+  let syn = synthesise_timed ~tech ?incremental ?base spec in
+  let netlist = syn.syn_netlist in
+  let t0 = Unix.gettimeofday () in
   let floorplan = Floorplan.build tech netlist ~num_cus:spec.Spec.num_cus in
+  let t1 = Unix.gettimeofday () in
   let post_timing = Timing_post.analyse tech netlist floorplan in
+  let t2 = Unix.gettimeofday () in
   let achieved_mhz =
     Float.min (float_of_int spec.Spec.freq_mhz)
       (Timing_post.quantised_mhz post_timing)
@@ -52,20 +88,29 @@ let implement ?(tech = Tech.default_65nm) (spec : Spec.t) =
     Route.estimate tech netlist floorplan ~period_ns:(1000.0 /. achieved_mhz)
       ~base_macros:(base_macro_count ~num_cus:spec.Spec.num_cus)
   in
+  let t3 = Unix.gettimeofday () in
   let spec_check =
-    Spec.check spec ~area_mm2:logic_report.Report.total_area_mm2
-      ~power_w:logic_report.Report.total_w ~achieved_mhz
+    Spec.check spec ~area_mm2:syn.syn_report.Report.total_area_mm2
+      ~power_w:syn.syn_report.Report.total_w ~achieved_mhz
   in
   {
     spec;
     netlist;
-    map;
-    logic_report;
+    map = syn.syn_map;
+    logic_report = syn.syn_report;
     floorplan;
     route;
     post_timing;
     achieved_mhz;
     spec_check;
+    dse_perf = syn.syn_perf;
+    phases =
+      syn.syn_phases
+      @ [
+          ("floorplan", t1 -. t0);
+          ("post_timing", t2 -. t1);
+          ("route", t3 -. t2);
+        ];
   }
 
 let pp_implementation fmt impl =

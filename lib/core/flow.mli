@@ -12,19 +12,48 @@ type implementation = {
   post_timing : Ggpu_layout.Timing_post.t;
   achieved_mhz : float;  (** min of target and post-route achievable *)
   spec_check : (unit, Spec.violation list) result;
+  dse_perf : Dse.perf;  (** STA-call counters of the exploration *)
+  phases : (string * float) list;
+      (** per-phase wall-clock seconds, in flow order: generate, dse,
+          report, floorplan, post_timing, route *)
 }
+
+(** Result of logic synthesis with its performance counters. *)
+type synthesis = {
+  syn_netlist : Ggpu_hw.Netlist.t;
+  syn_map : Map.t;
+  syn_report : Ggpu_synth.Report.row;
+  syn_perf : Dse.perf;
+  syn_phases : (string * float) list;
+}
+
+val synthesise_timed :
+  ?tech:Ggpu_tech.Tech.t ->
+  ?incremental:bool ->
+  ?base:Ggpu_hw.Netlist.t ->
+  Spec.t ->
+  synthesis
+(** Logic synthesis only: generate, explore, report, with wall-clock
+    phase breakdown.  [incremental] is forwarded to {!Dse.explore}.
+    [base] supplies a pre-elaborated netlist for the spec's CU count; it
+    is copied, never mutated, so one base serves several targets.
+    @raise Dse.Cannot_meet if the frequency is unreachable. *)
 
 val synthesise :
   ?tech:Ggpu_tech.Tech.t ->
   Spec.t ->
   Ggpu_hw.Netlist.t * Map.t * Ggpu_synth.Report.row
-(** Logic synthesis only: generate, explore, report.
-    @raise Dse.Cannot_meet if the frequency is unreachable. *)
+(** {!synthesise_timed} without the counters. *)
 
 val base_macro_count : num_cus:int -> int
 (** Macro count of the non-optimised design (51 + 42 per extra CU). *)
 
-val implement : ?tech:Ggpu_tech.Tech.t -> Spec.t -> implementation
-(** The full RTL-to-layout flow. *)
+val implement :
+  ?tech:Ggpu_tech.Tech.t ->
+  ?incremental:bool ->
+  ?base:Ggpu_hw.Netlist.t ->
+  Spec.t ->
+  implementation
+(** The full RTL-to-layout flow.  [base] as in {!synthesise_timed}. *)
 
 val pp_implementation : Format.formatter -> implementation -> unit

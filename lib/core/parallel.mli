@@ -1,0 +1,13 @@
+(** Domain pool for the embarrassingly parallel parts of the flow
+    (version-grid exploration).  Callers must only pass functions free
+    of shared mutable state. *)
+
+val default_domains : unit -> int
+(** [Domain.recommended_domain_count ()]. *)
+
+val map : ?domains:int -> ('a -> 'b) -> 'a list -> 'b list
+(** Order-preserving parallel map over a work-stealing domain pool of
+    [min domains (length xs)] domains (default
+    {!default_domains}).  [~domains:1] degrades to [List.map].  If any
+    application raises, the first failure in input order is re-raised
+    after all domains have drained. *)

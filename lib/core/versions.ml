@@ -1,7 +1,11 @@
 (* The paper's version grid: 12 logic-synthesis versions (1/2/4/8 CUs x
    500/590/667 MHz, Table I) and the four extreme physical-synthesis
    versions (1CU@500, 1CU@667, 8CU@500, 8CU@667 - the last derating to
-   ~600 MHz after routing, Fig. 4 / Table II). *)
+   ~600 MHz after routing, Fig. 4 / Table II).
+
+   Each version owns a freshly generated netlist and the flow touches no
+   shared mutable state, so the grid runs across a {!Parallel} domain
+   pool by default; [~parallel:false] restores the sequential sweep. *)
 
 let cu_counts = [ 1; 2; 4; 8 ]
 let frequencies_mhz = [ 500; 590; 667 ]
@@ -22,13 +26,45 @@ let physical_specs () =
     Spec.make ~num_cus:8 ~freq_mhz:667 ();
   ]
 
-(* Table I, regenerated. *)
-let table1 ?tech () =
-  List.map
-    (fun spec ->
-      let _netlist, _map, report = Flow.synthesise ?tech spec in
-      report)
+let domains_of ~parallel = if parallel then None else Some 1
+
+(* All frequency targets of one CU count start from the same base
+   netlist, so elaborate each base once and hand copies to the flow.
+   The seed behaviour ([incremental = false]) regenerates per version.
+   The bases are frozen before the per-version fan-out, so concurrent
+   copies from several domains are safe. *)
+let shared_bases ?domains specs =
+  let cus =
+    List.sort_uniq Int.compare (List.map (fun s -> s.Spec.num_cus) specs)
+  in
+  Parallel.map ?domains
+    (fun num_cus -> (num_cus, Ggpu_rtlgen.Generate.generate_cus ~num_cus))
+    cus
+
+let map_specs ?(parallel = true) ?(incremental = true) ~f specs =
+  let domains = domains_of ~parallel in
+  if not incremental then
+    Parallel.map ?domains (fun spec -> f ?base:None spec) specs
+  else begin
+    let bases = shared_bases ?domains specs in
+    Parallel.map ?domains
+      (fun spec -> f ?base:(List.assoc_opt spec.Spec.num_cus bases) spec)
+      specs
+  end
+
+(* Table I, regenerated, with per-version counters. *)
+let table1_syntheses ?tech ?parallel ?incremental () =
+  map_specs ?parallel ?incremental
+    ~f:(fun ?base spec -> Flow.synthesise_timed ?tech ?incremental ?base spec)
     (table1_specs ())
 
+let table1 ?tech ?parallel ?incremental () =
+  List.map
+    (fun s -> s.Flow.syn_report)
+    (table1_syntheses ?tech ?parallel ?incremental ())
+
 (* The four physical implementations behind Table II and Figs. 3/4. *)
-let physical ?tech () = List.map (Flow.implement ?tech) (physical_specs ())
+let physical ?tech ?parallel ?incremental () =
+  map_specs ?parallel ?incremental
+    ~f:(fun ?base spec -> Flow.implement ?tech ?incremental ?base spec)
+    (physical_specs ())

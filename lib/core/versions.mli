@@ -11,9 +11,29 @@ val frequencies_mhz : int list
 val table1_specs : unit -> Spec.t list
 val physical_specs : unit -> Spec.t list
 
-val table1 : ?tech:Ggpu_tech.Tech.t -> unit -> Ggpu_synth.Report.row list
+val table1_syntheses :
+  ?tech:Ggpu_tech.Tech.t ->
+  ?parallel:bool ->
+  ?incremental:bool ->
+  unit ->
+  Flow.synthesis list
+(** The 12 Table-I syntheses with their performance counters.
+    [parallel] (default [true]) spreads versions across a {!Parallel}
+    domain pool; [incremental] is forwarded to {!Dse.explore}. *)
+
+val table1 :
+  ?tech:Ggpu_tech.Tech.t ->
+  ?parallel:bool ->
+  ?incremental:bool ->
+  unit ->
+  Ggpu_synth.Report.row list
 (** Regenerate Table I (frequency-major order, as published). *)
 
-val physical : ?tech:Ggpu_tech.Tech.t -> unit -> Flow.implementation list
+val physical :
+  ?tech:Ggpu_tech.Tech.t ->
+  ?parallel:bool ->
+  ?incremental:bool ->
+  unit ->
+  Flow.implementation list
 (** Implement 1CU@500, 1CU@667, 8CU@500 and 8CU@667; the last derates
     after routing, as in the paper. *)

@@ -6,6 +6,11 @@
    and fanout indices are maintained incrementally so transforms stay
    cheap on 10^5-cell designs. *)
 
+type change = {
+  cells : int list; (* cell ids added, removed or rewired *)
+  nets : int list; (* net ids whose driver changed *)
+}
+
 type t = {
   name : string;
   nets : (int, Net.t) Hashtbl.t;
@@ -17,6 +22,10 @@ type t = {
   mutable next_net : int;
   mutable next_cell : int;
   mutable pipeline_regs : int; (* pipeline stages inserted by the planner *)
+  mutable revision : int; (* bumped on every mutation *)
+  mutable journal : (int * change) list; (* newest first *)
+  mutable journal_len : int;
+  mutable journal_floor : int; (* revisions <= floor have been dropped *)
 }
 
 exception Invalid of string
@@ -35,12 +44,83 @@ let create ~name =
     next_net = 0;
     next_cell = 0;
     pipeline_regs = 0;
+    revision = 0;
+    journal = [];
+    journal_len = 0;
+    journal_floor = 0;
   }
 
 let name t = t.name
 let net_count t = Hashtbl.length t.nets
 let cell_count t = Hashtbl.length t.cells
 let pipeline_regs t = t.pipeline_regs
+let revision t = t.revision
+
+(* An independent copy: future mutations of either netlist do not affect
+   the other.  Net.t and Cell.t values are immutable and shared; the
+   index tables are duplicated.  Much cheaper than re-elaborating, which
+   makes it the tool for exploring several targets from one base design. *)
+let copy t =
+  {
+    name = t.name;
+    nets = Hashtbl.copy t.nets;
+    cells = Hashtbl.copy t.cells;
+    driver = Hashtbl.copy t.driver;
+    fanout = Hashtbl.copy t.fanout;
+    inputs = t.inputs;
+    outputs = t.outputs;
+    next_net = t.next_net;
+    next_cell = t.next_cell;
+    pipeline_regs = t.pipeline_regs;
+    revision = t.revision;
+    journal = t.journal; (* immutable entries; copies diverge by prepending *)
+    journal_len = t.journal_len;
+    journal_floor = t.journal_floor;
+  }
+
+(* Bound on the change journal: beyond this, the oldest half is dropped
+   and consumers that far behind fall back to a full recompute. *)
+let journal_cap = 65536
+
+let log_change t ~cells ~nets =
+  t.revision <- t.revision + 1;
+  t.journal <- (t.revision, { cells; nets }) :: t.journal;
+  t.journal_len <- t.journal_len + 1;
+  if t.journal_len > journal_cap then begin
+    let keep = journal_cap / 2 in
+    let kept = ref [] and n = ref 0 and oldest = ref t.revision in
+    List.iter
+      (fun ((rev, _) as entry) ->
+        if !n < keep then begin
+          kept := entry :: !kept;
+          oldest := rev;
+          incr n
+        end)
+      t.journal;
+    t.journal <- List.rev !kept;
+    t.journal_len <- !n;
+    t.journal_floor <- !oldest - 1
+  end
+
+let changes_since t since =
+  if since >= t.revision then Some { cells = []; nets = [] }
+  else if since < t.journal_floor then None
+  else begin
+    let cells = Hashtbl.create 64 and nets = Hashtbl.create 64 in
+    let rec collect = function
+      | (rev, (ch : change)) :: rest when rev > since ->
+          List.iter (fun id -> Hashtbl.replace cells id ()) ch.cells;
+          List.iter (fun id -> Hashtbl.replace nets id ()) ch.nets;
+          collect rest
+      | _ -> ()
+    in
+    collect t.journal;
+    Some
+      {
+        cells = Hashtbl.fold (fun id () acc -> id :: acc) cells [];
+        nets = Hashtbl.fold (fun id () acc -> id :: acc) nets [];
+      }
+  end
 
 let add_net t ~name ~width =
   if width < 1 then invalid "net %s: width %d < 1" name width;
@@ -48,6 +128,7 @@ let add_net t ~name ~width =
   t.next_net <- id + 1;
   let net = Net.make ~id ~name ~width in
   Hashtbl.replace t.nets id net;
+  log_change t ~cells:[] ~nets:[];
   net
 
 let find_net t id =
@@ -98,6 +179,7 @@ let add_cell t ~name ~region ~kind ~inputs ~outputs ?(count = 1) () =
   Hashtbl.replace t.cells id cell;
   List.iter (fun net -> Hashtbl.replace t.driver (Net.id net) id) outputs;
   List.iter (fun net -> add_fanout t net id) inputs;
+  log_change t ~cells:[ id ] ~nets:(List.map Net.id outputs);
   cell
 
 let remove_cell t cell =
@@ -105,7 +187,8 @@ let remove_cell t cell =
   if not (Hashtbl.mem t.cells id) then invalid "remove_cell: unknown cell %d" id;
   List.iter (fun net -> Hashtbl.remove t.driver (Net.id net)) (Cell.outputs cell);
   List.iter (fun net -> remove_fanout t net id) (Cell.inputs cell);
-  Hashtbl.remove t.cells id
+  Hashtbl.remove t.cells id;
+  log_change t ~cells:[ id ] ~nets:(List.map Net.id (Cell.outputs cell))
 
 (* Replace the input list of [cell], keeping indices intact. *)
 let rewire_inputs t cell ~inputs =
@@ -120,15 +203,18 @@ let rewire_inputs t cell ~inputs =
   in
   Hashtbl.replace t.cells id cell';
   List.iter (fun net -> add_fanout t net id) inputs;
+  log_change t ~cells:[ id ] ~nets:[];
   cell'
 
 let set_inputs t nets =
   List.iter (check_net_known t) nets;
-  t.inputs <- nets
+  t.inputs <- nets;
+  log_change t ~cells:[] ~nets:[]
 
 let set_outputs t nets =
   List.iter (check_net_known t) nets;
-  t.outputs <- nets
+  t.outputs <- nets;
+  log_change t ~cells:[] ~nets:[]
 
 let inputs t = t.inputs
 let outputs t = t.outputs
@@ -380,7 +466,20 @@ let split_macro_bits t cell ~slices =
    caller is responsible for accounting for the added latency. *)
 let insert_pipeline t net =
   check_net_known t net;
-  let readers = readers_of t net in
+  (* a cell reading [net] on several pins appears once per pin in the
+     fanout index; rewire it once (the rewire substitutes every pin) *)
+  let readers =
+    let seen = Hashtbl.create 8 in
+    List.filter
+      (fun cell ->
+        let id = Cell.id cell in
+        if Hashtbl.mem seen id then false
+        else begin
+          Hashtbl.add seen id ();
+          true
+        end)
+      (readers_of t net)
+  in
   let staged =
     add_net t ~name:(Net.name net ^ "/pipe") ~width:(Net.width net)
   in

@@ -14,8 +14,33 @@ val name : t -> string
 val net_count : t -> int
 val cell_count : t -> int
 
+val copy : t -> t
+(** An independent copy sharing the immutable nets and cells; much
+    cheaper than re-elaborating, so one base design can be explored
+    against several targets. *)
+
 val pipeline_regs : t -> int
 (** Number of pipeline stages inserted by {!insert_pipeline}. *)
+
+(** {1 Revisioning}
+
+    Every mutation bumps a revision counter and appends the set of
+    touched cells and driver-changed nets to a bounded change journal.
+    Incremental consumers (the {!Ggpu_synth.Timing} engine) use it to
+    recompute only the affected fan-out cone. *)
+
+type change = {
+  cells : int list;  (** cell ids added, removed or rewired *)
+  nets : int list;  (** net ids whose driver changed *)
+}
+
+val revision : t -> int
+(** Monotonically increasing; bumped on every mutation. *)
+
+val changes_since : t -> int -> change option
+(** Union of all changes after the given revision, deduplicated.
+    [None] when the journal has been truncated past that revision, in
+    which case the consumer must recompute from scratch. *)
 
 (** {1 Construction} *)
 

@@ -4,11 +4,30 @@
    are timing sources and their inputs are timing sinks.  The order lists
    only combinational cells such that every comb cell appears after all
    comb cells driving its inputs.  Combinational loops are reported as an
-   error (a generated netlist must never contain one). *)
+   error (a generated netlist must never contain one).
+
+   Two correctness properties matter here:
+
+   - Counting: a cell may read the same net on several pins, or read two
+     nets driven by the same cell.  Indegree counts each *distinct*
+     combinational driver exactly once, and emission decrements each
+     distinct reader exactly once, so the two sides always agree no
+     matter how many pins or index entries connect a (driver, reader)
+     pair.  Counting per pin on one side and per fanout-index entry on
+     the other can diverge after transforms and report a spurious
+     {!Combinational_loop}.
+
+   - Determinism: the ready set is ordered by cell id (smallest first),
+     so the order is a pure function of the graph content rather than of
+     hash-table iteration order.  Downstream tie-breaking (worst-path
+     selection in {!Ggpu_synth.Timing}) inherits this determinism. *)
 
 exception Combinational_loop of string list
 
-(* Comb cells feeding [cell]'s inputs. *)
+module Int_set = Set.Make (Int)
+
+(* Comb cells feeding [cell]'s inputs (one entry per pin; callers that
+   need distinct drivers dedupe by id). *)
 let comb_predecessors netlist cell =
   List.filter_map
     (fun net ->
@@ -17,50 +36,73 @@ let comb_predecessors netlist cell =
       | Some _ | None -> None)
     (Cell.inputs cell)
 
+(* Distinct combinational readers of [cell]'s outputs. *)
+let distinct_comb_readers netlist cell =
+  let seen = Hashtbl.create 8 in
+  List.concat_map
+    (fun net ->
+      List.filter_map
+        (fun reader ->
+          let rid = Cell.id reader in
+          if Cell.is_comb reader && not (Hashtbl.mem seen rid) then begin
+            Hashtbl.add seen rid ();
+            Some rid
+          end
+          else None)
+        (Netlist.readers_of netlist net))
+    (Cell.outputs cell)
+
 let order netlist =
   let indegree = Hashtbl.create 256 in
-  let comb_cells = ref [] in
+  let comb_ids = ref [] in
   Netlist.iter_cells netlist (fun cell ->
       if Cell.is_comb cell then begin
-        comb_cells := cell :: !comb_cells;
+        comb_ids := Cell.id cell :: !comb_ids;
         Hashtbl.replace indegree (Cell.id cell) 0
       end);
-  let bump cell =
-    let id = Cell.id cell in
-    Hashtbl.replace indegree id (Hashtbl.find indegree id + 1)
-  in
+  let total = List.length !comb_ids in
+  (* indegree = number of distinct comb drivers, however many pins or
+     nets connect them *)
   List.iter
-    (fun cell -> List.iter (fun _pred -> bump cell) (comb_predecessors netlist cell))
-    !comb_cells;
-  let ready = Queue.create () in
-  Hashtbl.iter (fun id deg -> if deg = 0 then Queue.add id ready) indegree;
+    (fun id ->
+      let cell = Netlist.find_cell netlist id in
+      let seen = Hashtbl.create 4 in
+      List.iter
+        (fun pred ->
+          let pid = Cell.id pred in
+          if not (Hashtbl.mem seen pid) then begin
+            Hashtbl.add seen pid ();
+            Hashtbl.replace indegree id (Hashtbl.find indegree id + 1)
+          end)
+        (comb_predecessors netlist cell))
+    !comb_ids;
+  let ready = ref Int_set.empty in
+  Hashtbl.iter
+    (fun id deg -> if deg = 0 then ready := Int_set.add id !ready)
+    indegree;
   let out = ref [] in
   let emitted = ref 0 in
-  while not (Queue.is_empty ready) do
-    let id = Queue.pop ready in
+  while not (Int_set.is_empty !ready) do
+    let id = Int_set.min_elt !ready in
+    ready := Int_set.remove id !ready;
     let cell = Netlist.find_cell netlist id in
     out := cell :: !out;
     incr emitted;
     List.iter
-      (fun net ->
-        List.iter
-          (fun reader ->
-            if Cell.is_comb reader then begin
-              let rid = Cell.id reader in
-              let deg = Hashtbl.find indegree rid - 1 in
-              Hashtbl.replace indegree rid deg;
-              if deg = 0 then Queue.add rid ready
-            end)
-          (Netlist.readers_of netlist net))
-      (Cell.outputs cell)
+      (fun rid ->
+        let deg = Hashtbl.find indegree rid - 1 in
+        Hashtbl.replace indegree rid deg;
+        if deg = 0 then ready := Int_set.add rid !ready)
+      (distinct_comb_readers netlist cell)
   done;
-  if !emitted <> List.length !comb_cells then begin
+  if !emitted <> total then begin
     let stuck =
       Hashtbl.fold
         (fun id deg acc ->
           if deg > 0 then Cell.name (Netlist.find_cell netlist id) :: acc
           else acc)
         indegree []
+      |> List.sort String.compare
     in
     raise (Combinational_loop stuck)
   end;

@@ -4,10 +4,14 @@
     combinational cells, each after all combinational cells driving it. *)
 
 exception Combinational_loop of string list
-(** Raised with the names of cells stuck in a cycle. *)
+(** Raised with the names of cells stuck in a cycle, sorted. *)
 
 val order : Netlist.t -> Cell.t list
-(** @raise Combinational_loop if the netlist has a combinational cycle. *)
+(** Deterministic (smallest-cell-id-first Kahn): a pure function of the
+    graph content, independent of hash-table iteration order.  Each
+    distinct (driver, reader) pair is counted once, so cells reading the
+    same net on several pins order correctly.
+    @raise Combinational_loop if the netlist has a combinational cycle. *)
 
 val fold : Netlist.t -> init:'a -> f:('a -> Cell.t -> 'a) -> 'a
 

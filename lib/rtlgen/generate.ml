@@ -169,41 +169,54 @@ let build_selfloop_regs nl ~region ~base ~width ~count =
     (Netlist.add_cell nl ~name:(base ^ "/ff") ~region ~kind:Cell.Dff
        ~inputs:[ q ] ~outputs:[ q ] ~count ())
 
-let build_selfloop_anchor nl ~region ~base =
-  let q = Netlist.add_net nl ~name:(base ^ "/anchor_q") ~width:32 in
-  ignore
-    (Netlist.add_cell nl ~name:(base ^ "/anchor") ~region ~kind:Cell.Dff
-       ~inputs:[ q ] ~outputs:[ q ] ());
-  q
-
-let region_stats nl region =
-  Netlist.fold_cells nl ~init:(0, 0) ~f:(fun (ff, comb) cell ->
-      if String.equal (Cell.region cell) region then
-        (ff + Cell.ff_bits cell, comb + Cell.comb_gates cell)
-      else (ff, comb))
+(* Flip-flop and gate totals of every region in a single pass; folding
+   the whole netlist once per region would make elaboration quadratic in
+   the CU count. *)
+let region_totals nl =
+  let totals = Hashtbl.create 16 in
+  Netlist.iter_cells nl (fun cell ->
+      let region = Cell.region cell in
+      let ff, comb =
+        Option.value ~default:(0, 0) (Hashtbl.find_opt totals region)
+      in
+      Hashtbl.replace totals region
+        (ff + Cell.ff_bits cell, comb + Cell.comb_gates cell));
+  totals
 
 (* Filler sized to reach the published flip-flop and gate scale of the
    region (see Arch_params): first shallow datapath cells for the gate
    deficit (their capture registers count toward state), then pure
-   self-looped register banks for the remaining flip-flop deficit. *)
-let fill_region nl ~region ~ff_target ~comb_target =
+   self-looped register banks for the remaining flip-flop deficit.
+   [ff] and [comb] are the region's totals before any filling. *)
+let fill_region nl ~region ~ff ~comb ~ff_target ~comb_target =
   let base = region ^ "/filler" in
-  let _, comb = region_stats nl region in
+  let ff = ref ff in
   if comb_target > comb then begin
     let gates = Op.gates Op.Add ~width:32 in
     let count = (comb_target - comb + gates - 1) / gates in
-    let q = build_selfloop_anchor nl ~region ~base in
+    let q = Netlist.add_net nl ~name:(base ^ "/anchor_q") ~width:32 in
+    let anchor =
+      Netlist.add_cell nl ~name:(base ^ "/anchor") ~region ~kind:Cell.Dff
+        ~inputs:[ q ] ~outputs:[ q ] ()
+    in
     let sum = Netlist.add_net nl ~name:(base ^ "/dp/sum") ~width:32 in
     let _ =
       Netlist.add_cell nl ~name:(base ^ "/dp/alu") ~region
         ~kind:(Cell.Comb Op.Add) ~inputs:[ q; q ] ~outputs:[ sum ] ~count ()
     in
-    ignore (build_capture nl ~region ~base:(base ^ "/dp") ~count:1 sum)
+    let capture_q =
+      Netlist.add_net nl ~name:(base ^ "/dp/capture_q") ~width:32
+    in
+    let capture =
+      Netlist.add_cell nl ~name:(base ^ "/dp/capture") ~region ~kind:Cell.Dff
+        ~inputs:[ sum ] ~outputs:[ capture_q ] ~count:1 ()
+    in
+    (* the filler's own registers count toward the state target *)
+    ff := !ff + Cell.ff_bits anchor + Cell.ff_bits capture
   end;
-  let ff, _ = region_stats nl region in
-  if ff_target > ff then begin
+  if ff_target > !ff then begin
     let width = 64 in
-    let count = (ff_target - ff + width - 1) / width in
+    let count = (ff_target - !ff + width - 1) / width in
     build_selfloop_regs nl ~region ~base:(base ^ "/state") ~width ~count
   end
 
@@ -308,14 +321,18 @@ let generate (params : Arch_params.t) =
         r)
     params.Arch_params.top_registers;
   (* calibrated filler to published scale *)
+  let totals = region_totals nl in
+  let fill region ~ff_target ~comb_target =
+    let ff, comb = Option.value ~default:(0, 0) (Hashtbl.find_opt totals region) in
+    fill_region nl ~region ~ff ~comb ~ff_target ~comb_target
+  in
   for i = 0 to params.Arch_params.num_cus - 1 do
-    fill_region nl ~region:(region_cu i)
-      ~ff_target:params.Arch_params.cu_ff_target
+    fill (region_cu i) ~ff_target:params.Arch_params.cu_ff_target
       ~comb_target:params.Arch_params.cu_comb_target
   done;
-  fill_region nl ~region:"gmc" ~ff_target:params.Arch_params.gmc_ff_target
+  fill "gmc" ~ff_target:params.Arch_params.gmc_ff_target
     ~comb_target:params.Arch_params.gmc_comb_target;
-  fill_region nl ~region:"top" ~ff_target:params.Arch_params.top_ff_target
+  fill "top" ~ff_target:params.Arch_params.top_ff_target
     ~comb_target:params.Arch_params.top_comb_target;
   (match Netlist.validate nl with
   | Ok () -> ()

@@ -17,11 +17,15 @@ type row = {
   pipeline_stages : int;
 }
 
-let of_netlist tech netlist ~num_cus ~freq_mhz =
+let of_netlist tech ?timing netlist ~num_cus ~freq_mhz =
   let stats = Netlist.stats netlist in
   let area = Area.of_netlist tech netlist in
   let power = Power.of_netlist tech netlist ~freq_mhz:(float_of_int freq_mhz) in
-  let timing = Timing.analyse tech netlist in
+  let timing =
+    match timing with
+    | Some t -> t
+    | None -> Timing.analyse tech netlist
+  in
   {
     num_cus;
     freq_mhz;

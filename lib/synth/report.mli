@@ -17,7 +17,15 @@ type row = {
 }
 
 val of_netlist :
-  Ggpu_tech.Tech.t -> Ggpu_hw.Netlist.t -> num_cus:int -> freq_mhz:int -> row
+  Ggpu_tech.Tech.t ->
+  ?timing:Timing.report ->
+  Ggpu_hw.Netlist.t ->
+  num_cus:int ->
+  freq_mhz:int ->
+  row
+(** [timing] supplies an up-to-date {!Timing.report} for the netlist
+    (e.g. the last analysis of a DSE run) so the report need not re-run
+    a full STA; when absent, {!Timing.analyse} is called. *)
 
 val header : string
 val row_to_string : row -> string

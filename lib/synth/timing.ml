@@ -49,50 +49,77 @@ let cell_delay tech cell =
   | Cell.Dff | Cell.Macro _ -> invalid_arg "cell_delay: sequential cell"
 
 (* Arrival time and worst predecessor for every net driven by the
-   combinational subgraph.  Sequential outputs seed with clk-to-q. *)
+   combinational subgraph.  Sequential outputs seed with clk-to-q.
+   [net_launch] caches the sequential cell the worst path into each net
+   launches from (absent for primary-input-rooted cones), so endpoint
+   scans need not re-walk predecessor chains. *)
 type arrivals = {
   net_arrival : (int, float) Hashtbl.t;
   (* net id -> (driving comb cell, worst input net) *)
   net_pred : (int, Cell.t * Net.t option) Hashtbl.t;
+  net_launch : (int, Cell.t) Hashtbl.t;
 }
 
-let compute_arrivals tech netlist =
-  let net_arrival = Hashtbl.create 1024 in
-  let net_pred = Hashtbl.create 1024 in
+(* Worst input arrival and resulting output arrival of a comb cell, as a
+   pure function of the current arrival table.  Shared by the full
+   recomputation and the incremental engine so both produce bit-identical
+   results. *)
+let eval_cell tech arrivals cell =
   let arrival net =
-    Option.value ~default:0.0 (Hashtbl.find_opt net_arrival (Net.id net))
+    Option.value ~default:0.0
+      (Hashtbl.find_opt arrivals.net_arrival (Net.id net))
+  in
+  let worst_in =
+    List.fold_left
+      (fun acc net ->
+        let t = arrival net in
+        match acc with
+        | Some (best, _) when best >= t -> acc
+        | _ -> Some (t, Some net))
+      None (Cell.inputs cell)
+  in
+  let in_time, in_net =
+    match worst_in with Some (t, net) -> (t, net) | None -> (0.0, None)
+  in
+  let launch =
+    match in_net with
+    | None -> None
+    | Some prev -> Hashtbl.find_opt arrivals.net_launch (Net.id prev)
+  in
+  (in_time +. cell_delay tech cell, in_net, launch)
+
+let compute_arrivals tech netlist =
+  let arrivals =
+    {
+      net_arrival = Hashtbl.create 1024;
+      net_pred = Hashtbl.create 1024;
+      net_launch = Hashtbl.create 1024;
+    }
   in
   (* seed: sequential outputs *)
   Netlist.iter_cells netlist (fun cell ->
       if Cell.is_sequential cell then begin
         let t = launch_delay tech cell in
         List.iter
-          (fun net -> Hashtbl.replace net_arrival (Net.id net) t)
+          (fun net ->
+            Hashtbl.replace arrivals.net_arrival (Net.id net) t;
+            Hashtbl.replace arrivals.net_launch (Net.id net) cell)
           (Cell.outputs cell)
       end);
   (* propagate in topological order *)
   List.iter
     (fun cell ->
-      let worst_in =
-        List.fold_left
-          (fun acc net ->
-            let t = arrival net in
-            match acc with
-            | Some (best, _) when best >= t -> acc
-            | _ -> Some (t, Some net))
-          None (Cell.inputs cell)
-      in
-      let in_time, in_net =
-        match worst_in with Some (t, net) -> (t, net) | None -> (0.0, None)
-      in
-      let out_time = in_time +. cell_delay tech cell in
+      let out_time, in_net, launch = eval_cell tech arrivals cell in
       List.iter
         (fun net ->
-          Hashtbl.replace net_arrival (Net.id net) out_time;
-          Hashtbl.replace net_pred (Net.id net) (cell, in_net))
+          Hashtbl.replace arrivals.net_arrival (Net.id net) out_time;
+          Hashtbl.replace arrivals.net_pred (Net.id net) (cell, in_net);
+          match launch with
+          | Some l -> Hashtbl.replace arrivals.net_launch (Net.id net) l
+          | None -> Hashtbl.remove arrivals.net_launch (Net.id net))
         (Cell.outputs cell))
     (Topo.order netlist);
-  { net_arrival; net_pred }
+  arrivals
 
 (* Walk predecessor pointers from an endpoint input net back to the
    launching sequential cell. *)
@@ -122,34 +149,270 @@ let trace_path netlist arrivals ~endpoint_net ~capture tech =
       in
       Some { launch; capture; through; delay_ns }
 
-(* Full analysis: worst register-to-register path. *)
-let analyse tech netlist =
-  let arrivals = compute_arrivals tech netlist in
+(* Worst register-to-register path over a (full or incrementally
+   maintained) arrival table.  Endpoints are scanned in ascending cell-id
+   order so the reported worst path is deterministic, and only endpoint
+   nets that actually produce a register path are counted — paths from
+   primary inputs carry no [net_launch] entry and must not inflate the
+   endpoint count.  The cached launch origin makes the scan O(1) per
+   endpoint; only the single worst path is traced back through the
+   predecessor chain. *)
+let seq_ids netlist =
+  Netlist.fold_cells netlist ~init:[] ~f:(fun acc cell ->
+      if Cell.is_sequential cell then Cell.id cell :: acc else acc)
+  |> List.sort Int.compare
+
+let report_over_ids tech netlist arrivals ids =
+  (* worst endpoint: (delay, endpoint net, capture cell) *)
   let worst = ref None in
   let endpoints = ref 0 in
-  Netlist.iter_cells netlist (fun cell ->
-      if Cell.is_sequential cell then
-        List.iter
-          (fun net ->
+  let skew = tech.Tech.stdcell.Stdcell.clock_skew_ns in
+  List.iter
+    (fun id ->
+      let cell = Netlist.find_cell netlist id in
+      let setup = lazy (setup_time tech cell) in
+      List.iter
+        (fun net ->
+          if Hashtbl.mem arrivals.net_launch (Net.id net) then begin
             incr endpoints;
-            match
-              trace_path netlist arrivals ~endpoint_net:net ~capture:cell tech
-            with
-            | None -> ()
-            | Some path -> (
-                match !worst with
-                | Some best when best.delay_ns >= path.delay_ns -> ()
-                | Some _ | None -> worst := Some path))
-          (Cell.inputs cell));
+            let arrival =
+              Option.value ~default:0.0
+                (Hashtbl.find_opt arrivals.net_arrival (Net.id net))
+            in
+            let delay_ns = arrival +. Lazy.force setup +. skew in
+            match !worst with
+            | Some (best, _, _) when best >= delay_ns -> ()
+            | Some _ | None -> worst := Some (delay_ns, net, cell)
+          end)
+        (Cell.inputs cell))
+    ids;
   match !worst with
   | None -> raise No_paths
-  | Some worst ->
-      {
-        worst;
-        max_delay_ns = worst.delay_ns;
-        fmax_mhz = 1000.0 /. worst.delay_ns;
-        endpoint_count = !endpoints;
-      }
+  | Some (_, endpoint_net, capture) -> (
+      match trace_path netlist arrivals ~endpoint_net ~capture tech with
+      | None ->
+          (* cannot happen: the endpoint has a launch entry *)
+          raise No_paths
+      | Some worst ->
+          {
+            worst;
+            max_delay_ns = worst.delay_ns;
+            fmax_mhz = 1000.0 /. worst.delay_ns;
+            endpoint_count = !endpoints;
+          })
+
+let report_of_arrivals tech netlist arrivals =
+  report_over_ids tech netlist arrivals (seq_ids netlist)
+
+(* Full analysis: worst register-to-register path. *)
+let analyse tech netlist =
+  report_of_arrivals tech netlist (compute_arrivals tech netlist)
+
+(* --- Incremental engine ---------------------------------------------- *)
+
+(* Caches the arrival tables across analyses of the same (mutating)
+   netlist.  On each analysis the engine reads the netlist's change
+   journal and relaxes only the fan-out cone of the touched cells with a
+   worklist, instead of re-walking the whole graph.  Arrival times are a
+   unique fixpoint of the max-plus propagation on the DAG, so the result
+   is bit-identical to a full recomputation. *)
+type engine = {
+  e_tech : Tech.t;
+  e_netlist : Netlist.t;
+  mutable e_revision : int; (* netlist revision the tables reflect *)
+  mutable e_arrivals : arrivals;
+  mutable e_seq : int list; (* sequential cell ids, ascending *)
+  mutable e_report : (int * report) option;
+  mutable e_full : int;
+  mutable e_incremental : int;
+  mutable e_relaxed : int;
+}
+
+type engine_stats = {
+  full_recomputes : int;
+  incremental_updates : int;
+  cells_relaxed : int; (* comb cells relaxed by incremental updates *)
+}
+
+let make_engine tech netlist =
+  {
+    e_tech = tech;
+    e_netlist = netlist;
+    e_revision = Netlist.revision netlist;
+    e_arrivals = compute_arrivals tech netlist;
+    e_seq = seq_ids netlist;
+    e_report = None;
+    e_full = 1;
+    e_incremental = 0;
+    e_relaxed = 0;
+  }
+
+let engine_stats e =
+  {
+    full_recomputes = e.e_full;
+    incremental_updates = e.e_incremental;
+    cells_relaxed = e.e_relaxed;
+  }
+
+let incremental_update engine ~cells ~nets =
+  let tech = engine.e_tech and nl = engine.e_netlist in
+  let { net_arrival; net_pred; net_launch } = engine.e_arrivals in
+  let queue = Queue.create () in
+  let queued = Hashtbl.create 64 in
+  let enqueue cell =
+    if Cell.is_comb cell then begin
+      let id = Cell.id cell in
+      if not (Hashtbl.mem queued id) then begin
+        Hashtbl.add queued id ();
+        Queue.add id queue
+      end
+    end
+  in
+  let enqueue_readers net = List.iter enqueue (Netlist.readers_of nl net) in
+  (* a sequential driver re-seeds its output nets with clk-to-q *)
+  let reseed_seq_output cell net =
+    let nid = Net.id net in
+    let t = launch_delay tech cell in
+    let same_launch =
+      match Hashtbl.find_opt net_launch nid with
+      | Some l -> Cell.id l = Cell.id cell
+      | None -> false
+    in
+    if
+      Hashtbl.find_opt net_arrival nid <> Some t
+      || Hashtbl.mem net_pred nid || not same_launch
+    then begin
+      Hashtbl.replace net_arrival nid t;
+      Hashtbl.remove net_pred nid;
+      Hashtbl.replace net_launch nid cell;
+      enqueue_readers net
+    end
+  in
+  let touch_net nid =
+    let net = Netlist.find_net nl nid in
+    match Netlist.driver_of nl net with
+    | None ->
+        (* driver removed and not replaced: the net reverts to the
+           primary-input default (no table entry) *)
+        if
+          Hashtbl.mem net_arrival nid || Hashtbl.mem net_pred nid
+          || Hashtbl.mem net_launch nid
+        then begin
+          Hashtbl.remove net_arrival nid;
+          Hashtbl.remove net_pred nid;
+          Hashtbl.remove net_launch nid;
+          enqueue_readers net
+        end
+    | Some driver when Cell.is_sequential driver -> reseed_seq_output driver net
+    | Some driver -> enqueue driver
+  in
+  List.iter touch_net nets;
+  List.iter
+    (fun id ->
+      if Netlist.mem_cell nl id then begin
+        let cell = Netlist.find_cell nl id in
+        if Cell.is_comb cell then enqueue cell
+        else List.iter (reseed_seq_output cell) (Cell.outputs cell)
+      end
+      (* removed cells: their output nets are in [nets] *))
+    cells;
+  while not (Queue.is_empty queue) do
+    let id = Queue.pop queue in
+    Hashtbl.remove queued id;
+    if Netlist.mem_cell nl id then begin
+      let cell = Netlist.find_cell nl id in
+      if Cell.is_comb cell then begin
+        engine.e_relaxed <- engine.e_relaxed + 1;
+        let out_time, in_net, launch = eval_cell tech engine.e_arrivals cell in
+        List.iter
+          (fun net ->
+            let nid = Net.id net in
+            let same_arrival = Hashtbl.find_opt net_arrival nid = Some out_time in
+            let same_pred =
+              match Hashtbl.find_opt net_pred nid with
+              | Some (prev_cell, prev_net) ->
+                  Cell.id prev_cell = Cell.id cell
+                  && (match (prev_net, in_net) with
+                     | None, None -> true
+                     | Some a, Some b -> Net.id a = Net.id b
+                     | Some _, None | None, Some _ -> false)
+              | None -> false
+            in
+            let same_launch =
+              match (Hashtbl.find_opt net_launch nid, launch) with
+              | None, None -> true
+              | Some a, Some b -> Cell.id a = Cell.id b
+              | Some _, None | None, Some _ -> false
+            in
+            (* always refresh the stored cell values (they may have been
+               rewired), but only propagate on a real change *)
+            Hashtbl.replace net_arrival nid out_time;
+            Hashtbl.replace net_pred nid (cell, in_net);
+            (match launch with
+            | Some l -> Hashtbl.replace net_launch nid l
+            | None -> Hashtbl.remove net_launch nid);
+            if not (same_arrival && same_pred && same_launch) then
+              enqueue_readers net)
+          (Cell.outputs cell)
+      end
+    end
+  done
+
+(* Keep the cached sequential-id list equal to [seq_ids e_netlist]:
+   every added, removed or rewired cell id appears in the journal, so
+   dropping the touched ids and re-inserting the ones that are (still)
+   sequential restores the invariant. *)
+let update_seq_ids engine touched =
+  match touched with
+  | [] -> ()
+  | touched ->
+      let nl = engine.e_netlist in
+      let touched = List.sort_uniq Int.compare touched in
+      let keep =
+        List.filter (fun id -> not (List.mem id touched)) engine.e_seq
+      in
+      let add =
+        List.filter
+          (fun id ->
+            Netlist.mem_cell nl id
+            && Cell.is_sequential (Netlist.find_cell nl id))
+          touched
+      in
+      engine.e_seq <- List.merge Int.compare keep add
+
+let sync engine =
+  let rev = Netlist.revision engine.e_netlist in
+  if rev <> engine.e_revision then begin
+    (match Netlist.changes_since engine.e_netlist engine.e_revision with
+    | Some { Netlist.cells = []; nets = [] } -> ()
+    | Some { Netlist.cells; nets } ->
+        incremental_update engine ~cells ~nets;
+        update_seq_ids engine cells;
+        engine.e_incremental <- engine.e_incremental + 1
+    | None ->
+        (* journal truncated: too far behind, recompute from scratch *)
+        engine.e_arrivals <- compute_arrivals engine.e_tech engine.e_netlist;
+        engine.e_seq <- seq_ids engine.e_netlist;
+        engine.e_full <- engine.e_full + 1);
+    engine.e_revision <- rev;
+    engine.e_report <- None
+  end
+
+let engine_arrivals engine =
+  sync engine;
+  engine.e_arrivals
+
+let engine_analyse engine =
+  sync engine;
+  match engine.e_report with
+  | Some (rev, report) when rev = engine.e_revision -> report
+  | Some _ | None ->
+      let report =
+        report_over_ids engine.e_tech engine.e_netlist engine.e_arrivals
+          engine.e_seq
+      in
+      engine.e_report <- Some (engine.e_revision, report);
+      report
 
 let slack_ns report ~period_ns = period_ns -. report.max_delay_ns
 let meets report ~period_ns = slack_ns report ~period_ns >= 0.0

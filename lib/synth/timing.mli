@@ -29,14 +29,49 @@ val cell_delay : Ggpu_tech.Tech.t -> Ggpu_hw.Cell.t -> float
 type arrivals = {
   net_arrival : (int, float) Hashtbl.t;  (** net id -> worst arrival *)
   net_pred : (int, Ggpu_hw.Cell.t * Ggpu_hw.Net.t option) Hashtbl.t;
+  net_launch : (int, Ggpu_hw.Cell.t) Hashtbl.t;
+      (** net id -> sequential cell the worst path launches from; absent
+          when the worst cone is rooted at a primary input *)
 }
 
 val compute_arrivals : Ggpu_tech.Tech.t -> Ggpu_hw.Netlist.t -> arrivals
 (** Exposed for post-route analysis ({!Ggpu_layout.Timing_post}). *)
 
 val analyse : Ggpu_tech.Tech.t -> Ggpu_hw.Netlist.t -> report
-(** @raise No_paths if the netlist has no register-to-register path.
+(** Full recomputation.  Deterministic: endpoints are scanned in
+    ascending cell-id order, and [endpoint_count] counts only endpoint
+    nets that produce a register-to-register path (paths from primary
+    inputs are excluded).
+    @raise No_paths if the netlist has no register-to-register path.
     @raise Ggpu_hw.Topo.Combinational_loop on a combinational cycle. *)
+
+(** {1 Incremental engine}
+
+    Caches topological/arrival state across repeated analyses of the
+    same mutating netlist (the planner's analyse-edit loop).  After an
+    edit, only the fan-out cone of the touched cells is relaxed, using
+    the netlist's change journal ({!Ggpu_hw.Netlist.changes_since}).
+    Results are bit-identical to {!analyse}. *)
+
+type engine
+
+type engine_stats = {
+  full_recomputes : int;  (** whole-graph recomputations (>= 1) *)
+  incremental_updates : int;  (** journal-driven cone updates *)
+  cells_relaxed : int;  (** comb cells relaxed incrementally *)
+}
+
+val make_engine : Ggpu_tech.Tech.t -> Ggpu_hw.Netlist.t -> engine
+(** Performs the initial full computation. *)
+
+val engine_analyse : engine -> report
+(** Synchronise with the netlist's current revision and report.
+    @raise No_paths as {!analyse}. *)
+
+val engine_arrivals : engine -> arrivals
+(** Synchronised arrival tables (same caveats as {!compute_arrivals}). *)
+
+val engine_stats : engine -> engine_stats
 
 val slack_ns : report -> period_ns:float -> float
 val meets : report -> period_ns:float -> bool

@@ -156,6 +156,63 @@ let test_topo_order () =
   Alcotest.(check bool) "c2 before c3" true (pos c2 < pos c3);
   Alcotest.(check bool) "c1 before c3" true (pos c1 < pos c3)
 
+(* Regression: a cell reading one net on several pins (and transforms
+   rewiring such cells) must not skew the (driver, reader) edge counting
+   into a spurious Combinational_loop. *)
+let test_topo_duplicated_pin () =
+  let nl = Netlist.create ~name:"dup" in
+  let d = Netlist.add_net nl ~name:"d" ~width:8 in
+  let q = Netlist.add_net nl ~name:"q" ~width:8 in
+  let mid = Netlist.add_net nl ~name:"mid" ~width:8 in
+  let _ff =
+    Netlist.add_cell nl ~name:"ff" ~region:"top" ~kind:Cell.Dff ~inputs:[ d ]
+      ~outputs:[ q ] ()
+  in
+  let dbl =
+    (* reads q on two pins *)
+    Netlist.add_cell nl ~name:"dbl" ~region:"top" ~kind:(Cell.Comb Op.Add)
+      ~inputs:[ q; q ] ~outputs:[ mid ] ()
+  in
+  let back =
+    (* reads mid on two pins *)
+    Netlist.add_cell nl ~name:"back" ~region:"top" ~kind:(Cell.Comb Op.Add)
+      ~inputs:[ mid; mid ] ~outputs:[ d ] ()
+  in
+  let order = Topo.order nl in
+  check "each comb cell exactly once" 2 (List.length order);
+  (match order with
+  | [ first; second ] ->
+      Alcotest.(check string) "driver first" (Cell.name dbl) (Cell.name first);
+      Alcotest.(check string) "reader second" (Cell.name back)
+        (Cell.name second)
+  | _ -> Alcotest.fail "expected two comb cells");
+  (* rewiring the duplicated pins through a pipeline stage must keep the
+     counting consistent too *)
+  let _staged = Netlist.insert_pipeline nl mid in
+  check "no spurious loop after pipeline" 2 (List.length (Topo.order nl))
+
+let test_topo_deterministic () =
+  (* several cells ready at once: emission must follow cell ids, not
+     hash-table iteration order, and repeat identically *)
+  let nl = Netlist.create ~name:"det" in
+  let a = Netlist.add_net nl ~name:"a" ~width:8 in
+  Netlist.set_inputs nl [ a ];
+  let cells =
+    List.map
+      (fun i ->
+        let out = Netlist.add_net nl ~name:(Printf.sprintf "o%d" i) ~width:8 in
+        Netlist.add_cell nl
+          ~name:(Printf.sprintf "g%d" i)
+          ~region:"top" ~kind:(Cell.Comb Op.Not) ~inputs:[ a ] ~outputs:[ out ]
+          ())
+      (List.init 16 (fun i -> i))
+  in
+  let ids order = List.map Cell.id order in
+  let o1 = ids (Topo.order nl) and o2 = ids (Topo.order nl) in
+  Alcotest.(check (list int)) "two runs agree" o1 o2;
+  Alcotest.(check (list int))
+    "independent cells emitted in id order" (List.map Cell.id cells) o1
+
 let test_topo_loop_detected () =
   let nl = Netlist.create ~name:"loop" in
   let a = Netlist.add_net nl ~name:"a" ~width:1 in
@@ -262,6 +319,9 @@ let suite =
         Alcotest.test_case "split bits" `Quick test_split_bits;
         Alcotest.test_case "insert pipeline" `Quick test_insert_pipeline;
         Alcotest.test_case "topo order" `Quick test_topo_order;
+        Alcotest.test_case "topo duplicated pin" `Quick
+          test_topo_duplicated_pin;
+        Alcotest.test_case "topo deterministic" `Quick test_topo_deterministic;
         Alcotest.test_case "topo loop detected" `Quick test_topo_loop_detected;
         Alcotest.test_case "macro spec ranges" `Quick test_macro_spec_ranges;
         Alcotest.test_case "op monotonicity" `Quick test_op_monotonic;

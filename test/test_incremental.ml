@@ -1,0 +1,125 @@
+(* Property tests for the incremental timing engine: after every DSE
+   edit the engine report must be bit-identical to a full recomputation
+   (same floats, same endpoint census, same worst path cell by cell).
+   The edits come from a real [Dse.explore] run, replayed one at a time
+   on a fresh netlist with an engine attached. *)
+
+open Ggpu_tech
+open Ggpu_synth
+open Ggpu_core
+
+let tech = Tech.default_65nm
+
+let check_reports_identical msg (eng : Timing.report) (full : Timing.report) =
+  Alcotest.(check (float 0.0))
+    (msg ^ ": max_delay_ns")
+    full.Timing.max_delay_ns eng.Timing.max_delay_ns;
+  Alcotest.(check (float 0.0))
+    (msg ^ ": fmax_mhz")
+    full.Timing.fmax_mhz eng.Timing.fmax_mhz;
+  Alcotest.(check int)
+    (msg ^ ": endpoint_count")
+    full.Timing.endpoint_count eng.Timing.endpoint_count;
+  let name c = Ggpu_hw.Cell.name c in
+  Alcotest.(check string)
+    (msg ^ ": launch")
+    (name full.Timing.worst.Timing.launch)
+    (name eng.Timing.worst.Timing.launch);
+  Alcotest.(check string)
+    (msg ^ ": capture")
+    (name full.Timing.worst.Timing.capture)
+    (name eng.Timing.worst.Timing.capture);
+  Alcotest.(check (list string))
+    (msg ^ ": through")
+    (List.map name full.Timing.worst.Timing.through)
+    (List.map name eng.Timing.worst.Timing.through);
+  Alcotest.(check (float 0.0))
+    (msg ^ ": path delay")
+    full.Timing.worst.Timing.delay_ns eng.Timing.worst.Timing.delay_ns
+
+(* Replay each edit of a converged 667 MHz map one at a time, checking
+   engine-vs-full identity after every step. *)
+let check_bit_identity ~num_cus () =
+  let edits =
+    let nl = Ggpu_rtlgen.Generate.generate_cus ~num_cus in
+    let result =
+      Dse.explore tech nl ~num_cus ~period_ns:(1000.0 /. 667.0)
+    in
+    result.Dse.map.Map.edits
+  in
+  Alcotest.(check bool) "map has edits" true (List.length edits > 0);
+  let nl = Ggpu_rtlgen.Generate.generate_cus ~num_cus in
+  let engine = Timing.make_engine tech nl in
+  check_reports_identical "initial" (Timing.engine_analyse engine)
+    (Timing.analyse tech nl);
+  List.iteri
+    (fun i edit ->
+      Map.apply_edit nl edit;
+      check_reports_identical
+        (Printf.sprintf "after edit %d (%s)" i (Map.edit_to_string edit))
+        (Timing.engine_analyse engine)
+        (Timing.analyse tech nl))
+    edits;
+  let stats = Timing.engine_stats engine in
+  Alcotest.(check int) "one full recompute" 1 stats.Timing.full_recomputes;
+  Alcotest.(check bool) "incremental updates happened" true
+    (stats.Timing.incremental_updates > 0)
+
+let test_bit_identity_1cu () = check_bit_identity ~num_cus:1 ()
+let test_bit_identity_8cu () = check_bit_identity ~num_cus:8 ()
+
+(* The planner itself must converge to the same answer with and without
+   the engine. *)
+let test_dse_incremental_matches_full () =
+  let run ~incremental =
+    let nl = Ggpu_rtlgen.Generate.generate_cus ~num_cus:2 in
+    Dse.explore ~incremental tech nl ~num_cus:2 ~period_ns:(1000.0 /. 667.0)
+  in
+  let inc = run ~incremental:true and full = run ~incremental:false in
+  Alcotest.(check int) "iterations" full.Dse.iterations inc.Dse.iterations;
+  Alcotest.(check (list string))
+    "same edits"
+    (List.map Map.edit_to_string full.Dse.map.Map.edits)
+    (List.map Map.edit_to_string inc.Dse.map.Map.edits);
+  check_reports_identical "final report" inc.Dse.final full.Dse.final
+
+(* [Netlist.copy] must hand the flow an independent netlist: editing the
+   copy leaves the base untouched, and DSE on a copy converges exactly
+   as on a fresh elaboration. *)
+let test_netlist_copy_independent () =
+  let base = Ggpu_rtlgen.Generate.generate_cus ~num_cus:1 in
+  let before = Ggpu_hw.Netlist.stats base in
+  let copy = Ggpu_hw.Netlist.copy base in
+  let result =
+    Dse.explore tech copy ~num_cus:1 ~period_ns:(1000.0 /. 667.0)
+  in
+  Alcotest.(check bool) "dse edited the copy" true
+    (List.length result.Dse.map.Map.edits > 0);
+  let after = Ggpu_hw.Netlist.stats base in
+  Alcotest.(check int) "base macros untouched"
+    before.Ggpu_hw.Netlist.macro_count after.Ggpu_hw.Netlist.macro_count;
+  Alcotest.(check int) "base ffs untouched" before.Ggpu_hw.Netlist.ff_bits
+    after.Ggpu_hw.Netlist.ff_bits;
+  let fresh = Ggpu_rtlgen.Generate.generate_cus ~num_cus:1 in
+  let fresh_result =
+    Dse.explore tech fresh ~num_cus:1 ~period_ns:(1000.0 /. 667.0)
+  in
+  Alcotest.(check (list string))
+    "copy and fresh converge identically"
+    (List.map Map.edit_to_string fresh_result.Dse.map.Map.edits)
+    (List.map Map.edit_to_string result.Dse.map.Map.edits)
+
+let suite =
+  [
+    ( "incremental",
+      [
+        Alcotest.test_case "engine bit-identical, 1 CU" `Quick
+          test_bit_identity_1cu;
+        Alcotest.test_case "engine bit-identical, 8 CU" `Slow
+          test_bit_identity_8cu;
+        Alcotest.test_case "dse incremental matches full" `Quick
+          test_dse_incremental_matches_full;
+        Alcotest.test_case "netlist copy is independent" `Quick
+          test_netlist_copy_independent;
+      ] );
+  ]

@@ -77,6 +77,55 @@ let test_dse_unreachable_frequency () =
   | _ -> Alcotest.fail "expected Cannot_meet"
   | exception Dse.Cannot_meet _ -> ()
 
+let contains s sub =
+  let n = String.length sub in
+  let rec go i = i + n <= String.length s && (String.sub s i n = sub || go (i + 1)) in
+  go 0
+
+let test_dse_division_only_hits_logic_wall () =
+  (* without pipelining, 667 MHz dies on a logic-dominated path that no
+     memory division can fix *)
+  let nl = Ggpu_rtlgen.Generate.generate_cus ~num_cus:1 in
+  match Dse.explore ~strategy:Dse.Division_only tech nl ~num_cus:1 ~period_ns:1.5 with
+  | _ -> Alcotest.fail "expected Cannot_meet"
+  | exception Dse.Cannot_meet { detail; _ } ->
+      Alcotest.(check bool)
+        (Printf.sprintf "detail names the unfixable path: %s" detail)
+        true
+        (contains detail "unfixable path")
+
+let test_dse_pipeline_only_never_divides () =
+  (* 1.9 ns sits between the unedited worst path (~1.98 ns) and the
+     macro clk-to-q floor that only division can break, so pipelining
+     alone both has to act and can converge *)
+  let nl = Ggpu_rtlgen.Generate.generate_cus ~num_cus:1 in
+  let result =
+    Dse.explore ~strategy:Dse.Pipeline_only tech nl ~num_cus:1 ~period_ns:1.9
+  in
+  Alcotest.(check bool) "made progress" true
+    (List.length result.Dse.map.Map.edits > 0);
+  List.iter
+    (function
+      | Map.Pipeline _ -> ()
+      | edit ->
+          Alcotest.failf "pipeline-only emitted %s" (Map.edit_to_string edit))
+    result.Dse.map.Map.edits
+
+let test_dse_full_strategy_staging () =
+  (* the paper's staging: divisions alone reach 590 MHz; 667 MHz needs
+     divisions plus on-demand pipelining *)
+  let explore freq_mhz =
+    let nl = Ggpu_rtlgen.Generate.generate_cus ~num_cus:1 in
+    Dse.explore ~strategy:Dse.Full tech nl ~num_cus:1
+      ~period_ns:(1000.0 /. float_of_int freq_mhz)
+  in
+  let r590 = explore 590 in
+  Alcotest.(check bool) "590: divisions" true (Map.divisions r590.Dse.map > 0);
+  Alcotest.(check int) "590: no pipelines" 0 (Map.pipelines r590.Dse.map);
+  let r667 = explore 667 in
+  Alcotest.(check bool) "667: divisions" true (Map.divisions r667.Dse.map > 0);
+  Alcotest.(check bool) "667: pipelines" true (Map.pipelines r667.Dse.map > 0)
+
 let test_map_replay_reproduces_design () =
   let nl1, result = explore_fresh ~num_cus:1 ~freq_mhz:667 in
   let nl2 = Ggpu_rtlgen.Generate.generate_cus ~num_cus:1 in
@@ -191,6 +240,12 @@ let suite =
           test_dse_macro_counts_match_paper;
         Alcotest.test_case "dse unreachable frequency" `Quick
           test_dse_unreachable_frequency;
+        Alcotest.test_case "dse division-only hits logic wall" `Quick
+          test_dse_division_only_hits_logic_wall;
+        Alcotest.test_case "dse pipeline-only never divides" `Quick
+          test_dse_pipeline_only_never_divides;
+        Alcotest.test_case "dse full strategy staging" `Quick
+          test_dse_full_strategy_staging;
         Alcotest.test_case "map replay reproduces design" `Quick
           test_map_replay_reproduces_design;
         Alcotest.test_case "map replay bad name" `Quick test_map_replay_bad_name;

@@ -138,6 +138,67 @@ let test_sta_macro_launch_dominates () =
   Alcotest.(check (float 1e-9)) "macro path delay" expect
     report.Timing.max_delay_ns
 
+let test_sta_endpoint_count_excludes_primary_inputs () =
+  (* two sequential endpoints, but only one is reached from a register:
+     the path from the primary input must not inflate endpoint_count *)
+  let nl = Netlist.create ~name:"endpoints" in
+  let d = Netlist.add_net nl ~name:"d" ~width:8 in
+  let q = Netlist.add_net nl ~name:"q" ~width:8 in
+  let n1 = Netlist.add_net nl ~name:"n1" ~width:8 in
+  let q2 = Netlist.add_net nl ~name:"q2" ~width:8 in
+  let pi = Netlist.add_net nl ~name:"pi" ~width:8 in
+  let n2 = Netlist.add_net nl ~name:"n2" ~width:8 in
+  let q3 = Netlist.add_net nl ~name:"q3" ~width:8 in
+  Netlist.set_inputs nl [ pi ];
+  let _ff1 =
+    Netlist.add_cell nl ~name:"ff1" ~region:"top" ~kind:Cell.Dff ~inputs:[ d ]
+      ~outputs:[ q ] ()
+  in
+  let _g1 =
+    Netlist.add_cell nl ~name:"g1" ~region:"top" ~kind:(Cell.Comb Op.Not)
+      ~inputs:[ q ] ~outputs:[ n1 ] ()
+  in
+  let _ff2 =
+    Netlist.add_cell nl ~name:"ff2" ~region:"top" ~kind:Cell.Dff
+      ~inputs:[ n1 ] ~outputs:[ q2 ] ()
+  in
+  (* primary-input-only cone into a third register *)
+  let _g2 =
+    Netlist.add_cell nl ~name:"g2" ~region:"top" ~kind:(Cell.Comb Op.Not)
+      ~inputs:[ pi ] ~outputs:[ n2 ] ()
+  in
+  let _ff3 =
+    Netlist.add_cell nl ~name:"ff3" ~region:"top" ~kind:Cell.Dff
+      ~inputs:[ n2 ] ~outputs:[ q3 ] ()
+  in
+  let report = Timing.analyse tech nl in
+  Alcotest.(check int)
+    "only the register-launched endpoint counts" 1
+    report.Timing.endpoint_count;
+  Alcotest.(check string) "launch" "ff1"
+    (Cell.name report.Timing.worst.Timing.launch);
+  Alcotest.(check string) "capture" "ff2"
+    (Cell.name report.Timing.worst.Timing.capture)
+
+let test_sta_deterministic () =
+  (* two consecutive analyses of the same netlist must report the same
+     worst path, delay and endpoint count *)
+  let nl = Generate.generate_cus ~num_cus:2 in
+  let r1 = Timing.analyse tech nl and r2 = Timing.analyse tech nl in
+  Alcotest.(check (float 0.0)) "same delay" r1.Timing.max_delay_ns
+    r2.Timing.max_delay_ns;
+  Alcotest.(check int) "same endpoints" r1.Timing.endpoint_count
+    r2.Timing.endpoint_count;
+  Alcotest.(check string) "same launch"
+    (Cell.name r1.Timing.worst.Timing.launch)
+    (Cell.name r2.Timing.worst.Timing.launch);
+  Alcotest.(check string) "same capture"
+    (Cell.name r1.Timing.worst.Timing.capture)
+    (Cell.name r2.Timing.worst.Timing.capture);
+  Alcotest.(check (list string)) "same through cells"
+    (List.map Cell.name r1.Timing.worst.Timing.through)
+    (List.map Cell.name r2.Timing.worst.Timing.through)
+
 let test_area_scales_with_cus () =
   let area cus =
     (Area.of_netlist tech (Generate.generate_cus ~num_cus:cus)).Area.total_mm2
@@ -231,6 +292,9 @@ let suite =
         Alcotest.test_case "sta hand computed" `Quick test_sta_hand_computed;
         Alcotest.test_case "sta macro launch" `Quick
           test_sta_macro_launch_dominates;
+        Alcotest.test_case "sta endpoint count" `Quick
+          test_sta_endpoint_count_excludes_primary_inputs;
+        Alcotest.test_case "sta deterministic" `Quick test_sta_deterministic;
         Alcotest.test_case "area scales with cus" `Quick
           test_area_scales_with_cus;
         Alcotest.test_case "power scales with frequency" `Quick
