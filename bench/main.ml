@@ -7,7 +7,7 @@
      dune exec bench/main.exe                 # everything
      dune exec bench/main.exe -- table1 fig5  # selected experiments
    Experiments: table1 table2 table3 fig3 fig4 fig5 fig6 ablation-dse
-   ablation-mem future-gmc perf *)
+   ablation-mem future-gmc fi perf *)
 
 open Ggpu_core
 
@@ -234,6 +234,77 @@ let run_future_gmc () =
         (Ggpu_layout.Timing_post.quantised_mhz post))
     [ 1; 2; 4 ]
 
+(* --- Fault injection ----------------------------------------------------- *)
+
+(* 1000-trial SEU campaigns on a streaming and a divider-bound kernel,
+   against both simulators.  The G-GPU campaigns run on 4 CUs so the
+   fault population sees multi-CU structures (per-CU wavefront pools,
+   shared cache contention).  Shape checks are documented in
+   EXPERIMENTS.md: register-file AVF > tag-array AVF, pc faults mostly
+   DUE, straight-line GPU kernels cannot hang while the RISC-V
+   work-item loop can. *)
+let run_fi () =
+  section "Fault injection: AVF of copy and div_int (1000 SEU trials each)";
+  let avf_of report structure =
+    match List.assoc_opt structure report.Ggpu_fi.Campaign.by_structure with
+    | Some c -> Ggpu_fi.Campaign.avf c
+    | None -> 0.0
+  in
+  let reports =
+    List.concat_map
+      (fun kernel ->
+        let w = Ggpu_kernels.Suite.find kernel in
+        List.map
+          (fun target ->
+            let size =
+              match target with
+              | Ggpu_fi.Campaign.Ggpu _ ->
+                  min 2048 w.Ggpu_kernels.Suite.ggpu_size
+              | Ggpu_fi.Campaign.Rv32 -> w.Ggpu_kernels.Suite.riscv_size
+            in
+            let r =
+              Ggpu_fi.Campaign.run ~target ~workload:w ~size ~trials:1000
+                ~seed:42 ()
+            in
+            Format.printf "%a@.@." Ggpu_fi.Campaign.pp_report r;
+            r)
+          [ Ggpu_fi.Campaign.Ggpu 4; Ggpu_fi.Campaign.Rv32 ])
+      [ "copy"; "div_int" ]
+  in
+  (* golden-run counters of the copy campaign's configuration, via
+     Stats.to_assoc (no pp scraping) *)
+  let w = Ggpu_kernels.Suite.copy in
+  let args = w.Ggpu_kernels.Suite.mk_args ~size:2048 in
+  let compiled = Ggpu_kernels.Codegen_fgpu.compile w.Ggpu_kernels.Suite.kernel in
+  let golden =
+    Ggpu_kernels.Run_fgpu.run
+      ~config:(Ggpu_fgpu.Config.with_cus Ggpu_fgpu.Config.default 4)
+      compiled ~args ~global_size:2048 ~local_size:256 ()
+  in
+  Printf.printf "golden copy/4cu counters:";
+  List.iter
+    (fun (name, v) -> Printf.printf " %s=%d" name v)
+    (Ggpu_fgpu.Stats.to_assoc golden.Ggpu_kernels.Run_fgpu.stats);
+  print_newline ();
+  (* shape summary over the four campaigns *)
+  List.iter
+    (fun r ->
+      match r.Ggpu_fi.Campaign.target with
+      | Ggpu_fi.Campaign.Ggpu _ ->
+          Printf.printf
+            "%s/%s: wf_reg AVF %.3f vs cache_tag AVF %.3f | mask AVF %.3f\n"
+            r.Ggpu_fi.Campaign.kernel
+            (Ggpu_fi.Campaign.target_name r.Ggpu_fi.Campaign.target)
+            (avf_of r Ggpu_fi.Fault.Wf_reg)
+            (avf_of r Ggpu_fi.Fault.Cache_tag)
+            (avf_of r Ggpu_fi.Fault.Wf_mask)
+      | Ggpu_fi.Campaign.Rv32 ->
+          Printf.printf "%s/rv32: reg AVF %.3f | hangs %d (work-item loop)\n"
+            r.Ggpu_fi.Campaign.kernel
+            (avf_of r Ggpu_fi.Fault.Rv_reg)
+            r.Ggpu_fi.Campaign.total.Ggpu_fi.Campaign.hang)
+    reports
+
 (* --- Performance: incremental STA + parallel version grid -------------- *)
 
 (* Seed-vs-new comparison of the full Table-I sweep: the seed ran every
@@ -401,6 +472,7 @@ let experiments =
     ("ablation-dse", run_ablation_dse);
     ("ablation-mem", run_ablation_mem);
     ("future-gmc", run_future_gmc);
+    ("fi", run_fi);
     ("perf", run_perf);
   ]
 
@@ -411,7 +483,7 @@ let () =
     | _ ->
         [
           "table1"; "table2"; "table3"; "fig3"; "fig5"; "fig6"; "ablation-dse";
-          "ablation-mem"; "future-gmc"; "perf";
+          "ablation-mem"; "future-gmc"; "fi"; "perf";
         ]
   in
   List.iter

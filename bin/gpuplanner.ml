@@ -240,6 +240,93 @@ let run_cmd =
   in
   Cmd.v (Cmd.info "run" ~doc:"Simulate one kernel on the G-GPU") term
 
+(* --- fi ----------------------------------------------------------------- *)
+
+let fi_cmd =
+  let kernel_req =
+    let doc = "Kernel to run (mat_mul copy vec_mul fir div_int xcorr \
+               parallel_sel)." in
+    Arg.(required & opt (some string) None & info [ "kernel" ] ~doc ~docv:"NAME")
+  in
+  let target_term =
+    let doc = "Target machine: ggpu (with --cus) or riscv." in
+    Arg.(value & opt string "ggpu" & info [ "target" ] ~doc ~docv:"MACHINE")
+  in
+  let trials_term =
+    let doc = "Number of injected trials." in
+    Arg.(value & opt int 1000 & info [ "trials" ] ~doc ~docv:"N")
+  in
+  let seed_term =
+    let doc = "Campaign seed; fixes the whole trial list." in
+    Arg.(value & opt int 42 & info [ "seed" ] ~doc ~docv:"SEED")
+  in
+  let size_term =
+    let doc = "Problem size in work-items (default: a per-target size \
+               that keeps the campaign tractable)." in
+    Arg.(value & opt (some int) None & info [ "size" ] ~doc ~docv:"N")
+  in
+  let domains_term =
+    let doc = "Domain-pool size for the trial fan-out (1 = serial)." in
+    Arg.(value & opt (some int) None & info [ "domains" ] ~doc ~docv:"D")
+  in
+  let expect_term =
+    let doc =
+      "Expected classification signature (as printed by a previous run); \
+       exit 1 on drift. Used by CI."
+    in
+    Arg.(value & opt (some string) None & info [ "expect" ] ~doc ~docv:"SIG")
+  in
+  let run cus kernel target trials seed size domains expect =
+    let w =
+      try Ggpu_kernels.Suite.find kernel
+      with Invalid_argument msg ->
+        prerr_endline msg;
+        exit 1
+    in
+    let target =
+      match target with
+      | "ggpu" -> Ggpu_fi.Campaign.Ggpu cus
+      | "riscv" -> Ggpu_fi.Campaign.Rv32
+      | other ->
+          Printf.eprintf "unknown target %s (ggpu | riscv)\n" other;
+          exit 1
+    in
+    let size =
+      match size with
+      | Some s -> s
+      | None -> (
+          match target with
+          | Ggpu_fi.Campaign.Ggpu _ ->
+              min 2048 w.Ggpu_kernels.Suite.ggpu_size
+          | Ggpu_fi.Campaign.Rv32 -> w.Ggpu_kernels.Suite.riscv_size)
+    in
+    let report =
+      Ggpu_fi.Campaign.run ?domains ~target ~workload:w ~size ~trials ~seed ()
+    in
+    Format.printf "%a@." Ggpu_fi.Campaign.pp_report report;
+    let signature = Ggpu_fi.Campaign.signature report in
+    Printf.printf "signature: %s\n" signature;
+    (match expect with
+    | Some expected when not (String.equal expected signature) ->
+        Printf.eprintf "classification drift!\n  expected %s\n  got      %s\n"
+          expected signature;
+        exit 1
+    | _ -> ());
+    Ok ()
+  in
+  let term =
+    Term.(
+      term_result ~usage:false
+        (const run $ cus_term $ kernel_req $ target_term $ trials_term
+       $ seed_term $ size_term $ domains_term $ expect_term))
+  in
+  Cmd.v
+    (Cmd.info "fi"
+       ~doc:
+         "Fault-injection campaign: single-bit upsets classified as \
+          masked/SDC/DUE/hang, with per-structure AVF")
+    term
+
 (* --- verilog ------------------------------------------------------------ *)
 
 let verilog_cmd =
@@ -277,4 +364,10 @@ let verilog_cmd =
 let () =
   let doc = "open-source generator of GPU-like ASIC accelerators" in
   let info = Cmd.info "gpuplanner" ~version:"1.0.0" ~doc in
-  exit (Cmd.eval (Cmd.group info [ synth_cmd; map_cmd; layout_cmd; table1_cmd; compare_cmd; run_cmd; verilog_cmd ]))
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [
+            synth_cmd; map_cmd; layout_cmd; table1_cmd; compare_cmd; run_cmd;
+            fi_cmd; verilog_cmd;
+          ]))

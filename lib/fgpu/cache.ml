@@ -47,6 +47,13 @@ let create (cfg : Config.t) ~stats =
 
 let line_of_addr t ~addr = addr / 4 / t.line_words
 
+(* Introspection for fault injection. *)
+let num_lines t = t.num_lines
+let line_words t = t.line_words
+let tag t i = t.tags.(i)
+let set_tag t i v = t.tags.(i) <- v
+let line_addr t i = (t.tags.(i) * t.num_lines + i) * t.line_words * 4
+
 (* Earliest-free resource arbitration: pick the slot that frees first,
    start no earlier than [now], occupy it for [busy] cycles. *)
 let acquire slots ~now ~busy =

@@ -9,6 +9,22 @@ type t
 val create : Config.t -> stats:Stats.t -> t
 val line_of_addr : t -> addr:int -> int
 
+(** {2 Introspection} — architectural-state view for fault injection. *)
+
+val num_lines : t -> int
+val line_words : t -> int
+
+val tag : t -> int -> int
+(** Stored tag of cache index [i]; [-1] when the line is invalid. *)
+
+val set_tag : t -> int -> int -> unit
+(** Overwrite the tag of index [i] (models an SEU in the tag array:
+    subsequent accesses may miss spuriously or alias-hit). *)
+
+val line_addr : t -> int -> int
+(** Base byte address of the line cached at index [i] (meaningless when
+    the line is invalid). *)
+
 val access : t -> now:int -> addr:int -> write:bool -> int
 (** One coalesced line access starting no earlier than [now]; returns
     the completion cycle. Updates tags, port/AXI occupancy and [stats].

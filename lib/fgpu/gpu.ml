@@ -30,8 +30,19 @@ type cu = {
 }
 
 exception Launch_error of string
+exception Watchdog_timeout of int
 
 let fail fmt = Printf.ksprintf (fun s -> raise (Launch_error s)) fmt
+
+(* Snapshot of the architectural state handed to a fault injector:
+   every wavefront currently resident (CU-major, workgroup order), the
+   cache tag/dirty arrays behind [cache], and global memory. *)
+type probe = {
+  p_now : int;
+  p_wavefronts : Wavefront.t array;
+  p_cache : Cache.t;
+  p_mem : int32 array;
+}
 
 let wavefronts_of cu = List.concat_map (fun wg -> Array.to_list wg.wavefronts) cu.resident
 
@@ -49,7 +60,8 @@ let candidate_time cu =
   | [] -> None
   | times -> Some (max cu.vu_free (List.fold_left min max_int times))
 
-let run (cfg : Config.t) ~program ~params ~global_size ~local_size ~mem =
+let run ?max_cycles ?inject (cfg : Config.t) ~program ~params ~global_size
+    ~local_size ~mem =
   let cfg = Config.validate cfg in
   if global_size < 0 then fail "negative global size";
   if local_size <= 0 then fail "non-positive local size";
@@ -126,18 +138,21 @@ let run (cfg : Config.t) ~program ~params ~global_size ~local_size ~mem =
       fail "workgroup of %d items does not fit any CU (capacity %d)"
         local_size cfg.Config.max_workitems_per_cu;
     Array.iter schedule cus;
-    (* pick the next wavefront to issue on [cu] at time [t] *)
+    (* pick the next wavefront to issue on [cu] at time [t]; stop at the
+       round-robin winner instead of scanning the rest (hot path: called
+       once per issued wavefront-instruction) *)
     let pick_wavefront cu t =
       let wfs = Array.of_list (wavefronts_of cu) in
       let n = Array.length wfs in
       let best = ref None in
-      for k = 0 to n - 1 do
-        let wf = wfs.((cu.rr + k) mod n) in
-        if runnable wf && wf.Wavefront.ready_at <= t then
-          if !best = None then begin
-            best := Some wf;
-            cu.rr <- (cu.rr + k + 1) mod n
-          end
+      let k = ref 0 in
+      while !best = None && !k < n do
+        let wf = wfs.((cu.rr + !k) mod n) in
+        if runnable wf && wf.Wavefront.ready_at <= t then begin
+          best := Some wf;
+          cu.rr <- (cu.rr + !k + 1) mod n
+        end;
+        incr k
       done;
       !best
     in
@@ -158,8 +173,27 @@ let run (cfg : Config.t) ~program ~params ~global_size ~local_size ~mem =
       | None -> fail "workgroup %d not resident on CU %d" wg_id cu.cu_id
     in
     (* main event loop *)
+    let pending_inject = ref inject in
     while not (Event_heap.is_empty heap) do
       let t, cu_id = Event_heap.pop heap in
+      (match max_cycles with
+      | Some limit when t > limit -> raise (Watchdog_timeout t)
+      | _ -> ());
+      (match !pending_inject with
+      | Some (at, f) when t >= at ->
+          pending_inject := None;
+          let resident =
+            Array.concat
+              (Array.to_list
+                 (Array.map
+                    (fun cu -> Array.of_list (wavefronts_of cu))
+                    cus))
+          in
+          f { p_now = t; p_wavefronts = resident; p_cache = cache; p_mem = mem };
+          (* injected state may have made an idle CU runnable again (a
+             revived lane): re-arm every CU; stale events are harmless *)
+          Array.iter schedule cus
+      | _ -> ());
       let cu = cus.(cu_id) in
       match candidate_time cu with
       | None -> () (* stale: nothing runnable on this CU anymore *)
@@ -238,5 +272,18 @@ let run (cfg : Config.t) ~program ~params ~global_size ~local_size ~mem =
     done;
     if !next_wg < num_wgs then
       fail "deadlock: %d workgroups never dispatched" (num_wgs - !next_wg);
+    (* a healthy run retires every wavefront before the heap drains; a
+       corrupted one (e.g. a fault-injected lane lost before a barrier)
+       can quiesce with work still resident - report it instead of
+       returning a silently partial result *)
+    let stuck =
+      Array.fold_left
+        (fun n cu ->
+          List.fold_left
+            (fun n wf -> if Wavefront.finished wf then n else n + 1)
+            n (wavefronts_of cu))
+        0 cus
+    in
+    if stuck > 0 then fail "deadlock: %d wavefronts never retired" stuck;
     stats
   end

@@ -7,7 +7,22 @@
 
 exception Launch_error of string
 
+exception Watchdog_timeout of int
+(** Simulated time passed the [max_cycles] watchdog: corrupted control
+    flow that would otherwise spin forever. Carries the event time. *)
+
+type probe = {
+  p_now : int;  (** event time at which the injector fired *)
+  p_wavefronts : Wavefront.t array;
+      (** all resident wavefronts, CU-major then workgroup order *)
+  p_cache : Cache.t;
+  p_mem : int32 array;
+}
+(** Architectural-state snapshot handed to a fault injector. *)
+
 val run :
+  ?max_cycles:int ->
+  ?inject:int * (probe -> unit) ->
   Config.t ->
   program:Ggpu_isa.Fgpu_isa.t array ->
   params:int32 list ->
@@ -19,5 +34,12 @@ val run :
     [local_size]. [params] are preloaded into r1..rN of every work-item
     (the code generator's convention). [mem] is global memory, mutated
     in place.
+
+    [max_cycles] arms a watchdog over simulated time; [inject] is a
+    [(cycle, f)] pair calling [f] once with a state snapshot at the
+    first event at or after [cycle] (fault-injection hook). Neither
+    perturbs the simulation by itself: a run under a high watchdog with
+    no injection reproduces the exact cycle counts of a bare run.
     @raise Launch_error on bad geometry or an empty program.
+    @raise Watchdog_timeout when simulated time exceeds [max_cycles].
     @raise Wavefront.Fault on out-of-range memory accesses. *)

@@ -47,11 +47,31 @@ let hit_rate t =
   let total = t.cache_hits + t.cache_misses in
   if total = 0 then 1.0 else float_of_int t.cache_hits /. float_of_int total
 
+(* Counters as (name, value) pairs, in declaration order, so reports
+   (bench, the FI engine) can emit them without scraping [pp] output. *)
+let to_assoc t =
+  [
+    ("cycles", t.cycles);
+    ("wf_instructions", t.wf_instructions);
+    ("lane_instructions", t.lane_instructions);
+    ("divergent_issues", t.divergent_issues);
+    ("loads", t.loads);
+    ("stores", t.stores);
+    ("line_requests", t.line_requests);
+    ("cache_hits", t.cache_hits);
+    ("cache_misses", t.cache_misses);
+    ("evictions", t.evictions);
+    ("axi_words", t.axi_words);
+    ("barriers", t.barriers);
+    ("workgroups", t.workgroups);
+    ("vu_busy_cycles", t.vu_busy_cycles);
+  ]
+
 let pp fmt t =
   Format.fprintf fmt
     "cycles=%d wf_instrs=%d lane_instrs=%d divergent=%d loads=%d stores=%d \
      line_reqs=%d hits=%d misses=%d evictions=%d axi_words=%d barriers=%d \
-     wgs=%d"
+     wgs=%d vu_busy=%d"
     t.cycles t.wf_instructions t.lane_instructions t.divergent_issues t.loads
     t.stores t.line_requests t.cache_hits t.cache_misses t.evictions
-    t.axi_words t.barriers t.workgroups
+    t.axi_words t.barriers t.workgroups t.vu_busy_cycles

@@ -23,4 +23,9 @@ val utilisation : t -> num_cus:int -> float
 (** Fraction of available vector-pipeline cycles spent issuing. *)
 
 val hit_rate : t -> float
+
+val to_assoc : t -> (string * int) list
+(** Every counter as a (name, value) pair, in declaration order, so
+    reports can emit them without scraping [pp] output. *)
+
 val pp : Format.formatter -> t -> unit

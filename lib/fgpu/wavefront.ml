@@ -80,6 +80,15 @@ let create ~wg_id ~wf_index ~size ~wg_offset ~wg_size ~global_size
 
 let finished t = t.live_lanes = 0
 
+(* Overwrite a lane's program counter from outside the issue path (used
+   by fault injection).  [live_lanes] is a cached count of lanes whose
+   pc is not [done_pc]; recompute it so the scheduler's finished/barrier
+   accounting stays consistent with the mutated pc array. *)
+let set_pc t ~lane pc =
+  t.pcs.(lane) <- pc;
+  t.live_lanes <-
+    Array.fold_left (fun n p -> if p = done_pc then n else n + 1) 0 t.pcs
+
 let min_pc t =
   let best = ref done_pc in
   Array.iter (fun pc -> if pc < !best then best := pc) t.pcs;

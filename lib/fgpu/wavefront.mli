@@ -48,6 +48,12 @@ val create :
     are preloaded into r1..rN of every lane. *)
 
 val finished : t -> bool
+
+val set_pc : t -> lane:int -> int -> unit
+(** Overwrite one lane's pc from outside the issue path (fault
+    injection), recounting [live_lanes] so scheduler accounting stays
+    consistent. [done_pc] retires the lane; any other value revives it. *)
+
 val min_pc : t -> int
 val reg : t -> lane:int -> int -> int32
 val set_reg : t -> lane:int -> int -> int32 -> unit

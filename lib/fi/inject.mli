@@ -1,0 +1,13 @@
+(** Resolve a sampled fault against live machine state and flip the
+    bit. Targets are drawn uniformly among live instances of the
+    structure; with no live instance (e.g. a cache fault before the
+    first fill) the fault lands in unused silicon and is a no-op. *)
+
+val pc_bits : int
+(** Architectural width modelled for program-counter upsets. *)
+
+val apply_gpu : Rng.t -> Fault.structure -> Ggpu_fgpu.Gpu.probe -> unit
+(** @raise Invalid_argument on a RISC-V structure. *)
+
+val apply_rv32 : Rng.t -> Fault.structure -> Ggpu_riscv.Cpu.t -> unit
+(** @raise Invalid_argument on a G-GPU structure. *)

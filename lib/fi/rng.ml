@@ -1,0 +1,36 @@
+(* Deterministic splitmix64 generator for the fault-injection sampler.
+
+   Campaigns must be bit-identical for a fixed seed whether trials run
+   serially or across a domain pool, so every trial derives its own
+   generator from (campaign seed, trial index) and never touches shared
+   or global randomness ([Random] keeps per-domain state and would break
+   reproducibility). *)
+
+type t = { mutable state : int64 }
+
+let golden_gamma = 0x9E3779B97F4A7C15L
+
+let mix z =
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let create seed = { state = mix (Int64.of_int seed) }
+
+(* Independent stream for trial [index] of campaign [seed]: seed the
+   state with a mixed combination so neighbouring indices diverge. *)
+let for_trial ~seed ~index =
+  { state = mix (Int64.add (mix (Int64.of_int seed)) (Int64.mul golden_gamma (Int64.of_int (index + 1)))) }
+
+let next t =
+  t.state <- Int64.add t.state golden_gamma;
+  mix t.state
+
+(* Uniform in [0, bound); bound must be positive.  Masking to 62 bits
+   before [rem] keeps the result non-negative; the modulo bias is
+   negligible for the small bounds used here (lanes, registers, bits). *)
+let int t bound =
+  if bound <= 0 then invalid_arg "Rng.int: bound must be positive";
+  Int64.to_int (Int64.rem (Int64.logand (next t) 0x3FFFFFFFFFFFFFFFL) (Int64.of_int bound))
+
+let salt t = Int64.to_int (Int64.logand (next t) 0x3FFFFFFFFFFFFFFFL)

@@ -1,0 +1,18 @@
+(** Deterministic splitmix64 generator. Each trial derives its own
+    stream from (campaign seed, trial index), so campaigns are
+    bit-identical for a fixed seed regardless of domain count. *)
+
+type t
+
+val create : int -> t
+
+val for_trial : seed:int -> index:int -> t
+(** Independent stream for trial [index] of a campaign seeded [seed]. *)
+
+val next : t -> int64
+
+val int : t -> int -> int
+(** Uniform in [[0, bound)). @raise Invalid_argument if [bound <= 0]. *)
+
+val salt : t -> int
+(** A non-negative salt suitable for seeding a derived generator. *)

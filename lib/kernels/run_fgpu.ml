@@ -24,7 +24,7 @@ let layout_buffers ~base_addr buffers =
       (name, placed, data))
     buffers
 
-let run ?(config = Config.default) ?(base_addr = 0x1000)
+let run ?(config = Config.default) ?(base_addr = 0x1000) ?max_cycles ?inject
     (compiled : Codegen_fgpu.compiled) ~(args : Interp.args) ~global_size
     ~local_size () =
   let placed = layout_buffers ~base_addr args.Interp.buffers in
@@ -53,8 +53,8 @@ let run ?(config = Config.default) ?(base_addr = 0x1000)
     |> List.map (fun (name, _) -> param_value name)
   in
   let stats =
-    Gpu.run config ~program:compiled.Codegen_fgpu.code ~params ~global_size
-      ~local_size ~mem
+    Gpu.run ?max_cycles ?inject config ~program:compiled.Codegen_fgpu.code
+      ~params ~global_size ~local_size ~mem
   in
   let buffers =
     List.map

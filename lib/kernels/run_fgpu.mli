@@ -12,12 +12,16 @@ exception Setup_error of string
 val run :
   ?config:Ggpu_fgpu.Config.t ->
   ?base_addr:int ->
+  ?max_cycles:int ->
+  ?inject:int * (Ggpu_fgpu.Gpu.probe -> unit) ->
   Codegen_fgpu.compiled ->
   args:Interp.args ->
   global_size:int ->
   local_size:int ->
   unit ->
   result
+(** [max_cycles] and [inject] are forwarded to {!Ggpu_fgpu.Gpu.run}
+    (watchdog and fault-injection hook). *)
 
 val output : result -> string -> int32 array
 (** @raise Setup_error on an unknown buffer name. *)

@@ -26,9 +26,9 @@ let layout_buffers ~base_addr buffers =
       (name, placed, data))
     buffers
 
-let run ?(fuel = 500_000_000) ?(base_addr = 0x1000) ?mem_words
-    (compiled : Codegen_rv32.compiled) ~(args : Interp.args) ~global_size
-    ~local_size () =
+let run ?(fuel = 500_000_000) ?(base_addr = 0x1000) ?mem_words ?max_cycles
+    ?inject (compiled : Codegen_rv32.compiled) ~(args : Interp.args)
+    ~global_size ~local_size () =
   let placed = layout_buffers ~base_addr args.Interp.buffers in
   let needed_words =
     List.fold_left
@@ -53,7 +53,26 @@ let run ?(fuel = 500_000_000) ?(base_addr = 0x1000) ?mem_words
     compiled.Codegen_rv32.param_regs;
   Cpu.set_reg cpu compiled.Codegen_rv32.gsize_reg (Int32.of_int global_size);
   Cpu.set_reg cpu compiled.Codegen_rv32.lsize_reg (Int32.of_int local_size);
-  let stats = Cpu.run ~fuel cpu in
+  let stats =
+    match inject with
+    | None -> Cpu.run ~fuel ?max_cycles cpu
+    | Some (at, f) ->
+        (* single-step until simulated time reaches the injection
+           cycle, corrupt the state, then resume the fast run loop.
+           Before the fault the machine is healthy, so no watchdog is
+           needed while stepping. *)
+        let executed = ref 0 in
+        while (not (Cpu.halted cpu)) && (Cpu.stats cpu).Cpu.cycles < at do
+          if !executed > fuel then raise (Cpu.Out_of_fuel !executed);
+          Cpu.step cpu;
+          incr executed
+        done;
+        if Cpu.halted cpu then Cpu.stats cpu (* fault lands after completion *)
+        else begin
+          f cpu;
+          Cpu.run ~fuel:(max 0 (fuel - !executed)) ?max_cycles cpu
+        end
+  in
   let buffers =
     List.map
       (fun (name, addr, data) ->

@@ -12,12 +12,18 @@ val run :
   ?fuel:int ->
   ?base_addr:int ->
   ?mem_words:int ->
+  ?max_cycles:int ->
+  ?inject:int * (Ggpu_riscv.Cpu.t -> unit) ->
   Codegen_rv32.compiled ->
   args:Interp.args ->
   global_size:int ->
   local_size:int ->
   unit ->
   result
+(** [max_cycles] arms {!Ggpu_riscv.Cpu.run}'s cycle watchdog. [inject]
+    is a [(cycle, f)] fault-injection hook: the CPU single-steps to the
+    first instruction boundary at or after [cycle], [f] corrupts the
+    state, and the run resumes (skipped if the program halts first). *)
 
 val output : result -> string -> int32 array
 (** @raise Setup_error on an unknown buffer name. *)

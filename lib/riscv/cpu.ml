@@ -54,6 +54,8 @@ let create ?(timing = Timing_model.cv32e40p) ~mem_words ~program () =
 let stats t = t.stats
 let halted t = t.halted
 let mem_words t = Array.length t.mem
+let pc t = t.pc
+let set_pc t pc = t.pc <- pc
 
 let read_reg t r = if r = 0 then 0l else t.regs.(r)
 let write_reg t r v = if r <> 0 then t.regs.(r) <- v
@@ -183,12 +185,20 @@ let step t =
   end
 
 exception Out_of_fuel of int
+exception Watchdog_timeout of int
 
-(* Run to completion. [fuel] bounds the instruction count. *)
-let run ?(fuel = 500_000_000) t =
+(* Run to completion.  [fuel] bounds the instruction count;
+   [max_cycles] is a watchdog over simulated cycles, so corrupted
+   control flow (a fault-injected pc stuck in a loop) terminates as a
+   classifiable hang rather than burning the whole fuel budget. *)
+let run ?(fuel = 500_000_000) ?max_cycles t =
   let executed = ref 0 in
   while not t.halted do
     if !executed > fuel then raise (Out_of_fuel !executed);
+    (match max_cycles with
+    | Some limit when t.stats.cycles > limit ->
+        raise (Watchdog_timeout t.stats.cycles)
+    | _ -> ());
     step t;
     incr executed
   done;

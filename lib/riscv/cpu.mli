@@ -17,6 +17,9 @@ type t
 exception Trap of string
 exception Out_of_fuel of int
 
+exception Watchdog_timeout of int
+(** Simulated cycles passed the [max_cycles] watchdog. *)
+
 val create :
   ?timing:Timing_model.t ->
   mem_words:int ->
@@ -27,6 +30,13 @@ val create :
 val stats : t -> stats
 val halted : t -> bool
 val mem_words : t -> int
+
+val pc : t -> int
+(** Current program counter (byte address). *)
+
+val set_pc : t -> int -> unit
+(** Overwrite the program counter (fault-injection hook). *)
+
 val get_reg : t -> int -> int32
 val set_reg : t -> int -> int32 -> unit
 
@@ -41,8 +51,9 @@ val step : t -> unit
 (** Execute one instruction (no-op once halted).
     @raise Trap on bad memory accesses or a wild pc. *)
 
-val run : ?fuel:int -> t -> stats
+val run : ?fuel:int -> ?max_cycles:int -> t -> stats
 (** Run to the halting [Ecall].
-    @raise Out_of_fuel after [fuel] instructions (default 5e8). *)
+    @raise Out_of_fuel after [fuel] instructions (default 5e8).
+    @raise Watchdog_timeout when simulated cycles exceed [max_cycles]. *)
 
 val pp_stats : Format.formatter -> stats -> unit

@@ -1,0 +1,81 @@
+(* Property tests for the discrete-event scheduler's binary min-heap. *)
+
+(* A scripted sequence of heap operations: [Push t] inserts time [t],
+   [Pop] removes the minimum (ignored when the heap is empty). *)
+type op = Push of int | Pop
+
+let op_gen =
+  QCheck.Gen.(
+    frequency
+      [ (3, map (fun t -> Push t) (int_bound 10_000)); (2, return Pop) ])
+
+let op_print = function Push t -> Printf.sprintf "Push %d" t | Pop -> "Pop"
+
+let ops_arb =
+  QCheck.make ~print:QCheck.Print.(list op_print) QCheck.Gen.(list_size (int_bound 200) op_gen)
+
+let prop_pop_sorted =
+  QCheck.Test.make ~name:"event_heap pop yields non-decreasing times"
+    ~count:200
+    QCheck.(list_of_size Gen.(int_bound 300) (int_bound 10_000))
+    (fun times ->
+      let h = Ggpu_fgpu.Event_heap.create ~dummy:0 in
+      List.iteri (fun i t -> Ggpu_fgpu.Event_heap.push h t i) times;
+      let prev = ref min_int in
+      let ok = ref true in
+      for _ = 1 to List.length times do
+        let t, _ = Ggpu_fgpu.Event_heap.pop h in
+        if t < !prev then ok := false;
+        prev := t
+      done;
+      !ok && Ggpu_fgpu.Event_heap.is_empty h)
+
+(* Drive the heap and a sorted-list model through the same random op
+   sequence; every pop must agree on the minimum time. *)
+let prop_model =
+  QCheck.Test.make ~name:"event_heap matches sorted-list model" ~count:200
+    ops_arb (fun ops ->
+      let h = Ggpu_fgpu.Event_heap.create ~dummy:0 in
+      let model = ref [] in
+      List.for_all
+        (fun op ->
+          match op with
+          | Push t ->
+              Ggpu_fgpu.Event_heap.push h t t;
+              model := List.sort compare (t :: !model);
+              Ggpu_fgpu.Event_heap.length h = List.length !model
+          | Pop -> (
+              match !model with
+              | [] -> (
+                  match Ggpu_fgpu.Event_heap.pop h with
+                  | exception Ggpu_fgpu.Event_heap.Empty -> true
+                  | _ -> false)
+              | m :: rest ->
+                  let t, _ = Ggpu_fgpu.Event_heap.pop h in
+                  model := rest;
+                  t = m))
+        ops)
+
+let prop_is_empty =
+  QCheck.Test.make ~name:"event_heap is_empty iff length = 0" ~count:200
+    ops_arb (fun ops ->
+      let h = Ggpu_fgpu.Event_heap.create ~dummy:0 in
+      List.for_all
+        (fun op ->
+          (match op with
+          | Push t -> Ggpu_fgpu.Event_heap.push h t t
+          | Pop -> ( try ignore (Ggpu_fgpu.Event_heap.pop h) with
+                     | Ggpu_fgpu.Event_heap.Empty -> ()));
+          Ggpu_fgpu.Event_heap.is_empty h
+          = (Ggpu_fgpu.Event_heap.length h = 0))
+        ops)
+
+let suite =
+  [
+    ( "event_heap",
+      [
+        QCheck_alcotest.to_alcotest prop_pop_sorted;
+        QCheck_alcotest.to_alcotest prop_model;
+        QCheck_alcotest.to_alcotest prop_is_empty;
+      ] );
+  ]

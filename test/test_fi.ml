@@ -1,0 +1,175 @@
+(* Tests for the ggpu_fi fault-injection subsystem: outcome taxonomy
+   coverage, serial-vs-parallel determinism, and golden-run fidelity
+   under the watchdog. *)
+
+open Ggpu_kernels
+module Campaign = Ggpu_fi.Campaign
+module Fault = Ggpu_fi.Fault
+
+let classes_of (r : Campaign.report) =
+  List.sort_uniq compare
+    (List.map
+       (fun (t : Campaign.trial) ->
+         match t.Campaign.outcome with
+         | Fault.Masked -> `Masked
+         | Fault.Sdc -> `Sdc
+         | Fault.Due _ -> `Due
+         | Fault.Hang -> `Hang)
+       r.Campaign.trials)
+
+(* The paper-style campaign: >=1000 trials over copy and div_int on
+   both machines must surface every outcome class.  Single upsets in
+   straight-line GPU kernels cannot livelock (no backward branches), so
+   the Hang class comes from the RV32 per-work-item loop. *)
+let test_all_outcome_classes () =
+  let campaigns =
+    [
+      Campaign.run ~target:(Campaign.Ggpu 4) ~workload:Suite.copy ~size:512
+        ~trials:1000 ~seed:42 ();
+      Campaign.run ~target:(Campaign.Ggpu 4) ~workload:Suite.div_int ~size:512
+        ~trials:1000 ~seed:42 ();
+      Campaign.run ~target:Campaign.Rv32 ~workload:Suite.copy ~size:512
+        ~trials:1000 ~seed:42 ();
+      Campaign.run ~target:Campaign.Rv32 ~workload:Suite.div_int ~size:512
+        ~trials:1000 ~seed:42 ();
+    ]
+  in
+  let seen = List.sort_uniq compare (List.concat_map classes_of campaigns) in
+  Alcotest.(check int) "all four outcome classes" 4 (List.length seen);
+  List.iter
+    (fun r ->
+      Alcotest.(check int) "trial count" 1000 (Campaign.total_of r.Campaign.total);
+      (* every campaign individually must show both masked and visible
+         outcomes, or the sampler is broken *)
+      Alcotest.(check bool) "some masked" true (r.Campaign.total.Campaign.masked > 0);
+      Alcotest.(check bool) "some visible" true
+        (Campaign.avf r.Campaign.total > 0.0))
+    campaigns;
+  let gpu_hangs =
+    List.filter (fun r -> r.Campaign.target <> Campaign.Rv32) campaigns
+    |> List.fold_left (fun n r -> n + r.Campaign.total.Campaign.hang) 0
+  in
+  Alcotest.(check int) "straight-line GPU kernels cannot hang" 0 gpu_hangs
+
+(* Fixed seed => bit-identical trial list, serial or fanned out. *)
+let test_serial_parallel_identical () =
+  let run domains =
+    Campaign.run ~domains ~target:(Campaign.Ggpu 2) ~workload:Suite.copy
+      ~size:256 ~trials:200 ~seed:7 ()
+  in
+  let serial = run 1 and parallel = run 4 in
+  Alcotest.(check string)
+    "signatures identical"
+    (Campaign.signature serial)
+    (Campaign.signature parallel);
+  Alcotest.(check bool) "trial lists identical" true
+    (serial.Campaign.trials = parallel.Campaign.trials)
+
+let test_rv32_serial_parallel_identical () =
+  let run domains =
+    Campaign.run ~domains ~target:Campaign.Rv32 ~workload:Suite.div_int
+      ~size:128 ~trials:100 ~seed:9 ()
+  in
+  let serial = run 1 and parallel = run 3 in
+  Alcotest.(check bool) "trial lists identical" true
+    (serial.Campaign.trials = parallel.Campaign.trials)
+
+(* The watchdog and injection hooks must be pure observers: a golden
+   (no-fault) run under a generous watchdog reproduces the exact cycle
+   count and output of a bare run. *)
+let test_golden_run_unchanged_gpu () =
+  let w = Suite.copy in
+  let size = 512 in
+  let args = w.Suite.mk_args ~size in
+  let compiled = Codegen_fgpu.compile w.Suite.kernel in
+  let config = Ggpu_fgpu.Config.with_cus Ggpu_fgpu.Config.default 4 in
+  let launch ?max_cycles ?inject () =
+    Run_fgpu.run ~config ?max_cycles ?inject compiled ~args
+      ~global_size:(w.Suite.global_size ~size)
+      ~local_size:(min w.Suite.local_size size)
+      ()
+  in
+  let bare = launch () in
+  let watched = launch ~max_cycles:1_000_000 () in
+  let noop = launch ~max_cycles:1_000_000 ~inject:(bare.Run_fgpu.stats.Ggpu_fgpu.Stats.cycles / 2, fun _ -> ()) () in
+  Alcotest.(check int) "watchdog run cycles"
+    bare.Run_fgpu.stats.Ggpu_fgpu.Stats.cycles
+    watched.Run_fgpu.stats.Ggpu_fgpu.Stats.cycles;
+  Alcotest.(check int) "no-op inject cycles"
+    bare.Run_fgpu.stats.Ggpu_fgpu.Stats.cycles
+    noop.Run_fgpu.stats.Ggpu_fgpu.Stats.cycles;
+  Alcotest.(check bool) "outputs identical" true
+    (Run_fgpu.output bare w.Suite.output_buffer
+    = Run_fgpu.output watched w.Suite.output_buffer)
+
+let test_golden_run_unchanged_rv32 () =
+  let w = Suite.copy in
+  let size = 256 in
+  let args = w.Suite.mk_args ~size in
+  let compiled = Codegen_rv32.compile w.Suite.kernel in
+  let launch ?max_cycles ?inject () =
+    Run_rv32.run ?max_cycles ?inject compiled ~args
+      ~global_size:(w.Suite.global_size ~size)
+      ~local_size:(min w.Suite.local_size size)
+      ()
+  in
+  let bare = launch () in
+  let watched = launch ~max_cycles:100_000_000 () in
+  let noop = launch ~max_cycles:100_000_000 ~inject:(100, fun _ -> ()) () in
+  Alcotest.(check int) "watchdog run cycles"
+    bare.Run_rv32.stats.Ggpu_riscv.Cpu.cycles
+    watched.Run_rv32.stats.Ggpu_riscv.Cpu.cycles;
+  Alcotest.(check int) "no-op inject cycles"
+    bare.Run_rv32.stats.Ggpu_riscv.Cpu.cycles
+    noop.Run_rv32.stats.Ggpu_riscv.Cpu.cycles;
+  Alcotest.(check bool) "outputs identical" true
+    (Run_rv32.output bare w.Suite.output_buffer
+    = Run_rv32.output watched w.Suite.output_buffer)
+
+(* A tight watchdog must fire as Hang classification fuel, not crash
+   the campaign: every trial of a factor-0 campaign still classifies. *)
+let test_watchdog_fires () =
+  let r =
+    Campaign.run ~target:Campaign.Rv32 ~workload:Suite.copy ~size:128
+      ~trials:50 ~seed:3 ()
+  in
+  Alcotest.(check int) "all trials classified" 50
+    (Campaign.total_of r.Campaign.total);
+  match
+    Run_rv32.run ~max_cycles:10
+      (Codegen_rv32.compile Suite.copy.Suite.kernel)
+      ~args:(Suite.copy.Suite.mk_args ~size:128)
+      ~global_size:128 ~local_size:128 ()
+  with
+  | _ -> Alcotest.fail "expected watchdog timeout"
+  | exception Ggpu_riscv.Cpu.Watchdog_timeout _ -> ()
+
+let test_gpu_watchdog_fires () =
+  match
+    Run_fgpu.run ~max_cycles:10
+      (Codegen_fgpu.compile Suite.copy.Suite.kernel)
+      ~args:(Suite.copy.Suite.mk_args ~size:256)
+      ~global_size:256 ~local_size:256 ()
+  with
+  | _ -> Alcotest.fail "expected watchdog timeout"
+  | exception Ggpu_fgpu.Gpu.Watchdog_timeout _ -> ()
+
+let suite =
+  [
+    ( "fi",
+      [
+        Alcotest.test_case "1000-trial campaigns cover all outcome classes"
+          `Slow test_all_outcome_classes;
+        Alcotest.test_case "serial = parallel (gpu)" `Quick
+          test_serial_parallel_identical;
+        Alcotest.test_case "serial = parallel (rv32)" `Quick
+          test_rv32_serial_parallel_identical;
+        Alcotest.test_case "golden run unchanged under watchdog (gpu)" `Quick
+          test_golden_run_unchanged_gpu;
+        Alcotest.test_case "golden run unchanged under watchdog (rv32)" `Quick
+          test_golden_run_unchanged_rv32;
+        Alcotest.test_case "watchdog fires (rv32)" `Quick test_watchdog_fires;
+        Alcotest.test_case "watchdog fires (gpu)" `Quick
+          test_gpu_watchdog_fires;
+      ] );
+  ]
