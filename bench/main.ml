@@ -7,7 +7,7 @@
      dune exec bench/main.exe                 # everything
      dune exec bench/main.exe -- table1 fig5  # selected experiments
    Experiments: table1 table2 table3 fig3 fig4 fig5 fig6 ablation-dse
-   ablation-mem future-gmc fi perf *)
+   ablation-mem future-gmc fi perf perf-sim *)
 
 open Ggpu_core
 
@@ -389,6 +389,107 @@ let run_perf_dse () =
   close_out oc;
   Printf.printf "wrote %s\n" bench_json_path
 
+(* --- Simulator throughput ----------------------------------------------- *)
+
+(* Simulated cycles per wall-second of both simulators over the whole
+   kernel suite: the number that decides how long compare/fi campaigns
+   take, tracked in BENCH_sim.json so simulator slowdowns are visible
+   across PRs the same way DSE slowdowns are. *)
+let sim_json_path = "BENCH_sim.json"
+
+let run_perf_sim () =
+  section "perf-sim: simulator throughput over the kernel suite";
+  let time f =
+    let t0 = Unix.gettimeofday () in
+    let v = f () in
+    (v, Unix.gettimeofday () -. t0)
+  in
+  let fgpu_config = Ggpu_fgpu.Config.with_cus Ggpu_fgpu.Config.default 4 in
+  let row_of w =
+    let open Ggpu_kernels in
+    let gsize = w.Suite.round_size (min 8192 w.Suite.ggpu_size) in
+    let fgpu_cycles, fgpu_wall =
+      let compiled = Codegen_fgpu.compile w.Suite.kernel in
+      let result, wall =
+        time (fun () ->
+            Run_fgpu.run ~config:fgpu_config compiled
+              ~args:(w.Suite.mk_args ~size:gsize)
+              ~global_size:(w.Suite.global_size ~size:gsize)
+              ~local_size:(min w.Suite.local_size gsize)
+              ())
+      in
+      (result.Run_fgpu.stats.Ggpu_fgpu.Stats.cycles, wall)
+    in
+    let rsize = w.Suite.round_size w.Suite.riscv_size in
+    let rv_cycles, rv_wall =
+      let compiled = Codegen_rv32.compile w.Suite.kernel in
+      let result, wall =
+        time (fun () ->
+            Run_rv32.run compiled
+              ~args:(w.Suite.mk_args ~size:rsize)
+              ~global_size:(w.Suite.global_size ~size:rsize)
+              ~local_size:(min w.Suite.local_size rsize)
+              ())
+      in
+      (result.Run_rv32.stats.Ggpu_riscv.Cpu.cycles, wall)
+    in
+    (w.Suite.name, gsize, fgpu_cycles, fgpu_wall, rsize, rv_cycles, rv_wall)
+  in
+  let rows = List.map row_of Ggpu_kernels.Suite.all in
+  let per_s cycles wall =
+    if wall <= 0.0 then 0.0 else float_of_int cycles /. wall
+  in
+  Printf.printf "%-13s %8s %10s %12s %8s %10s %12s\n" "kernel" "gp size"
+    "gp cyc" "gp cyc/s" "rv size" "rv cyc" "rv cyc/s";
+  List.iter
+    (fun (name, gsize, gc, gw, rsize, rc, rw) ->
+      Printf.printf "%-13s %8d %10d %12.3e %8d %10d %12.3e\n" name gsize gc
+        (per_s gc gw) rsize rc (per_s rc rw))
+    rows;
+  let total f = List.fold_left (fun acc r -> acc +. f r) 0.0 rows in
+  let fgpu_cycles = total (fun (_, _, gc, _, _, _, _) -> float_of_int gc) in
+  let fgpu_wall = total (fun (_, _, _, gw, _, _, _) -> gw) in
+  let rv_cycles = total (fun (_, _, _, _, _, rc, _) -> float_of_int rc) in
+  let rv_wall = total (fun (_, _, _, _, _, _, rw) -> rw) in
+  Printf.printf
+    "totals: fgpu %.3e cycles/s (4 CUs), rv32 %.3e cycles/s\n"
+    (if fgpu_wall > 0.0 then fgpu_cycles /. fgpu_wall else 0.0)
+    (if rv_wall > 0.0 then rv_cycles /. rv_wall else 0.0);
+  let open Ggpu_obs.Json in
+  let kernel_obj (name, gsize, gc, gw, rsize, rc, rw) =
+    Obj
+      [
+        ("kernel", String name);
+        ("fgpu_size", Int gsize);
+        ("fgpu_cycles", Int gc);
+        ("fgpu_wall_s", Float gw);
+        ("fgpu_cycles_per_s", Float (per_s gc gw));
+        ("rv32_size", Int rsize);
+        ("rv32_cycles", Int rc);
+        ("rv32_wall_s", Float rw);
+        ("rv32_cycles_per_s", Float (per_s rc rw));
+      ]
+  in
+  let doc =
+    Obj
+      [
+        ("benchmark", String "simulator-throughput");
+        ("fgpu_cus", Int 4);
+        ("kernels", List (List.map kernel_obj rows));
+        ( "totals",
+          Obj
+            [
+              ("fgpu_cycles_per_s", Float (per_s (int_of_float fgpu_cycles) fgpu_wall));
+              ("rv32_cycles_per_s", Float (per_s (int_of_float rv_cycles) rv_wall));
+            ] );
+      ]
+  in
+  let oc = open_out sim_json_path in
+  output_string oc (to_string doc);
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf "wrote %s\n" sim_json_path
+
 (* --- Bechamel performance benches -------------------------------------- *)
 
 let run_perf () =
@@ -474,6 +575,7 @@ let experiments =
     ("future-gmc", run_future_gmc);
     ("fi", run_fi);
     ("perf", run_perf);
+    ("perf-sim", run_perf_sim);
   ]
 
 let () =
@@ -483,7 +585,7 @@ let () =
     | _ ->
         [
           "table1"; "table2"; "table3"; "fig3"; "fig5"; "fig6"; "ablation-dse";
-          "ablation-mem"; "future-gmc"; "fi"; "perf";
+          "ablation-mem"; "future-gmc"; "fi"; "perf"; "perf-sim";
         ]
   in
   List.iter

@@ -54,38 +54,98 @@ let handle_dse_errors f =
         period_ns best_ns (1000.0 /. best_ns) detail;
       exit 1
 
+(* --- observability ------------------------------------------------------ *)
+
+(* Every subcommand accepts --trace/--metrics/-v; the options record is
+   threaded through [with_obs], which arms the tracer and the ambient
+   metrics before the command body and exports/prints afterwards. *)
+type obs = {
+  trace : string option;
+  metrics : bool;
+  log_level : Logs.level option;
+}
+
+let obs_term =
+  let trace =
+    let doc =
+      "Record a Chrome trace-event JSON file of the run (load in \
+       chrome://tracing or ui.perfetto.dev)."
+    in
+    Arg.(value & opt (some string) None & info [ "trace" ] ~doc ~docv:"FILE")
+  in
+  let metrics =
+    let doc = "Print the merged metrics snapshot after the command." in
+    Arg.(value & flag & info [ "metrics" ] ~doc)
+  in
+  Term.(
+    const (fun trace metrics log_level -> { trace; metrics; log_level })
+    $ trace $ metrics $ Logs_cli.level ())
+
+let with_obs obs f =
+  Logs.set_reporter (Logs_fmt.reporter ());
+  Logs.set_level obs.log_level;
+  if Option.is_some obs.trace then Ggpu_obs.Trace.enable ();
+  if obs.metrics then Ggpu_obs.Metrics.set_ambient_enabled true;
+  let result = f () in
+  (match obs.trace with
+  | Some path ->
+      Ggpu_obs.Trace.export ~path;
+      Printf.printf "wrote trace %s (%d events)\n" path
+        (List.length (Ggpu_obs.Trace.events ()))
+  | None -> ());
+  if obs.metrics then
+    Format.printf "%a@." Ggpu_obs.Metrics.pp_snapshot
+      (Ggpu_obs.Metrics.ambient_snapshot ());
+  result
+
 (* --- synth ------------------------------------------------------------- *)
 
+let synth_run obs tech cus freq area power =
+  match spec_of ~cus ~freq ~area ~power with
+  | Error e -> Error e
+  | Ok spec ->
+      handle_dse_errors (fun () ->
+          with_obs obs @@ fun () ->
+          let syn = Flow.synthesise_timed ~tech spec in
+          print_endline Ggpu_synth.Report.header;
+          print_endline (Ggpu_synth.Report.row_to_string syn.Flow.syn_report);
+          Printf.printf "(%d divisions, %d pipelines; see 'map' for detail)\n"
+            (Map.divisions syn.Flow.syn_map)
+            (Map.pipelines syn.Flow.syn_map);
+          Format.printf "perf: %a@." Dse.pp_perf syn.Flow.syn_perf;
+          Ok ())
+
+let synth_term =
+  Term.(
+    term_result ~usage:false
+      (const synth_run $ obs_term $ tech_term $ cus_term $ freq_term
+     $ area_term $ power_term))
+
 let synth_cmd =
-  let run tech cus freq area power =
-    match spec_of ~cus ~freq ~area ~power with
-    | Error e -> Error e
-    | Ok spec ->
-        handle_dse_errors (fun () ->
-            let syn = Flow.synthesise_timed ~tech spec in
-            print_endline Ggpu_synth.Report.header;
-            print_endline (Ggpu_synth.Report.row_to_string syn.Flow.syn_report);
-            Printf.printf "(%d divisions, %d pipelines; see 'map' for detail)\n"
-              (Map.divisions syn.Flow.syn_map)
-              (Map.pipelines syn.Flow.syn_map);
-            Format.printf "perf: %a@." Dse.pp_perf syn.Flow.syn_perf;
-            Ok ())
-  in
-  let term =
-    Term.(
-      term_result ~usage:false
-        (const run $ tech_term $ cus_term $ freq_term $ area_term $ power_term))
-  in
-  Cmd.v (Cmd.info "synth" ~doc:"Logic synthesis of one G-GPU version") term
+  Cmd.v (Cmd.info "synth" ~doc:"Logic synthesis of one G-GPU version") synth_term
+
+(* --- dse ---------------------------------------------------------------- *)
+
+(* The exploration is where the planner spends its time, so it gets a
+   first-class subcommand: same flow as [synth], surfaced under the
+   name the profiling docs use ([gpuplanner dse --trace out.json]). *)
+let dse_cmd =
+  Cmd.v
+    (Cmd.info "dse"
+       ~doc:
+         "Run the design-space exploration for one version (synth alias, \
+          the natural target for --trace/--metrics)")
+    synth_term
 
 (* --- map --------------------------------------------------------------- *)
 
 let map_cmd =
-  let run tech cus freq area power =
+  let run obs tech cus freq area power =
     match spec_of ~cus ~freq ~area ~power with
     | Error e -> Error e
     | Ok spec ->
         handle_dse_errors (fun () ->
+            with_obs obs @@ fun () ->
             let _nl, map, _report = Flow.synthesise ~tech spec in
             Format.printf "%a" Map.pp map;
             Ok ())
@@ -93,7 +153,8 @@ let map_cmd =
   let term =
     Term.(
       term_result ~usage:false
-        (const run $ tech_term $ cus_term $ freq_term $ area_term $ power_term))
+        (const run $ obs_term $ tech_term $ cus_term $ freq_term $ area_term
+       $ power_term))
   in
   Cmd.v
     (Cmd.info "map"
@@ -105,11 +166,12 @@ let map_cmd =
 (* --- layout ------------------------------------------------------------ *)
 
 let layout_cmd =
-  let run tech cus freq area power =
+  let run obs tech cus freq area power =
     match spec_of ~cus ~freq ~area ~power with
     | Error e -> Error e
     | Ok spec ->
         handle_dse_errors (fun () ->
+            with_obs obs @@ fun () ->
             let impl = Flow.implement ~tech spec in
             Format.printf "%a" Flow.pp_implementation impl;
             print_string (Ggpu_layout.Render.render impl.Flow.floorplan);
@@ -126,7 +188,8 @@ let layout_cmd =
   let term =
     Term.(
       term_result ~usage:false
-        (const run $ tech_term $ cus_term $ freq_term $ area_term $ power_term))
+        (const run $ obs_term $ tech_term $ cus_term $ freq_term $ area_term
+       $ power_term))
   in
   Cmd.v
     (Cmd.info "layout" ~doc:"Full RTL-to-layout implementation of one version")
@@ -142,7 +205,8 @@ let table1_cmd =
     in
     Arg.(value & flag & info [ "sequential" ] ~doc)
   in
-  let run tech sequential =
+  let run obs tech sequential =
+    with_obs obs @@ fun () ->
     let parallel = not sequential and incremental = not sequential in
     print_endline Ggpu_synth.Report.header;
     List.iter
@@ -151,7 +215,9 @@ let table1_cmd =
     Ok ()
   in
   let term =
-    Term.(term_result ~usage:false (const run $ tech_term $ sequential_term))
+    Term.(
+      term_result ~usage:false
+        (const run $ obs_term $ tech_term $ sequential_term))
   in
   Cmd.v
     (Cmd.info "table1" ~doc:"Regenerate the paper's Table I (12 versions)")
@@ -164,7 +230,8 @@ let kernel_term =
   Arg.(value & opt (some string) None & info [ "kernel" ] ~doc ~docv:"NAME")
 
 let compare_cmd =
-  let run tech kernel =
+  let run obs tech kernel =
+    with_obs obs @@ fun () ->
     let workloads =
       match kernel with
       | None -> Ggpu_kernels.Suite.all
@@ -182,7 +249,9 @@ let compare_cmd =
     Ok ()
   in
   let term =
-    Term.(term_result ~usage:false (const run $ tech_term $ kernel_term))
+    Term.(
+      term_result ~usage:false
+        (const run $ obs_term $ tech_term $ kernel_term))
   in
   Cmd.v
     (Cmd.info "compare"
@@ -201,7 +270,8 @@ let run_cmd =
                parallel_sel)." in
     Arg.(required & opt (some string) None & info [ "kernel" ] ~doc ~docv:"NAME")
   in
-  let run cus name size =
+  let run obs cus name size =
+    with_obs obs @@ fun () ->
     let w =
       try Ggpu_kernels.Suite.find name
       with Invalid_argument msg ->
@@ -236,7 +306,9 @@ let run_cmd =
     Ok ()
   in
   let term =
-    Term.(term_result ~usage:false (const run $ cus_term $ kernel_req $ size_term))
+    Term.(
+      term_result ~usage:false
+        (const run $ obs_term $ cus_term $ kernel_req $ size_term))
   in
   Cmd.v (Cmd.info "run" ~doc:"Simulate one kernel on the G-GPU") term
 
@@ -276,7 +348,8 @@ let fi_cmd =
     in
     Arg.(value & opt (some string) None & info [ "expect" ] ~doc ~docv:"SIG")
   in
-  let run cus kernel target trials seed size domains expect =
+  let run obs cus kernel target trials seed size domains expect =
+    with_obs obs @@ fun () ->
     let w =
       try Ggpu_kernels.Suite.find kernel
       with Invalid_argument msg ->
@@ -317,14 +390,105 @@ let fi_cmd =
   let term =
     Term.(
       term_result ~usage:false
-        (const run $ cus_term $ kernel_req $ target_term $ trials_term
-       $ seed_term $ size_term $ domains_term $ expect_term))
+        (const run $ obs_term $ cus_term $ kernel_req $ target_term
+       $ trials_term $ seed_term $ size_term $ domains_term $ expect_term))
   in
   Cmd.v
     (Cmd.info "fi"
        ~doc:
          "Fault-injection campaign: single-bit upsets classified as \
           masked/SDC/DUE/hang, with per-structure AVF")
+    term
+
+(* --- profile ------------------------------------------------------------ *)
+
+let profile_cmd =
+  let workload_term =
+    let doc = "Workload to profile: dse | layout | sim | fi | table1." in
+    Arg.(value & pos 0 string "dse" & info [] ~doc ~docv:"WORKLOAD")
+  in
+  let run obs tech cus freq workload =
+    with_obs obs @@ fun () ->
+    (* the whole point of this command is the span table *)
+    Ggpu_obs.Trace.enable ();
+    let spec () =
+      match spec_of ~cus ~freq ~area:None ~power:None with
+      | Ok s -> s
+      | Error (`Msg m) ->
+          prerr_endline m;
+          exit 1
+    in
+    (match workload with
+    | "dse" ->
+        handle_dse_errors (fun () ->
+            ignore (Flow.synthesise_timed ~tech (spec ())))
+    | "layout" ->
+        handle_dse_errors (fun () -> ignore (Flow.implement ~tech (spec ())))
+    | "sim" ->
+        let config = Ggpu_fgpu.Config.with_cus Ggpu_fgpu.Config.default cus in
+        List.iter
+          (fun w ->
+            let size =
+              w.Ggpu_kernels.Suite.round_size
+                (min 4096 w.Ggpu_kernels.Suite.ggpu_size)
+            in
+            let compiled =
+              Ggpu_kernels.Codegen_fgpu.compile w.Ggpu_kernels.Suite.kernel
+            in
+            ignore
+              (Ggpu_kernels.Run_fgpu.run ~config compiled
+                 ~args:(w.Ggpu_kernels.Suite.mk_args ~size)
+                 ~global_size:(w.Ggpu_kernels.Suite.global_size ~size)
+                 ~local_size:(min w.Ggpu_kernels.Suite.local_size size)
+                 ()))
+          Ggpu_kernels.Suite.all
+    | "fi" ->
+        ignore
+          (Ggpu_fi.Campaign.run
+             ~target:(Ggpu_fi.Campaign.Ggpu cus)
+             ~workload:(Ggpu_kernels.Suite.find "copy")
+             ~size:512 ~trials:200 ~seed:42 ())
+    | "table1" -> ignore (Versions.table1 ~tech ())
+    | other ->
+        Printf.eprintf "unknown workload %s (dse|layout|sim|fi|table1)\n" other;
+        exit 1);
+    Format.printf "%a@." Ggpu_obs.Profile.pp_table
+      (Ggpu_obs.Profile.self_times (Ggpu_obs.Trace.events ()));
+    Ok ()
+  in
+  let term =
+    Term.(
+      term_result ~usage:false
+        (const run $ obs_term $ tech_term $ cus_term $ freq_term
+       $ workload_term))
+  in
+  Cmd.v
+    (Cmd.info "profile"
+       ~doc:
+         "Run a representative workload under the tracer and print the \
+          per-span self-time table")
+    term
+
+(* --- trace-check -------------------------------------------------------- *)
+
+let trace_check_cmd =
+  let file_term =
+    let doc = "Chrome trace-event JSON file to validate." in
+    Arg.(required & pos 0 (some string) None & info [] ~doc ~docv:"FILE")
+  in
+  let run file =
+    match Ggpu_obs.Trace.validate_file file with
+    | Ok summary ->
+        Format.printf "%s: ok, %a@." file Ggpu_obs.Trace.pp_summary summary;
+        Ok ()
+    | Error msg ->
+        Printf.eprintf "%s: invalid trace: %s\n" file msg;
+        exit 1
+  in
+  let term = Term.(term_result ~usage:false (const run $ file_term)) in
+  Cmd.v
+    (Cmd.info "trace-check"
+       ~doc:"Validate a trace file written by --trace (used by CI)")
     term
 
 (* --- verilog ------------------------------------------------------------ *)
@@ -334,11 +498,12 @@ let verilog_cmd =
     let doc = "Output file (default: ggpu_<N>cu.v)." in
     Arg.(value & opt (some string) None & info [ "o"; "output" ] ~doc ~docv:"FILE")
   in
-  let run tech cus freq area power out =
+  let run obs tech cus freq area power out =
     match spec_of ~cus ~freq ~area ~power with
     | Error e -> Error e
     | Ok spec ->
         handle_dse_errors (fun () ->
+            with_obs obs @@ fun () ->
             let netlist, _map, _report = Flow.synthesise ~tech spec in
             let path =
               Option.value ~default:(Printf.sprintf "ggpu_%dcu.v" cus) out
@@ -353,8 +518,8 @@ let verilog_cmd =
   let term =
     Term.(
       term_result ~usage:false
-        (const run $ tech_term $ cus_term $ freq_term $ area_term $ power_term
-       $ out_term))
+        (const run $ obs_term $ tech_term $ cus_term $ freq_term $ area_term
+       $ power_term $ out_term))
   in
   Cmd.v
     (Cmd.info "verilog"
@@ -368,6 +533,6 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [
-            synth_cmd; map_cmd; layout_cmd; table1_cmd; compare_cmd; run_cmd;
-            fi_cmd; verilog_cmd;
+            synth_cmd; dse_cmd; map_cmd; layout_cmd; table1_cmd; compare_cmd;
+            run_cmd; fi_cmd; profile_cmd; trace_check_cmd; verilog_cmd;
           ]))

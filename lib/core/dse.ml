@@ -27,7 +27,11 @@ type strategy = Full | Division_only | Pipeline_only
 
 (* Where the exploration spent its time.  [sta_wall_s] covers the
    engine's initial full computation and every (incremental) analysis;
-   [edit_wall_s] covers candidate prediction and netlist rewriting. *)
+   [edit_wall_s] covers candidate prediction and netlist rewriting.
+   The fields are read out of a per-exploration {!Ggpu_obs.Metrics}
+   registry (integer nanoseconds), so the record survives as the bench
+   and CLI interface while the measurement substrate is shared with the
+   rest of the flow. *)
 type perf = {
   sta_calls : int;
   sta_full : int; (* whole-graph recomputations *)
@@ -154,24 +158,34 @@ let pipeline_edit tech netlist (path : Timing.path) =
       ignore (Netlist.insert_pipeline netlist net);
       Some (Map.Pipeline { net_name = Net.name net })
 
+let edit_kind = function
+  | Map.Split_words _ -> "split_words"
+  | Map.Split_bits _ -> "split_bits"
+  | Map.Pipeline _ -> "pipeline"
+
 let explore ?(max_iterations = 400) ?(strategy = Full) ?(incremental = true)
     tech netlist ~num_cus ~period_ns =
-  let t_start = Unix.gettimeofday () in
-  let sta_calls = ref 0 and sta_wall = ref 0.0 and edit_wall = ref 0.0 in
-  let timed acc f =
-    let t0 = Unix.gettimeofday () in
-    let v = f () in
-    acc := !acc +. (Unix.gettimeofday () -. t0);
-    v
-  in
+  Ggpu_obs.Trace.with_span "dse.explore"
+    ~args:
+      [
+        ("cus", string_of_int num_cus);
+        ("period_ns", Printf.sprintf "%.3f" period_ns);
+      ]
+  @@ fun () ->
+  let reg = Ggpu_obs.Metrics.create () in
+  let sta_ns = Ggpu_obs.Metrics.counter reg "sta_ns" in
+  let edit_ns = Ggpu_obs.Metrics.counter reg "edit_ns" in
+  let t_start = Ggpu_obs.Metrics.now_ns () in
+  let sta_calls = ref 0 in
+  let timed c f = Ggpu_obs.Metrics.time_counter c f in
   let engine =
     if incremental then
-      Some (timed sta_wall (fun () -> Timing.make_engine tech netlist))
+      Some (timed sta_ns (fun () -> Timing.make_engine tech netlist))
     else None
   in
   let analyse () =
-    incr sta_calls;
-    timed sta_wall (fun () ->
+    Stdlib.incr sta_calls;
+    timed sta_ns (fun () ->
         match engine with
         | Some engine -> Timing.engine_analyse engine
         | None -> Timing.analyse tech netlist)
@@ -211,7 +225,8 @@ let explore ?(max_iterations = 400) ?(strategy = Full) ?(incremental = true)
         match strategy with Full | Division_only -> true | Pipeline_only -> false
       in
       let applied =
-        timed edit_wall @@ fun () ->
+        timed edit_ns @@ fun () ->
+        Ggpu_obs.Trace.with_span "dse.edit" @@ fun () ->
         if
           division_allowed && Cell.is_macro path.Timing.launch
           && macro_dominates path.Timing.launch
@@ -251,6 +266,7 @@ let explore ?(max_iterations = 400) ?(strategy = Full) ?(incremental = true)
       in
       match applied with
       | Some edit ->
+          Ggpu_obs.Metrics.count ("dse.edit." ^ edit_kind edit) 1;
           edits := edit :: !edits;
           loop ()
       | None ->
@@ -273,6 +289,11 @@ let explore ?(max_iterations = 400) ?(strategy = Full) ?(incremental = true)
         (stats.Timing.full_recomputes, stats.Timing.incremental_updates)
     | None -> (!sta_calls, 0)
   in
+  Ggpu_obs.Metrics.count "dse.explorations" 1;
+  Ggpu_obs.Metrics.count "dse.iterations" !iterations;
+  Ggpu_obs.Metrics.count "dse.sta_calls" !sta_calls;
+  Ggpu_obs.Metrics.count "dse.sta_full" sta_full;
+  Ggpu_obs.Metrics.count "dse.sta_incremental" sta_incremental;
   {
     map = { Map.num_cus; target_period_ns = period_ns; edits = edit_list };
     iterations = !iterations;
@@ -282,8 +303,11 @@ let explore ?(max_iterations = 400) ?(strategy = Full) ?(incremental = true)
         sta_calls = !sta_calls;
         sta_full;
         sta_incremental;
-        sta_wall_s = !sta_wall;
-        edit_wall_s = !edit_wall;
-        total_wall_s = Unix.gettimeofday () -. t_start;
+        sta_wall_s =
+          float_of_int (Ggpu_obs.Metrics.counter_value sta_ns) /. 1e9;
+        edit_wall_s =
+          float_of_int (Ggpu_obs.Metrics.counter_value edit_ns) /. 1e9;
+        total_wall_s =
+          float_of_int (Ggpu_obs.Metrics.now_ns () - t_start) /. 1e9;
       };
   }

@@ -9,6 +9,20 @@ open Ggpu_tech
 open Ggpu_synth
 open Ggpu_layout
 
+let log_src = Logs.Src.create "ggpu.flow" ~doc:"GPUPlanner flow"
+
+module Log = (val Logs.src_log log_src : Logs.LOG)
+
+(* Time one flow phase: a span for the trace, integer nanoseconds for
+   the metrics, and the float seconds the [phases] lists always carried. *)
+let obs_phase name f =
+  Ggpu_obs.Trace.with_span ("flow." ^ name) @@ fun () ->
+  let t0 = Ggpu_obs.Metrics.now_ns () in
+  let v = f () in
+  let elapsed_ns = max 0 (Ggpu_obs.Metrics.now_ns () - t0) in
+  Ggpu_obs.Metrics.count ("flow." ^ name ^ "_ns") elapsed_ns;
+  (v, float_of_int elapsed_ns /. 1e9)
+
 type implementation = {
   spec : Spec.t;
   netlist : Ggpu_hw.Netlist.t;
@@ -36,30 +50,36 @@ type synthesis = {
    mutated, so one base can serve several frequency targets. *)
 let synthesise_timed ?(tech = Tech.default_65nm) ?(incremental = true) ?base
     (spec : Spec.t) =
-  let t0 = Unix.gettimeofday () in
-  let netlist =
+  Ggpu_obs.Trace.with_span "flow.synthesise"
+    ~args:
+      [
+        ("cus", string_of_int spec.Spec.num_cus);
+        ("freq_mhz", string_of_int spec.Spec.freq_mhz);
+      ]
+  @@ fun () ->
+  let netlist, t_generate =
+    obs_phase "generate" @@ fun () ->
     match base with
     | Some base -> Ggpu_hw.Netlist.copy base
     | None -> Ggpu_rtlgen.Generate.generate_cus ~num_cus:spec.Spec.num_cus
   in
-  let t1 = Unix.gettimeofday () in
-  let dse =
+  let dse, t_dse =
+    obs_phase "dse" @@ fun () ->
     Dse.explore ~incremental tech netlist ~num_cus:spec.Spec.num_cus
       ~period_ns:(Spec.period_ns spec)
   in
-  let t2 = Unix.gettimeofday () in
-  let report =
+  let report, t_report =
+    obs_phase "report" @@ fun () ->
     Report.of_netlist tech ~timing:dse.Dse.final netlist
       ~num_cus:spec.Spec.num_cus ~freq_mhz:spec.Spec.freq_mhz
   in
-  let t3 = Unix.gettimeofday () in
   {
     syn_netlist = netlist;
     syn_map = dse.Dse.map;
     syn_report = report;
     syn_perf = dse.Dse.perf;
     syn_phases =
-      [ ("generate", t1 -. t0); ("dse", t2 -. t1); ("report", t3 -. t2) ];
+      [ ("generate", t_generate); ("dse", t_dse); ("report", t_report) ];
   }
 
 let synthesise ?tech spec =
@@ -72,27 +92,48 @@ let base_macro_count ~num_cus =
 
 (* Full RTL-to-layout implementation. *)
 let implement ?(tech = Tech.default_65nm) ?incremental ?base (spec : Spec.t) =
+  Ggpu_obs.Trace.with_span "flow.implement"
+    ~args:
+      [
+        ("cus", string_of_int spec.Spec.num_cus);
+        ("freq_mhz", string_of_int spec.Spec.freq_mhz);
+      ]
+  @@ fun () ->
   let syn = synthesise_timed ~tech ?incremental ?base spec in
   let netlist = syn.syn_netlist in
-  let t0 = Unix.gettimeofday () in
-  let floorplan = Floorplan.build tech netlist ~num_cus:spec.Spec.num_cus in
-  let t1 = Unix.gettimeofday () in
-  let post_timing = Timing_post.analyse tech netlist floorplan in
-  let t2 = Unix.gettimeofday () in
+  let floorplan, t_floorplan =
+    obs_phase "floorplan" @@ fun () ->
+    Floorplan.build tech netlist ~num_cus:spec.Spec.num_cus
+  in
+  let post_timing, t_post =
+    obs_phase "post_timing" @@ fun () ->
+    Timing_post.analyse tech netlist floorplan
+  in
   let achieved_mhz =
     Float.min (float_of_int spec.Spec.freq_mhz)
       (Timing_post.quantised_mhz post_timing)
   in
+  if achieved_mhz +. 0.5 < float_of_int spec.Spec.freq_mhz then
+    Log.warn (fun m ->
+        m "%d-CU design derated post-route: %d MHz target, %.0f MHz achieved"
+          spec.Spec.num_cus spec.Spec.freq_mhz achieved_mhz);
   (* the router works at the frequency the layout actually achieves *)
-  let route =
+  let route, t_route =
+    obs_phase "route" @@ fun () ->
     Route.estimate tech netlist floorplan ~period_ns:(1000.0 /. achieved_mhz)
       ~base_macros:(base_macro_count ~num_cus:spec.Spec.num_cus)
   in
-  let t3 = Unix.gettimeofday () in
   let spec_check =
     Spec.check spec ~area_mm2:syn.syn_report.Report.total_area_mm2
       ~power_w:syn.syn_report.Report.total_w ~achieved_mhz
   in
+  (match spec_check with
+  | Ok () -> ()
+  | Error violations ->
+      Log.warn (fun m ->
+          m "%s misses spec: %s" (Spec.to_string spec)
+            (String.concat "; "
+               (List.map Spec.violation_to_string violations))));
   {
     spec;
     netlist;
@@ -107,9 +148,9 @@ let implement ?(tech = Tech.default_65nm) ?incremental ?base (spec : Spec.t) =
     phases =
       syn.syn_phases
       @ [
-          ("floorplan", t1 -. t0);
-          ("post_timing", t2 -. t1);
-          ("route", t3 -. t2);
+          ("floorplan", t_floorplan);
+          ("post_timing", t_post);
+          ("route", t_route);
         ];
   }
 

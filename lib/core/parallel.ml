@@ -43,3 +43,24 @@ let map ?domains f xs =
          | Some (Error e) -> raise e
          | None -> assert false)
   end
+
+(* Parallel map that also collects metrics.  Each item gets a fresh
+   registry, so the merged snapshot is a fold over per-item snapshots in
+   input order — independent of which domain stole which item.  Metric
+   values are integral (see {!Ggpu_obs.Metrics}), so the merge is
+   associative and commutative and the result is bit-identical for any
+   domain count. *)
+let map_collect ?domains f xs =
+  let pairs =
+    map ?domains
+      (fun x ->
+        let reg = Ggpu_obs.Metrics.create () in
+        let v = f reg x in
+        (v, Ggpu_obs.Metrics.snapshot reg))
+      xs
+  in
+  let values = List.map fst pairs in
+  let merged =
+    Ggpu_obs.Metrics.merge_all (List.map snd pairs)
+  in
+  (values, merged)

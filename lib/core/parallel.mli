@@ -11,3 +11,13 @@ val map : ?domains:int -> ('a -> 'b) -> 'a list -> 'b list
     {!default_domains}).  [~domains:1] degrades to [List.map].  If any
     application raises, the first failure in input order is re-raised
     after all domains have drained. *)
+
+val map_collect :
+  ?domains:int ->
+  (Ggpu_obs.Metrics.t -> 'a -> 'b) ->
+  'a list ->
+  'b list * Ggpu_obs.Metrics.snapshot
+(** Like {!map}, but hands each item a fresh metrics registry and
+    returns the per-item snapshots merged in input order.  Because all
+    metric values are integral, the merged snapshot is bit-identical
+    for any [?domains], including 1. *)

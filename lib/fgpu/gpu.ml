@@ -62,6 +62,14 @@ let candidate_time cu =
 
 let run ?max_cycles ?inject (cfg : Config.t) ~program ~params ~global_size
     ~local_size ~mem =
+  Ggpu_obs.Trace.with_span "fgpu.run"
+    ~args:
+      [
+        ("cus", string_of_int cfg.Config.num_cus);
+        ("global_size", string_of_int global_size);
+      ]
+  @@ fun () ->
+  let t0_ns = Ggpu_obs.Metrics.now_ns () in
   let cfg = Config.validate cfg in
   if global_size < 0 then fail "negative global size";
   if local_size <= 0 then fail "non-positive local size";
@@ -174,8 +182,12 @@ let run ?max_cycles ?inject (cfg : Config.t) ~program ~params ~global_size
     in
     (* main event loop *)
     let pending_inject = ref inject in
+    let events_popped = ref 0 and heap_depth_max = ref 0 in
     while not (Event_heap.is_empty heap) do
       let t, cu_id = Event_heap.pop heap in
+      incr events_popped;
+      let depth = Event_heap.length heap in
+      if depth > !heap_depth_max then heap_depth_max := depth;
       (match max_cycles with
       | Some limit when t > limit -> raise (Watchdog_timeout t)
       | _ -> ());
@@ -285,5 +297,17 @@ let run ?max_cycles ?inject (cfg : Config.t) ~program ~params ~global_size
         0 cus
     in
     if stuck > 0 then fail "deadlock: %d wavefronts never retired" stuck;
+    if Ggpu_obs.Metrics.ambient_enabled () then begin
+      let wall_ns = max 1 (Ggpu_obs.Metrics.now_ns () - t0_ns) in
+      Ggpu_obs.Metrics.count "sim.fgpu.runs" 1;
+      Ggpu_obs.Metrics.count "sim.fgpu.cycles" stats.Stats.cycles;
+      Ggpu_obs.Metrics.count "sim.fgpu.wf_instructions"
+        stats.Stats.wf_instructions;
+      Ggpu_obs.Metrics.count "sim.fgpu.wall_ns" wall_ns;
+      Ggpu_obs.Metrics.count "sim.fgpu.events" !events_popped;
+      Ggpu_obs.Metrics.record_gauge "sim.fgpu.heap_depth" !heap_depth_max;
+      Ggpu_obs.Metrics.record_gauge "sim.fgpu.kcycles_per_s"
+        (stats.Stats.cycles * 1_000_000 / wall_ns)
+    end;
     stats
   end

@@ -18,6 +18,10 @@
 
 open Ggpu_kernels
 
+let log_src = Logs.Src.create "ggpu.fi" ~doc:"Fault-injection campaigns"
+
+module Log = (val Logs.src_log log_src : Logs.LOG)
+
 type target = Ggpu of int  (** compute units *) | Rv32
 
 let target_name = function
@@ -90,8 +94,41 @@ let aggregate ~structures trials =
    tight enough that genuine livelock is caught quickly. *)
 let watchdog ~factor ~golden_cycles = (factor * golden_cycles) + 10_000
 
+let outcome_key = function
+  | Fault.Masked -> "fi.masked"
+  | Fault.Sdc -> "fi.sdc"
+  | Fault.Due _ -> "fi.due"
+  | Fault.Hang -> "fi.hang"
+
+(* Fan the trial population out over the domain pool, with a span per
+   trial and campaign-level throughput metrics around the whole batch. *)
+let run_trials ?domains one trials =
+  let one index = Ggpu_obs.Trace.with_span "fi.trial" (fun () -> one index) in
+  let t0 = Ggpu_obs.Metrics.now_ns () in
+  let trials_run =
+    Ggpu_core.Parallel.map ?domains one (List.init trials Fun.id)
+  in
+  let wall_ns = max 1 (Ggpu_obs.Metrics.now_ns () - t0) in
+  if Ggpu_obs.Metrics.ambient_enabled () then begin
+    Ggpu_obs.Metrics.count "fi.trials" (List.length trials_run);
+    List.iter
+      (fun t -> Ggpu_obs.Metrics.count (outcome_key t.outcome) 1)
+      trials_run;
+    Ggpu_obs.Metrics.record_gauge "fi.trials_per_s"
+      (List.length trials_run * 1_000_000_000 / wall_ns)
+  end;
+  trials_run
+
 let run ?domains ?(watchdog_factor = 8) ~target ~(workload : Suite.t) ~size
     ~trials ~seed () =
+  Ggpu_obs.Trace.with_span "fi.campaign"
+    ~args:
+      [
+        ("target", target_name target);
+        ("kernel", workload.Suite.name);
+        ("trials", string_of_int trials);
+      ]
+  @@ fun () ->
   let size = workload.Suite.round_size size in
   let global_size = workload.Suite.global_size ~size in
   let local_size = min workload.Suite.local_size size in
@@ -125,13 +162,15 @@ let run ?domains ?(watchdog_factor = 8) ~target ~(workload : Suite.t) ~size
           | exception Ggpu_fgpu.Gpu.Launch_error msg ->
               Fault.Due ("launch_error: " ^ msg)
           | exception Ggpu_fgpu.Wavefront.Fault msg -> Fault.Due ("fault: " ^ msg)
-          | exception e -> Fault.Due (Printexc.to_string e)
+          | exception e ->
+              Log.warn (fun m ->
+                  m "trial %d: unexpected exception %s counted as DUE" index
+                    (Printexc.to_string e));
+              Fault.Due (Printexc.to_string e)
         in
         { fault; outcome }
       in
-      let trials_run =
-        Ggpu_core.Parallel.map ?domains one (List.init trials Fun.id)
-      in
+      let trials_run = run_trials ?domains one trials in
       let by_structure, total =
         aggregate ~structures:Fault.gpu_structures trials_run
       in
@@ -172,13 +211,15 @@ let run ?domains ?(watchdog_factor = 8) ~target ~(workload : Suite.t) ~size
           | exception Ggpu_riscv.Cpu.Watchdog_timeout _ -> Fault.Hang
           | exception Ggpu_riscv.Cpu.Out_of_fuel _ -> Fault.Hang
           | exception Ggpu_riscv.Cpu.Trap msg -> Fault.Due ("trap: " ^ msg)
-          | exception e -> Fault.Due (Printexc.to_string e)
+          | exception e ->
+              Log.warn (fun m ->
+                  m "trial %d: unexpected exception %s counted as DUE" index
+                    (Printexc.to_string e));
+              Fault.Due (Printexc.to_string e)
         in
         { fault; outcome }
       in
-      let trials_run =
-        Ggpu_core.Parallel.map ?domains one (List.init trials Fun.id)
-      in
+      let trials_run = run_trials ?domains one trials in
       let by_structure, total =
         aggregate ~structures:Fault.rv32_structures trials_run
       in

@@ -27,6 +27,9 @@ let layout_buffers ~base_addr buffers =
 let run ?(config = Config.default) ?(base_addr = 0x1000) ?max_cycles ?inject
     (compiled : Codegen_fgpu.compiled) ~(args : Interp.args) ~global_size
     ~local_size () =
+  Ggpu_obs.Trace.with_span "kernels.run_fgpu"
+    ~args:[ ("global_size", string_of_int global_size) ]
+  @@ fun () ->
   let placed = layout_buffers ~base_addr args.Interp.buffers in
   let needed_words =
     List.fold_left

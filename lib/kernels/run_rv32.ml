@@ -29,6 +29,9 @@ let layout_buffers ~base_addr buffers =
 let run ?(fuel = 500_000_000) ?(base_addr = 0x1000) ?mem_words ?max_cycles
     ?inject (compiled : Codegen_rv32.compiled) ~(args : Interp.args)
     ~global_size ~local_size () =
+  Ggpu_obs.Trace.with_span "kernels.run_rv32"
+    ~args:[ ("global_size", string_of_int global_size) ]
+  @@ fun () ->
   let placed = layout_buffers ~base_addr args.Interp.buffers in
   let needed_words =
     List.fold_left

@@ -43,6 +43,10 @@ let congestion_factor ~period_ns ~macros ~base_macros =
   pressure *. fragmentation
 
 let estimate tech netlist (fp : Floorplan.t) ~period_ns ~base_macros =
+  Ggpu_obs.Trace.with_span "layout.route"
+    ~args:[ ("period_ns", Printf.sprintf "%.3f" period_ns) ]
+  @@ fun () ->
+  Ggpu_obs.Metrics.count "layout.route.calls" 1;
   let stats = Netlist.stats netlist in
   let congestion =
     congestion_factor ~period_ns ~macros:stats.Netlist.macro_count ~base_macros

@@ -51,6 +51,8 @@ let setup_of tech cell =
   | Cell.Comb _ -> 0.0
 
 let analyse tech netlist (fp : Floorplan.t) =
+  Ggpu_obs.Trace.with_span "layout.post_sta" @@ fun () ->
+  Ggpu_obs.Metrics.count "layout.post_sta.calls" 1;
   let pre = Timing.analyse tech netlist in
   let arrivals = Timing.compute_arrivals tech netlist in
   let worst_cross = ref None in

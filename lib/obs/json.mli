@@ -1,0 +1,23 @@
+(** Minimal JSON value type with an emitter and a strict parser — just
+    enough to write Chrome trace-event files and validate them again
+    without an external dependency. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+val write : Buffer.t -> t -> unit
+val to_string : t -> string
+
+val parse : string -> (t, string) result
+(** Strict parse of a complete document; trailing garbage is an error.
+    Numbers without [.]/[e] parse as [Int]. *)
+
+val member : string -> t -> t option
+(** [member key (Obj kvs)] is the value bound to [key], if any; [None]
+    on non-objects. *)

@@ -1,0 +1,71 @@
+(* Self-time aggregation over trace spans.
+
+   Events arrive timestamp-sorted; a per-thread stack of open spans
+   attributes each span's duration to its own name and subtracts it
+   from the enclosing span's self time, the classic profiler
+   bookkeeping. *)
+
+type row = { name : string; calls : int; total_ns : int; self_ns : int }
+
+type open_span = {
+  o_name : string;
+  o_start : int;
+  mutable o_child_ns : int; (* time spent in nested spans *)
+}
+
+let self_times (events : Trace.event list) =
+  let table : (string, row) Hashtbl.t = Hashtbl.create 32 in
+  let stacks : (int, open_span list) Hashtbl.t = Hashtbl.create 8 in
+  let account name ~dur ~self =
+    let prev =
+      Option.value
+        ~default:{ name; calls = 0; total_ns = 0; self_ns = 0 }
+        (Hashtbl.find_opt table name)
+    in
+    Hashtbl.replace table name
+      {
+        prev with
+        calls = prev.calls + 1;
+        total_ns = prev.total_ns + dur;
+        self_ns = prev.self_ns + self;
+      }
+  in
+  List.iter
+    (fun (e : Trace.event) ->
+      let stack = Option.value ~default:[] (Hashtbl.find_opt stacks e.tid) in
+      match e.ph with
+      | Trace.Begin ->
+          Hashtbl.replace stacks e.tid
+            ({ o_name = e.name; o_start = e.ts_ns; o_child_ns = 0 } :: stack)
+      | Trace.End -> (
+          match stack with
+          | [] -> () (* unmatched end: skip *)
+          | top :: rest ->
+              let dur = max 0 (e.ts_ns - top.o_start) in
+              let self = max 0 (dur - top.o_child_ns) in
+              account top.o_name ~dur ~self;
+              (match rest with
+              | parent :: _ -> parent.o_child_ns <- parent.o_child_ns + dur
+              | [] -> ());
+              Hashtbl.replace stacks e.tid rest)
+      | Trace.Instant -> ())
+    events;
+  Hashtbl.fold (fun _ row acc -> row :: acc) table []
+  |> List.sort (fun a b ->
+         match Int.compare b.self_ns a.self_ns with
+         | 0 -> String.compare a.name b.name
+         | c -> c)
+
+let pp_table fmt rows =
+  let total_self = List.fold_left (fun acc r -> acc + r.self_ns) 0 rows in
+  Format.fprintf fmt "@[<v>%-28s %8s %12s %12s %7s@," "span" "calls"
+    "total (ms)" "self (ms)" "self%";
+  List.iter
+    (fun r ->
+      Format.fprintf fmt "%-28s %8d %12.3f %12.3f %6.1f%%@," r.name r.calls
+        (float_of_int r.total_ns /. 1e6)
+        (float_of_int r.self_ns /. 1e6)
+        (if total_self = 0 then 0.0
+         else 100.0 *. float_of_int r.self_ns /. float_of_int total_self))
+    rows;
+  Format.fprintf fmt "@]"

@@ -1,0 +1,12 @@
+(** Self-time profiles computed from buffered trace spans: for every
+    span name, the call count, total (inclusive) time and self time
+    (total minus time spent in nested spans).  Backs the CLI's
+    [profile] subcommand. *)
+
+type row = { name : string; calls : int; total_ns : int; self_ns : int }
+
+val self_times : Trace.event list -> row list
+(** Rows sorted by self time, largest first.  Unbalanced events (an
+    end without a begin, spans still open at the tail) are skipped. *)
+
+val pp_table : Format.formatter -> row list -> unit

@@ -1,0 +1,232 @@
+(* Span tracer with Chrome trace-event JSON export.
+
+   Disabled-path cost is the design constraint: the simulators and the
+   planner's analyse-edit loop call [with_span] on every hot iteration,
+   and the bench-perf acceptance gate allows < 2% regression with
+   tracing off.  So the enabled check is a single atomic load, and
+   nothing (no closure, no timestamp, no buffer) is touched when it
+   fails.  When enabled, each domain prepends to its own event list;
+   the lists are registered under a mutex on first use per domain so
+   they outlive Parallel workers. *)
+
+type phase = Begin | End | Instant
+
+type event = {
+  ph : phase;
+  name : string;
+  ts_ns : int;
+  tid : int;
+  args : (string * string) list;
+}
+
+let enabled_flag = Atomic.make false
+let enabled () = Atomic.get enabled_flag
+let enable () = Atomic.set enabled_flag true
+let disable () = Atomic.set enabled_flag false
+
+let buffer_lock = Mutex.create ()
+let buffers : event list ref list ref = ref []
+
+let with_lock f =
+  Mutex.lock buffer_lock;
+  Fun.protect f ~finally:(fun () -> Mutex.unlock buffer_lock)
+
+let dls_key =
+  Domain.DLS.new_key (fun () ->
+      let buf = ref [] in
+      with_lock (fun () -> buffers := buf :: !buffers);
+      buf)
+
+let record ph name args =
+  let buf = Domain.DLS.get dls_key in
+  buf :=
+    {
+      ph;
+      name;
+      ts_ns = Metrics.now_ns ();
+      tid = (Domain.self () :> int);
+      args;
+    }
+    :: !buf
+
+let instant ?(args = []) name = if enabled () then record Instant name args
+
+let with_span ?(args = []) name f =
+  if not (enabled ()) then f ()
+  else begin
+    record Begin name args;
+    Fun.protect f ~finally:(fun () -> record End name [])
+  end
+
+let reset () =
+  let bufs = with_lock (fun () -> !buffers) in
+  List.iter (fun b -> b := []) bufs
+
+let events () =
+  let bufs = with_lock (fun () -> !buffers) in
+  (* each buffer is newest-first; reverse to record order, then a stable
+     sort keeps same-timestamp begin/end pairs of a domain in order *)
+  List.concat_map (fun b -> List.rev !b) bufs
+  |> List.stable_sort (fun a b -> Int.compare a.ts_ns b.ts_ns)
+
+let event_to_json e =
+  let base =
+    [
+      ("name", Json.String e.name);
+      ("cat", Json.String "ggpu");
+      ( "ph",
+        Json.String (match e.ph with Begin -> "B" | End -> "E" | Instant -> "i")
+      );
+      ("ts", Json.Float (float_of_int e.ts_ns /. 1000.0));
+      ("pid", Json.Int 1);
+      ("tid", Json.Int e.tid);
+    ]
+  in
+  let scope =
+    match e.ph with Instant -> [ ("s", Json.String "t") ] | _ -> []
+  in
+  let args =
+    match e.args with
+    | [] -> []
+    | kvs ->
+        [ ("args", Json.Obj (List.map (fun (k, v) -> (k, Json.String v)) kvs)) ]
+  in
+  Json.Obj (base @ scope @ args)
+
+let to_json () =
+  Json.Obj
+    [
+      ("traceEvents", Json.List (List.map event_to_json (events ())));
+      ("displayTimeUnit", Json.String "ms");
+    ]
+
+let export ~path =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      output_string oc (Json.to_string (to_json ()));
+      output_char oc '\n')
+
+(* --- Validation -------------------------------------------------------- *)
+
+type summary = {
+  event_count : int;
+  span_count : int;
+  max_depth : int;
+  thread_count : int;
+}
+
+let pp_summary fmt s =
+  Format.fprintf fmt "%d events, %d spans, max depth %d, %d thread(s)"
+    s.event_count s.span_count s.max_depth s.thread_count
+
+let validate_json doc =
+  let ( let* ) = Result.bind in
+  let* evs =
+    match doc with
+    | Json.List l -> Ok l
+    | Json.Obj _ -> (
+        match Json.member "traceEvents" doc with
+        | Some (Json.List l) -> Ok l
+        | Some _ -> Error "traceEvents is not an array"
+        | None -> Error "missing traceEvents array")
+    | _ -> Error "top level is neither an object nor an array"
+  in
+  let stacks : (int * int, string list) Hashtbl.t = Hashtbl.create 8 in
+  let threads = Hashtbl.create 8 in
+  let spans = ref 0 and max_depth = ref 0 in
+  let check i ev =
+    let* obj =
+      match ev with
+      | Json.Obj _ -> Ok ev
+      | _ -> Error (Printf.sprintf "event %d is not an object" i)
+    in
+    let str key =
+      match Json.member key obj with
+      | Some (Json.String s) -> Ok s
+      | _ -> Error (Printf.sprintf "event %d: missing string %S" i key)
+    in
+    let int key =
+      match Json.member key obj with
+      | Some (Json.Int n) -> Ok n
+      | _ -> Error (Printf.sprintf "event %d: missing integer %S" i key)
+    in
+    let* name = str "name" in
+    let* ph = str "ph" in
+    let* () =
+      match Json.member "ts" obj with
+      | Some (Json.Int _ | Json.Float _) -> Ok ()
+      | _ -> Error (Printf.sprintf "event %d: missing numeric \"ts\"" i)
+    in
+    let* pid = int "pid" in
+    let* tid = int "tid" in
+    Hashtbl.replace threads (pid, tid) ();
+    let key = (pid, tid) in
+    let stack = Option.value ~default:[] (Hashtbl.find_opt stacks key) in
+    match ph with
+    | "B" ->
+        let stack = name :: stack in
+        if List.length stack > !max_depth then max_depth := List.length stack;
+        Hashtbl.replace stacks key stack;
+        Ok ()
+    | "E" -> (
+        match stack with
+        | [] ->
+            Error
+              (Printf.sprintf "event %d: end of %S with no open span on tid %d"
+                 i name tid)
+        | top :: rest ->
+            if top <> name then
+              Error
+                (Printf.sprintf
+                   "event %d: end of %S does not match open span %S" i name top)
+            else begin
+              Stdlib.incr spans;
+              Hashtbl.replace stacks key rest;
+              Ok ()
+            end)
+    | "X" -> (
+        match Json.member "dur" obj with
+        | Some (Json.Int _ | Json.Float _) -> Ok ()
+        | _ -> Error (Printf.sprintf "event %d: complete event without dur" i))
+    | "i" | "I" | "C" | "M" -> Ok ()
+    | other -> Error (Printf.sprintf "event %d: unknown phase %S" i other)
+  in
+  let rec go i = function
+    | [] -> Ok i
+    | ev :: rest ->
+        let* () = check i ev in
+        go (i + 1) rest
+  in
+  let* n = go 0 evs in
+  let unclosed =
+    Hashtbl.fold
+      (fun (_, tid) stack acc ->
+        match stack with [] -> acc | name :: _ -> (tid, name) :: acc)
+      stacks []
+  in
+  match unclosed with
+  | (tid, name) :: _ ->
+      Error (Printf.sprintf "unclosed span %S on tid %d" name tid)
+  | [] ->
+      Ok
+        {
+          event_count = n;
+          span_count = !spans;
+          max_depth = !max_depth;
+          thread_count = Hashtbl.length threads;
+        }
+
+let validate_file path =
+  let ( let* ) = Result.bind in
+  let* contents =
+    try
+      let ic = open_in_bin path in
+      Fun.protect
+        ~finally:(fun () -> close_in ic)
+        (fun () -> Ok (really_input_string ic (in_channel_length ic)))
+    with Sys_error msg -> Error msg
+  in
+  let* doc = Json.parse (String.trim contents) in
+  validate_json doc

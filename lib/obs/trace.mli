@@ -1,0 +1,64 @@
+(** Span tracer: nested timed spans with string attributes, exported as
+    Chrome trace-event JSON ([chrome://tracing] / Perfetto loadable).
+
+    Tracing is a process-wide switch, off by default; a disabled
+    {!with_span} costs one atomic load and a branch, so hot paths can
+    stay instrumented unconditionally.  When enabled, each domain
+    appends begin/end events to its own buffer (no contention); buffers
+    are registered globally so spans recorded inside a joined
+    {!Ggpu_core.Parallel} fan-out survive their domain. *)
+
+type phase = Begin | End | Instant
+
+type event = {
+  ph : phase;
+  name : string;
+  ts_ns : int;
+  tid : int;  (** recording domain's id *)
+  args : (string * string) list;
+}
+
+val enable : unit -> unit
+val disable : unit -> unit
+val enabled : unit -> bool
+
+val reset : unit -> unit
+(** Drop all buffered events. *)
+
+val with_span : ?args:(string * string) list -> string -> (unit -> 'a) -> 'a
+(** Run the thunk inside a named span.  The end event is recorded also
+    on exceptional exit, so traces stay balanced. *)
+
+val instant : ?args:(string * string) list -> string -> unit
+
+val events : unit -> event list
+(** All buffered events, stably sorted by timestamp (per-domain record
+    order is preserved for equal timestamps). *)
+
+val to_json : unit -> Json.t
+
+val export : path:string -> unit
+(** Write the buffered events as a Chrome trace-event JSON object
+    ([{"traceEvents": [...]}]). *)
+
+(** {1 Validation}
+
+    A structural checker for trace files — used by the CI smoke job and
+    the test suite, so the emitter cannot silently drift away from the
+    format Chrome accepts. *)
+
+type summary = {
+  event_count : int;
+  span_count : int;  (** matched begin/end pairs *)
+  max_depth : int;
+  thread_count : int;
+}
+
+val validate_json : Json.t -> (summary, string) result
+(** Check a parsed document: a top-level [traceEvents] array (or bare
+    array) whose elements carry [name]/[ph]/[ts]/[pid]/[tid], with
+    begin/end events properly nested (LIFO, matching names) per
+    (pid, tid). *)
+
+val validate_file : string -> (summary, string) result
+val pp_summary : Format.formatter -> summary -> unit

@@ -192,6 +192,8 @@ exception Watchdog_timeout of int
    control flow (a fault-injected pc stuck in a loop) terminates as a
    classifiable hang rather than burning the whole fuel budget. *)
 let run ?(fuel = 500_000_000) ?max_cycles t =
+  Ggpu_obs.Trace.with_span "rv32.run" @@ fun () ->
+  let t0_ns = Ggpu_obs.Metrics.now_ns () in
   let executed = ref 0 in
   while not t.halted do
     if !executed > fuel then raise (Out_of_fuel !executed);
@@ -202,6 +204,15 @@ let run ?(fuel = 500_000_000) ?max_cycles t =
     step t;
     incr executed
   done;
+  if Ggpu_obs.Metrics.ambient_enabled () then begin
+    let wall_ns = max 1 (Ggpu_obs.Metrics.now_ns () - t0_ns) in
+    Ggpu_obs.Metrics.count "sim.rv32.runs" 1;
+    Ggpu_obs.Metrics.count "sim.rv32.cycles" t.stats.cycles;
+    Ggpu_obs.Metrics.count "sim.rv32.instructions" t.stats.instructions;
+    Ggpu_obs.Metrics.count "sim.rv32.wall_ns" wall_ns;
+    Ggpu_obs.Metrics.record_gauge "sim.rv32.kcycles_per_s"
+      (t.stats.cycles * 1_000_000 / wall_ns)
+  end;
   t.stats
 
 let pp_stats fmt s =

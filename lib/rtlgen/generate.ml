@@ -222,6 +222,10 @@ let fill_region nl ~region ~ff ~comb ~ff_target ~comb_target =
 
 (* The full design. *)
 let generate (params : Arch_params.t) =
+  Ggpu_obs.Trace.with_span "rtlgen.generate"
+    ~args:[ ("cus", string_of_int params.Arch_params.num_cus) ]
+  @@ fun () ->
+  Ggpu_obs.Metrics.count "rtlgen.generates" 1;
   let nl =
     Netlist.create ~name:(Printf.sprintf "ggpu_%dcu" params.Arch_params.num_cus)
   in

@@ -206,6 +206,8 @@ let report_of_arrivals tech netlist arrivals =
 
 (* Full analysis: worst register-to-register path. *)
 let analyse tech netlist =
+  Ggpu_obs.Trace.with_span "sta.full" @@ fun () ->
+  Ggpu_obs.Metrics.count "sta.full_analyses" 1;
   report_of_arrivals tech netlist (compute_arrivals tech netlist)
 
 (* --- Incremental engine ---------------------------------------------- *)
@@ -235,6 +237,7 @@ type engine_stats = {
 }
 
 let make_engine tech netlist =
+  Ggpu_obs.Trace.with_span "sta.engine_init" @@ fun () ->
   {
     e_tech = tech;
     e_netlist = netlist;
@@ -386,14 +389,21 @@ let sync engine =
     (match Netlist.changes_since engine.e_netlist engine.e_revision with
     | Some { Netlist.cells = []; nets = [] } -> ()
     | Some { Netlist.cells; nets } ->
-        incremental_update engine ~cells ~nets;
+        let before = engine.e_relaxed in
+        Ggpu_obs.Trace.with_span "sta.incremental" (fun () ->
+            incremental_update engine ~cells ~nets);
         update_seq_ids engine cells;
-        engine.e_incremental <- engine.e_incremental + 1
+        engine.e_incremental <- engine.e_incremental + 1;
+        Ggpu_obs.Metrics.count "sta.incremental_updates" 1;
+        Ggpu_obs.Metrics.observe_named "sta.cone_cells"
+          (engine.e_relaxed - before)
     | None ->
         (* journal truncated: too far behind, recompute from scratch *)
-        engine.e_arrivals <- compute_arrivals engine.e_tech engine.e_netlist;
-        engine.e_seq <- seq_ids engine.e_netlist;
-        engine.e_full <- engine.e_full + 1);
+        Ggpu_obs.Trace.with_span "sta.full" (fun () ->
+            engine.e_arrivals <- compute_arrivals engine.e_tech engine.e_netlist;
+            engine.e_seq <- seq_ids engine.e_netlist);
+        engine.e_full <- engine.e_full + 1;
+        Ggpu_obs.Metrics.count "sta.full_recomputes" 1);
     engine.e_revision <- rev;
     engine.e_report <- None
   end

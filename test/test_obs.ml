@@ -1,0 +1,343 @@
+(* Observability library: metrics determinism, trace well-formedness,
+   JSON round-trips and the self-time profiler.  The merge tests are
+   the load-bearing ones - the whole point of integer-valued metrics is
+   that per-domain snapshots fold to a bit-identical result no matter
+   how the Parallel pool partitioned the work. *)
+
+module M = Ggpu_obs.Metrics
+module T = Ggpu_obs.Trace
+module J = Ggpu_obs.Json
+module P = Ggpu_obs.Profile
+
+let check = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+(* --- counters ----------------------------------------------------------- *)
+
+let test_counter_basics () =
+  let r = M.create () in
+  let c = M.counter r "calls" in
+  M.add c 3;
+  M.incr c;
+  check "accumulates" 4 (M.counter_value c);
+  (* find-or-create returns the same counter *)
+  M.add (M.counter r "calls") 1;
+  check "find-or-create" 5 (M.counter_value c)
+
+let test_counter_monotone () =
+  let r = M.create () in
+  let c = M.counter r "calls" in
+  Alcotest.check_raises "negative add rejected"
+    (Invalid_argument "Metrics.add: negative increment") (fun () ->
+      M.add c (-1));
+  check "value untouched" 0 (M.counter_value c)
+
+let test_kind_clash () =
+  let r = M.create () in
+  ignore (M.counter r "x");
+  check_bool "kind clash rejected" true
+    (match M.gauge r "x" with
+    | _ -> false
+    | exception Invalid_argument _ -> true)
+
+(* --- gauges -------------------------------------------------------------- *)
+
+let test_gauge_max () =
+  let r = M.create () in
+  let g = M.gauge r "depth" in
+  Alcotest.(check (option int)) "unset" None (M.gauge_value g);
+  M.gauge_max g 3;
+  M.gauge_max g 7;
+  M.gauge_max g 5;
+  Alcotest.(check (option int)) "keeps max" (Some 7) (M.gauge_value g)
+
+(* --- histograms ---------------------------------------------------------- *)
+
+let test_histogram_invariants () =
+  let r = M.create () in
+  let h = M.histogram ~buckets:[ 1; 4; 16 ] r "sizes" in
+  List.iter (M.observe h) [ 0; 1; 2; 5; 100 ];
+  let s = M.snapshot r in
+  let hs = Option.get (M.find_histogram s "sizes") in
+  check "count" 5 (M.hist_total hs);
+  check "sum" 108 hs.M.sum;
+  check "min" 0 hs.M.min_v;
+  check "max" 100 hs.M.max_v;
+  Alcotest.(check (list int)) "cells: <=1, <=4, <=16, overflow"
+    [ 2; 1; 1; 1 ] hs.M.counts;
+  check "one overflow cell beyond bounds" (List.length hs.M.bounds + 1)
+    (List.length hs.M.counts)
+
+let test_histogram_bad_buckets () =
+  let r = M.create () in
+  check_bool "non-ascending rejected" true
+    (match M.histogram ~buckets:[ 4; 2 ] r "h" with
+    | _ -> false
+    | exception Invalid_argument _ -> true)
+
+(* --- merging ------------------------------------------------------------- *)
+
+(* A snapshot generator: a registry built from small random op lists,
+   so qcheck explores merges of genuinely different shapes. *)
+let name_of i = [| "a"; "b"; "c" |].(abs i mod 3)
+
+let snapshot_of_ops (counts, gauges, observes) =
+  let r = M.create () in
+  List.iter (fun (i, v) -> M.add (M.counter r (name_of i)) (abs v mod 1000)) counts;
+  List.iter
+    (fun (i, v) -> M.gauge_max (M.gauge r ("g" ^ name_of i)) (abs v mod 1000))
+    gauges;
+  List.iter
+    (fun (i, v) -> M.observe (M.histogram r ("h" ^ name_of i)) (abs v mod 1000))
+    observes;
+  M.snapshot r
+
+let ops_gen =
+  QCheck.(
+    triple
+      (small_list (pair small_int small_int))
+      (small_list (pair small_int small_int))
+      (small_list (pair small_int small_int)))
+
+let merge_commutative =
+  QCheck.Test.make ~count:200 ~name:"merge commutative"
+    QCheck.(pair ops_gen ops_gen)
+    (fun (a, b) ->
+      let sa = snapshot_of_ops a and sb = snapshot_of_ops b in
+      M.equal_snapshot (M.merge sa sb) (M.merge sb sa))
+
+let merge_associative =
+  QCheck.Test.make ~count:200 ~name:"merge associative"
+    QCheck.(triple ops_gen ops_gen ops_gen)
+    (fun (a, b, c) ->
+      let sa = snapshot_of_ops a
+      and sb = snapshot_of_ops b
+      and sc = snapshot_of_ops c in
+      M.equal_snapshot
+        (M.merge sa (M.merge sb sc))
+        (M.merge (M.merge sa sb) sc))
+
+let merge_identity =
+  QCheck.Test.make ~count:200 ~name:"empty_snapshot is identity" ops_gen
+    (fun a ->
+      let s = snapshot_of_ops a in
+      M.equal_snapshot (M.merge s M.empty_snapshot) s
+      && M.equal_snapshot (M.merge M.empty_snapshot s) s)
+
+let test_merge_values () =
+  let mk c g =
+    let r = M.create () in
+    M.add (M.counter r "n") c;
+    M.gauge_max (M.gauge r "g") g;
+    M.snapshot r
+  in
+  let m = M.merge (mk 3 10) (mk 4 7) in
+  Alcotest.(check (option int)) "counters add" (Some 7) (M.find_counter m "n");
+  Alcotest.(check (option int)) "gauges max" (Some 10) (M.find_gauge m "g")
+
+(* --- parallel collection ------------------------------------------------- *)
+
+let work reg i =
+  M.add (M.counter reg "items") 1;
+  M.add (M.counter reg "total") i;
+  M.observe (M.histogram ~buckets:[ 4; 16; 64 ] reg "value") i;
+  M.gauge_max (M.gauge reg "max_item") i;
+  i * i
+
+let test_map_collect_deterministic () =
+  let items = List.init 37 Fun.id in
+  let serial_vs, serial_snap =
+    Ggpu_core.Parallel.map_collect ~domains:1 work items
+  in
+  let par_vs, par_snap = Ggpu_core.Parallel.map_collect ~domains:4 work items in
+  Alcotest.(check (list int)) "values identical" serial_vs par_vs;
+  check_bool "snapshots bit-identical across domain counts" true
+    (M.equal_snapshot serial_snap par_snap);
+  Alcotest.(check (option int)) "item count" (Some 37)
+    (M.find_counter par_snap "items")
+
+let test_ambient_deterministic () =
+  let run domains =
+    M.set_ambient_enabled true;
+    M.ambient_reset ();
+    ignore
+      (Ggpu_core.Parallel.map ~domains
+         (fun i ->
+           M.count "x" 1;
+           M.observe_named ~buckets:[ 8; 32 ] "v" i;
+           i)
+         (List.init 16 Fun.id));
+    let s = M.ambient_snapshot () in
+    M.set_ambient_enabled false;
+    M.ambient_reset ();
+    s
+  in
+  let s1 = run 1 and s4 = run 4 in
+  Alcotest.(check (option int)) "all recorded" (Some 16)
+    (M.find_counter s1 "x");
+  check_bool "ambient snapshot independent of domains" true
+    (M.equal_snapshot s1 s4)
+
+let test_ambient_disabled_noop () =
+  M.set_ambient_enabled false;
+  M.ambient_reset ();
+  M.count "x" 5;
+  Alcotest.(check (option int)) "disabled count is a no-op" None
+    (M.find_counter (M.ambient_snapshot ()) "x")
+
+(* --- tracing ------------------------------------------------------------- *)
+
+let with_tracing f =
+  T.reset ();
+  T.enable ();
+  Fun.protect f ~finally:(fun () ->
+      T.disable ();
+      T.reset ())
+
+let test_span_nesting () =
+  with_tracing @@ fun () ->
+  T.with_span "outer" (fun () ->
+      T.with_span "inner" (fun () -> ());
+      T.instant "tick");
+  let evs = T.events () in
+  Alcotest.(check (list string)) "record order"
+    [ "outer:B"; "inner:B"; "inner:E"; "tick:I"; "outer:E" ]
+    (List.map
+       (fun (e : T.event) ->
+         e.T.name ^ ":"
+         ^ match e.T.ph with T.Begin -> "B" | T.End -> "E" | T.Instant -> "I")
+       evs);
+  match T.validate_json (T.to_json ()) with
+  | Error msg -> Alcotest.fail msg
+  | Ok s ->
+      check "spans" 2 s.T.span_count;
+      check "depth" 2 s.T.max_depth;
+      check "events" 5 s.T.event_count
+
+let test_span_exception_safe () =
+  with_tracing @@ fun () ->
+  (try T.with_span "boom" (fun () -> failwith "boom") with Failure _ -> ());
+  let evs = T.events () in
+  check "begin and end recorded" 2 (List.length evs);
+  check_bool "trace still validates" true
+    (Result.is_ok (T.validate_json (T.to_json ())))
+
+let test_export_roundtrip () =
+  let path = Filename.temp_file "ggpu_trace" ".json" in
+  Fun.protect ~finally:(fun () -> Sys.remove path) @@ fun () ->
+  (with_tracing @@ fun () ->
+   T.with_span "a" ~args:[ ("k", "v \"quoted\"") ] (fun () ->
+       T.with_span "b" (fun () -> ()));
+   T.export ~path);
+  match T.validate_file path with
+  | Error msg -> Alcotest.fail msg
+  | Ok s ->
+      check "two spans survive the file round-trip" 2 s.T.span_count;
+      check "one thread" 1 s.T.thread_count
+
+let test_disabled_records_nothing () =
+  T.reset ();
+  T.disable ();
+  T.with_span "ghost" (fun () -> ());
+  check "no events when disabled" 0 (List.length (T.events ()))
+
+let event ?(ts = 0) ?(tid = 1) ph name =
+  J.Obj
+    [
+      ("name", J.String name);
+      ("ph", J.String ph);
+      ("ts", J.Int ts);
+      ("pid", J.Int 1);
+      ("tid", J.Int tid);
+    ]
+
+let test_validator_rejects_unbalanced () =
+  let doc events = J.Obj [ ("traceEvents", J.List events) ] in
+  check_bool "stray end rejected" true
+    (Result.is_error (T.validate_json (doc [ event "E" "a" ])));
+  check_bool "unclosed begin rejected" true
+    (Result.is_error (T.validate_json (doc [ event "B" "a" ])));
+  check_bool "name mismatch rejected" true
+    (Result.is_error
+       (T.validate_json (doc [ event "B" "a"; event ~ts:1 "E" "b" ])));
+  check_bool "balanced accepted" true
+    (Result.is_ok
+       (T.validate_json (doc [ event "B" "a"; event ~ts:1 "E" "a" ])))
+
+(* --- JSON ---------------------------------------------------------------- *)
+
+let test_json_roundtrip () =
+  let v =
+    J.Obj
+      [
+        ("s", J.String "line\nbreak \"and\" \\slash");
+        ("n", J.Int (-42));
+        ("b", J.Bool true);
+        ("z", J.Null);
+        ("l", J.List [ J.Int 1; J.String "x"; J.Obj [] ]);
+      ]
+  in
+  (match J.parse (J.to_string v) with
+  | Ok parsed -> check_bool "round-trips" true (parsed = v)
+  | Error msg -> Alcotest.fail msg);
+  check_bool "trailing garbage rejected" true
+    (Result.is_error (J.parse "{} x"));
+  check_bool "bare value parses" true (J.parse "3.5" = Ok (J.Float 3.5))
+
+(* --- profiler ------------------------------------------------------------ *)
+
+let test_self_times () =
+  let ev ph name ts_ns = { T.ph; name; ts_ns; tid = 0; args = [] } in
+  let rows =
+    P.self_times
+      [
+        ev T.Begin "a" 0;
+        ev T.Begin "b" 40;
+        ev T.End "b" 80;
+        ev T.End "a" 100;
+      ]
+  in
+  let find n = List.find (fun (r : P.row) -> r.P.name = n) rows in
+  check "a total" 100 (find "a").P.total_ns;
+  check "a self excludes b" 60 (find "a").P.self_ns;
+  check "b total" 40 (find "b").P.total_ns;
+  check "b self" 40 (find "b").P.self_ns;
+  check_bool "sorted by self time" true
+    (List.map (fun (r : P.row) -> r.P.name) rows = [ "a"; "b" ])
+
+let qcheck = QCheck_alcotest.to_alcotest
+
+let suite =
+  [
+    ( "obs",
+      [
+        Alcotest.test_case "counter basics" `Quick test_counter_basics;
+        Alcotest.test_case "counter monotone" `Quick test_counter_monotone;
+        Alcotest.test_case "kind clash" `Quick test_kind_clash;
+        Alcotest.test_case "gauge max" `Quick test_gauge_max;
+        Alcotest.test_case "histogram invariants" `Quick
+          test_histogram_invariants;
+        Alcotest.test_case "histogram bad buckets" `Quick
+          test_histogram_bad_buckets;
+        Alcotest.test_case "merge values" `Quick test_merge_values;
+        qcheck merge_commutative;
+        qcheck merge_associative;
+        qcheck merge_identity;
+        Alcotest.test_case "map_collect deterministic" `Quick
+          test_map_collect_deterministic;
+        Alcotest.test_case "ambient deterministic" `Quick
+          test_ambient_deterministic;
+        Alcotest.test_case "ambient disabled no-op" `Quick
+          test_ambient_disabled_noop;
+        Alcotest.test_case "span nesting" `Quick test_span_nesting;
+        Alcotest.test_case "span exception safety" `Quick
+          test_span_exception_safe;
+        Alcotest.test_case "export round-trip" `Quick test_export_roundtrip;
+        Alcotest.test_case "disabled tracer records nothing" `Quick
+          test_disabled_records_nothing;
+        Alcotest.test_case "validator rejects unbalanced" `Quick
+          test_validator_rejects_unbalanced;
+        Alcotest.test_case "json round-trip" `Quick test_json_roundtrip;
+        Alcotest.test_case "profiler self times" `Quick test_self_times;
+      ] );
+  ]
