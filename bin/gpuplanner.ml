@@ -400,6 +400,91 @@ let fi_cmd =
           masked/SDC/DUE/hang, with per-structure AVF")
     term
 
+(* --- bench -------------------------------------------------------------- *)
+
+(* The (kernel x CU-count) grid on the domain pool: the CLI face of
+   {!Ggpu_kernels.Suite_runner}.  Results and merged metrics are
+   deterministic for any --domains; only wall times vary. *)
+let bench_cmd =
+  let cus_grid_term =
+    let doc = "Comma-separated CU counts forming the grid." in
+    Arg.(value & opt (list int) [ 1; 2; 4; 8 ] & info [ "cus" ] ~doc ~docv:"N,..")
+  in
+  let domains_term =
+    let doc =
+      "Domain-pool size for the job fan-out (1 = serial; default: the \
+       runtime's recommended domain count)."
+    in
+    Arg.(value & opt (some int) None & info [ "domains" ] ~doc ~docv:"D")
+  in
+  let run obs domains cus_list =
+    with_obs obs @@ fun () ->
+    let domains =
+      match domains with
+      | Some d -> max 1 d
+      | None -> Ggpu_par.Parallel.default_domains ()
+    in
+    Ggpu_obs.Trace.with_span "bench.suite"
+      ~args:[ ("domains", string_of_int domains) ]
+    @@ fun () ->
+    Ggpu_obs.Metrics.record_gauge "bench.domains" domains;
+    let jobs = Ggpu_kernels.Suite_runner.grid ~cu_counts:cus_list () in
+    let t0 = Ggpu_obs.Metrics.now_ns () in
+    let results, merged = Ggpu_kernels.Suite_runner.run ~domains jobs in
+    let wall_ns = max 1 (Ggpu_obs.Metrics.now_ns () - t0) in
+    Printf.printf "%-20s %8s %10s %10s %12s %6s\n" "job" "size" "cycles"
+      "wf insns" "cycles/s" "ok";
+    List.iter
+      (fun (r : Ggpu_kernels.Suite_runner.result) ->
+        let s = r.Ggpu_kernels.Suite_runner.stats in
+        Printf.printf "%-20s %8d %10d %10d %12.3e %6s\n"
+          (Ggpu_kernels.Suite_runner.job_name r.Ggpu_kernels.Suite_runner.job)
+          r.Ggpu_kernels.Suite_runner.job.Ggpu_kernels.Suite_runner.size
+          s.Ggpu_fgpu.Stats.cycles s.Ggpu_fgpu.Stats.wf_instructions
+          (float_of_int s.Ggpu_fgpu.Stats.cycles
+          /. (float_of_int (max 1 r.Ggpu_kernels.Suite_runner.wall_ns)
+             /. 1e9))
+          (if r.Ggpu_kernels.Suite_runner.correct then "yes" else "NO"))
+      results;
+    let total_cycles =
+      List.fold_left
+        (fun acc (r : Ggpu_kernels.Suite_runner.result) ->
+          acc + r.Ggpu_kernels.Suite_runner.stats.Ggpu_fgpu.Stats.cycles)
+        0 results
+    in
+    Printf.printf
+      "grid: %d jobs on %d domains | %.3e simulated cycles in %.3fs wall \
+       (%.3e cycles/s)\n"
+      (List.length results) domains
+      (float_of_int total_cycles)
+      (float_of_int wall_ns /. 1e9)
+      (float_of_int total_cycles /. (float_of_int wall_ns /. 1e9));
+    Format.printf "merged (deterministic) metrics: %a@."
+      Ggpu_obs.Metrics.pp_snapshot merged;
+    let failures =
+      List.filter
+        (fun (r : Ggpu_kernels.Suite_runner.result) ->
+          not r.Ggpu_kernels.Suite_runner.correct)
+        results
+    in
+    if failures <> [] then begin
+      Printf.eprintf "%d job(s) produced wrong output\n" (List.length failures);
+      exit 1
+    end;
+    Ok ()
+  in
+  let term =
+    Term.(
+      term_result ~usage:false
+        (const run $ obs_term $ domains_term $ cus_grid_term))
+  in
+  Cmd.v
+    (Cmd.info "bench"
+       ~doc:
+         "Run the kernel suite over a CU-count grid on the domain pool, \
+          verifying every output against the OCaml reference")
+    term
+
 (* --- profile ------------------------------------------------------------ *)
 
 let profile_cmd =
@@ -534,5 +619,6 @@ let () =
        (Cmd.group info
           [
             synth_cmd; dse_cmd; map_cmd; layout_cmd; table1_cmd; compare_cmd;
-            run_cmd; fi_cmd; profile_cmd; trace_check_cmd; verilog_cmd;
+            run_cmd; bench_cmd; fi_cmd; profile_cmd; trace_check_cmd;
+            verilog_cmd;
           ]))

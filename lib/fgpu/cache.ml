@@ -56,9 +56,11 @@ let line_addr t i = (t.tags.(i) * t.num_lines + i) * t.line_words * 4
 
 (* Earliest-free resource arbitration: pick the slot that frees first,
    start no earlier than [now], occupy it for [busy] cycles. *)
-let acquire slots ~now ~busy =
+let acquire (slots : int array) ~now ~busy =
   let best = ref 0 in
-  Array.iteri (fun i free -> if free < slots.(!best) then best := i) slots;
+  for i = 1 to Array.length slots - 1 do
+    if slots.(i) < slots.(!best) then best := i
+  done;
   let start = max now slots.(!best) in
   slots.(!best) <- start + busy;
   start

@@ -14,6 +14,12 @@ let create ~dummy = { times = Array.make 16 0; payloads = Array.make 16 dummy; s
 let is_empty t = t.size = 0
 let length t = t.size
 
+(* Drop every entry (capacity is kept), overwriting payload slots with
+   the dummy so discarded payloads don't keep their referents alive. *)
+let clear t =
+  Array.fill t.payloads 0 t.size t.dummy;
+  t.size <- 0
+
 let grow t =
   let cap = Array.length t.times in
   if t.size = cap then begin

@@ -9,6 +9,10 @@ val is_empty : 'a t -> bool
 val length : 'a t -> int
 val push : 'a t -> int -> 'a -> unit
 
+val clear : 'a t -> unit
+(** Drop every entry, releasing payload references; capacity is kept,
+    so a cleared heap can be reused without reallocation. *)
+
 exception Empty
 
 val pop : 'a t -> int * 'a

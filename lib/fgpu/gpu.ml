@@ -11,7 +11,20 @@
 
    The simulation is event-driven: every issue computes its completion
    time analytically, so no per-cycle loop is needed and multi-million
-   cycle runs complete in seconds. *)
+   cycle runs complete in seconds.
+
+   Scheduler structures are flat and allocation-free on the hot path:
+   each CU keeps its resident wavefronts in a fixed array (paired with
+   the owning workgroup, compacted in order on retirement, so slot order
+   equals the old resident-list traversal order), and its earliest
+   possible issue time is cached and invalidated only on the mutations
+   that can change it (issue, dispatch, barrier release, retirement,
+   fault injection).  Popping a stale heap entry therefore costs one
+   cached comparison instead of a rebuild-and-scan of the resident set.
+   The event order, and with it every counter in {!Stats}, is identical
+   to the original list-based scheduler: the cache is only read when
+   valid, and a valid cache means no mutation happened since it was
+   computed, so a recomputation would return the same value. *)
 
 type workgroup = {
   wg_id : int;
@@ -21,12 +34,18 @@ type workgroup = {
   items : int; (* resident work-item slots the workgroup occupies *)
 }
 
+let no_candidate = max_int
+
 type cu = {
   cu_id : int;
   mutable vu_free : int; (* vector unit next free cycle *)
-  mutable resident : workgroup list;
+  wf_slots : Wavefront.t array; (* resident wavefronts, dispatch order *)
+  wg_slots : workgroup array; (* owning workgroup, parallel to wf_slots *)
+  mutable n_wfs : int; (* live prefix of the slot arrays *)
   mutable resident_items : int;
   mutable rr : int; (* round-robin cursor over resident wavefronts *)
+  mutable cand : int; (* cached earliest issue time; [no_candidate] if idle *)
+  mutable cand_valid : bool;
 }
 
 exception Launch_error of string
@@ -36,29 +55,36 @@ let fail fmt = Printf.ksprintf (fun s -> raise (Launch_error s)) fmt
 
 (* Snapshot of the architectural state handed to a fault injector:
    every wavefront currently resident (CU-major, workgroup order), the
-   cache tag/dirty arrays behind [cache], and global memory. *)
+   cache tag/dirty arrays behind [cache], and global memory (native-int
+   words, {!Ggpu_isa.I32} canonical). *)
 type probe = {
   p_now : int;
   p_wavefronts : Wavefront.t array;
   p_cache : Cache.t;
-  p_mem : int32 array;
+  p_mem : int array;
 }
-
-let wavefronts_of cu = List.concat_map (fun wg -> Array.to_list wg.wavefronts) cu.resident
 
 let runnable wf = (not (Wavefront.finished wf)) && not wf.Wavefront.at_barrier
 
-(* Earliest cycle at which [cu] could issue, if any wavefront is ready. *)
+(* Earliest cycle at which [cu] could issue ([no_candidate] when no
+   wavefront is ready), recomputed only when a mutation invalidated the
+   cached value. *)
 let candidate_time cu =
-  let wfs = wavefronts_of cu in
-  let ready =
-    List.filter_map
-      (fun wf -> if runnable wf then Some wf.Wavefront.ready_at else None)
-      wfs
-  in
-  match ready with
-  | [] -> None
-  | times -> Some (max cu.vu_free (List.fold_left min max_int times))
+  if cu.cand_valid then cu.cand
+  else begin
+    let best = ref no_candidate in
+    for i = 0 to cu.n_wfs - 1 do
+      let wf = cu.wf_slots.(i) in
+      if runnable wf && wf.Wavefront.ready_at < !best then
+        best := wf.Wavefront.ready_at
+    done;
+    let c = if !best = no_candidate then no_candidate else max cu.vu_free !best in
+    cu.cand <- c;
+    cu.cand_valid <- true;
+    c
+  end
+
+let invalidate cu = cu.cand_valid <- false
 
 let run ?max_cycles ?inject (cfg : Config.t) ~program ~params ~global_size
     ~local_size ~mem =
@@ -80,11 +106,22 @@ let run ?max_cycles ?inject (cfg : Config.t) ~program ~params ~global_size
   let stats = Stats.create () in
   if global_size = 0 then stats
   else begin
+    let dprog = Ggpu_isa.Fgpu_predecode.of_program program in
     let cache = Cache.create cfg ~stats in
     let beats = Config.beats cfg in
     let wf_size = cfg.Config.wavefront_size in
     let num_wgs = (global_size + local_size - 1) / local_size in
     let wfs_per_wg = Config.wavefronts_per_workgroup cfg ~local_size in
+    (* the simulator's working copy of global memory: unboxed native
+       ints, copied back into the caller's [int32 array] on every exit
+       path so partial results survive watchdogs and faults *)
+    let imem = Array.map Ggpu_isa.I32.of_int32 mem in
+    let copy_back () =
+      for i = 0 to Array.length mem - 1 do
+        mem.(i) <- Ggpu_isa.I32.to_int32 imem.(i)
+      done
+    in
+    Fun.protect ~finally:copy_back @@ fun () ->
     let make_wg wg_id =
       let wavefronts =
         Array.init wfs_per_wg (fun wf_index ->
@@ -101,15 +138,34 @@ let run ?max_cycles ?inject (cfg : Config.t) ~program ~params ~global_size
         items = wfs_per_wg * wf_size;
       }
     in
+    let dummy_wg =
+      { wg_id = -1; wavefronts = [||]; barrier_waiting = 0; finished_wfs = 0; items = 0 }
+    in
+    let dummy_wf =
+      Wavefront.create ~wg_id:(-1) ~wf_index:0 ~size:1 ~wg_offset:0 ~wg_size:0
+        ~global_size:0 ~params:[]
+    in
+    let slot_capacity =
+      max wfs_per_wg (cfg.Config.max_workitems_per_cu / wf_size)
+    in
     let cus =
       Array.init cfg.Config.num_cus (fun cu_id ->
-          { cu_id; vu_free = 0; resident = []; resident_items = 0; rr = 0 })
+          {
+            cu_id;
+            vu_free = 0;
+            wf_slots = Array.make slot_capacity dummy_wf;
+            wg_slots = Array.make slot_capacity dummy_wg;
+            n_wfs = 0;
+            resident_items = 0;
+            rr = 0;
+            cand = no_candidate;
+            cand_valid = false;
+          })
     in
     let heap = Event_heap.create ~dummy:(-1) in
     let schedule cu =
-      match candidate_time cu with
-      | Some t -> Event_heap.push heap t cu.cu_id
-      | None -> ()
+      let t = candidate_time cu in
+      if t <> no_candidate then Event_heap.push heap t cu.cu_id
     in
     let next_wg = ref 0 in
     (* Hand out at most one workgroup per call, so pending workgroups
@@ -125,10 +181,13 @@ let run ?max_cycles ?inject (cfg : Config.t) ~program ~params ~global_size
         Array.iter
           (fun wf ->
             wf.Wavefront.ready_at <- now;
-            wf.Wavefront.last_cu <- cu.cu_id)
+            wf.Wavefront.last_cu <- cu.cu_id;
+            cu.wf_slots.(cu.n_wfs) <- wf;
+            cu.wg_slots.(cu.n_wfs) <- wg;
+            cu.n_wfs <- cu.n_wfs + 1)
           wg.wavefronts;
-        cu.resident <- cu.resident @ [ wg ];
         cu.resident_items <- cu.resident_items + wg.items;
+        invalidate cu;
         true
       end
       else false
@@ -148,16 +207,17 @@ let run ?max_cycles ?inject (cfg : Config.t) ~program ~params ~global_size
     Array.iter schedule cus;
     (* pick the next wavefront to issue on [cu] at time [t]; stop at the
        round-robin winner instead of scanning the rest (hot path: called
-       once per issued wavefront-instruction) *)
+       once per issued wavefront-instruction).  Returns the slot index,
+       -1 if nothing is ready. *)
     let pick_wavefront cu t =
-      let wfs = Array.of_list (wavefronts_of cu) in
-      let n = Array.length wfs in
-      let best = ref None in
+      let n = cu.n_wfs in
+      let best = ref (-1) in
       let k = ref 0 in
-      while !best = None && !k < n do
-        let wf = wfs.((cu.rr + !k) mod n) in
+      while !best < 0 && !k < n do
+        let idx = (cu.rr + !k) mod n in
+        let wf = cu.wf_slots.(idx) in
         if runnable wf && wf.Wavefront.ready_at <= t then begin
-          best := Some wf;
+          best := idx;
           cu.rr <- (cu.rr + !k + 1) mod n
         end;
         incr k
@@ -173,13 +233,29 @@ let run ?max_cycles ?inject (cfg : Config.t) ~program ~params ~global_size
           end)
         wg.wavefronts;
       wg.barrier_waiting <- 0;
-      ignore cu
+      invalidate cu
     in
-    let find_wg cu wg_id =
-      match List.find_opt (fun wg -> wg.wg_id = wg_id) cu.resident with
-      | Some wg -> wg
-      | None -> fail "workgroup %d not resident on CU %d" wg_id cu.cu_id
+    (* drop a fully-retired workgroup, preserving the slot order of the
+       survivors (the round-robin cursor is deliberately left alone,
+       exactly as the old list filter left it) *)
+    let remove_wg cu wg =
+      let j = ref 0 in
+      for i = 0 to cu.n_wfs - 1 do
+        if cu.wg_slots.(i).wg_id <> wg.wg_id then begin
+          cu.wf_slots.(!j) <- cu.wf_slots.(i);
+          cu.wg_slots.(!j) <- cu.wg_slots.(i);
+          incr j
+        end
+      done;
+      for i = !j to cu.n_wfs - 1 do
+        cu.wf_slots.(i) <- dummy_wf;
+        cu.wg_slots.(i) <- dummy_wg
+      done;
+      cu.n_wfs <- !j;
+      cu.resident_items <- cu.resident_items - wg.items;
+      invalidate cu
     in
+    let out = Wavefront.make_outcome ~max_lanes:wf_size in
     (* main event loop *)
     let pending_inject = ref inject in
     let events_popped = ref 0 and heap_depth_max = ref 0 in
@@ -197,90 +273,91 @@ let run ?max_cycles ?inject (cfg : Config.t) ~program ~params ~global_size
           let resident =
             Array.concat
               (Array.to_list
-                 (Array.map
-                    (fun cu -> Array.of_list (wavefronts_of cu))
-                    cus))
+                 (Array.map (fun cu -> Array.sub cu.wf_slots 0 cu.n_wfs) cus))
           in
-          f { p_now = t; p_wavefronts = resident; p_cache = cache; p_mem = mem };
+          (* converged wavefronts keep [pcs] stale; make it real before
+             the injector reads or rewrites per-lane state *)
+          Array.iter Wavefront.materialize_pcs resident;
+          f { p_now = t; p_wavefronts = resident; p_cache = cache; p_mem = imem };
           (* injected state may have made an idle CU runnable again (a
              revived lane): re-arm every CU; stale events are harmless *)
+          Array.iter invalidate cus;
           Array.iter schedule cus
       | _ -> ());
       let cu = cus.(cu_id) in
-      match candidate_time cu with
-      | None -> () (* stale: nothing runnable on this CU anymore *)
-      | Some t' when t' > t -> Event_heap.push heap t' cu.cu_id
-      | Some _ -> (
-          match pick_wavefront cu t with
-          | None ->
-              (* candidate_time guarantees a ready wavefront exists *)
-              fail "scheduler inconsistency on CU %d at cycle %d" cu.cu_id t
-          | Some wf ->
-              let outcome =
-                Wavefront.issue wf ~program ~mem
-                  ~line_words:cfg.Config.cache.Config.line_words
-              in
-              stats.Stats.wf_instructions <- stats.Stats.wf_instructions + 1;
-              stats.Stats.lane_instructions <-
-                stats.Stats.lane_instructions + outcome.Wavefront.executed_lanes;
-              if outcome.Wavefront.partial_mask then
-                stats.Stats.divergent_issues <- stats.Stats.divergent_issues + 1;
-              (* a division holds the CU's shared iterative divider (and
-                 with it the vector pipeline) for every active lane *)
-              let div_occupancy =
-                if outcome.Wavefront.used_div then
-                  outcome.Wavefront.executed_lanes * cfg.Config.div_latency
-                else 0
-              in
-              cu.vu_free <-
-                t + beats + div_occupancy + cfg.Config.issue_overhead;
-              stats.Stats.vu_busy_cycles <-
-                stats.Stats.vu_busy_cycles + beats + div_occupancy;
-              let completion = ref (t + beats + div_occupancy) in
-              if outcome.Wavefront.mem_lines <> [] then begin
-                if outcome.Wavefront.mem_is_store then
-                  stats.Stats.stores <- stats.Stats.stores + 1
-                else stats.Stats.loads <- stats.Stats.loads + 1;
-                List.iter
-                  (fun line_addr ->
-                    let c =
-                      Cache.access cache ~now:(t + beats) ~addr:line_addr
-                        ~write:outcome.Wavefront.mem_is_store
-                    in
-                    if c > !completion then completion := c)
-                  outcome.Wavefront.mem_lines
-              end;
-              if outcome.Wavefront.used_mul then
-                completion := !completion + cfg.Config.mul_latency;
-              if outcome.Wavefront.taken_branch then
-                completion := !completion + cfg.Config.branch_penalty;
-              wf.Wavefront.ready_at <- !completion;
-              if !completion > stats.Stats.cycles then
-                stats.Stats.cycles <- !completion;
-              let wg = find_wg cu wf.Wavefront.wg_id in
-              if outcome.Wavefront.hit_barrier then begin
-                stats.Stats.barriers <- stats.Stats.barriers + 1;
-                wf.Wavefront.at_barrier <- true;
-                wg.barrier_waiting <- wg.barrier_waiting + 1;
-                let active =
-                  Array.fold_left
-                    (fun n w -> if Wavefront.finished w then n else n + 1)
-                    0 wg.wavefronts
-                in
-                if wg.barrier_waiting >= active then
-                  release_barrier cu wg ~now:!completion
-              end;
-              if outcome.Wavefront.retired then begin
-                wg.finished_wfs <- wg.finished_wfs + 1;
-                if wg.finished_wfs = Array.length wg.wavefronts then begin
-                  stats.Stats.workgroups <- stats.Stats.workgroups + 1;
-                  cu.resident <-
-                    List.filter (fun w -> w.wg_id <> wg.wg_id) cu.resident;
-                  cu.resident_items <- cu.resident_items - wg.items;
-                  ignore (dispatch_one cu ~now:!completion : bool)
-                end
-              end;
-              schedule cu)
+      let cand = candidate_time cu in
+      if cand = no_candidate then () (* stale: nothing runnable here anymore *)
+      else if cand > t then Event_heap.push heap cand cu.cu_id
+      else begin
+        let idx = pick_wavefront cu t in
+        if idx < 0 then
+          (* candidate_time guarantees a ready wavefront exists *)
+          fail "scheduler inconsistency on CU %d at cycle %d" cu.cu_id t;
+        let wf = cu.wf_slots.(idx) in
+        let wg = cu.wg_slots.(idx) in
+        Wavefront.issue wf ~dprog ~mem:imem
+          ~line_words:cfg.Config.cache.Config.line_words out;
+        stats.Stats.wf_instructions <- stats.Stats.wf_instructions + 1;
+        stats.Stats.lane_instructions <-
+          stats.Stats.lane_instructions + out.Wavefront.executed_lanes;
+        if out.Wavefront.partial_mask then
+          stats.Stats.divergent_issues <- stats.Stats.divergent_issues + 1;
+        (* a division holds the CU's shared iterative divider (and with
+           it the vector pipeline) for every active lane *)
+        let div_occupancy =
+          if out.Wavefront.used_div then
+            out.Wavefront.executed_lanes * cfg.Config.div_latency
+          else 0
+        in
+        cu.vu_free <- t + beats + div_occupancy + cfg.Config.issue_overhead;
+        stats.Stats.vu_busy_cycles <-
+          stats.Stats.vu_busy_cycles + beats + div_occupancy;
+        let completion = ref (t + beats + div_occupancy) in
+        if out.Wavefront.mem_line_count > 0 then begin
+          if out.Wavefront.mem_is_store then
+            stats.Stats.stores <- stats.Stats.stores + 1
+          else stats.Stats.loads <- stats.Stats.loads + 1;
+          (* newest-first, matching the consed list the old issue path
+             handed to the (stateful, order-sensitive) port arbiter *)
+          for i = out.Wavefront.mem_line_count - 1 downto 0 do
+            let c =
+              Cache.access cache ~now:(t + beats)
+                ~addr:out.Wavefront.mem_lines.(i)
+                ~write:out.Wavefront.mem_is_store
+            in
+            if c > !completion then completion := c
+          done
+        end;
+        if out.Wavefront.used_mul then
+          completion := !completion + cfg.Config.mul_latency;
+        if out.Wavefront.taken_branch then
+          completion := !completion + cfg.Config.branch_penalty;
+        wf.Wavefront.ready_at <- !completion;
+        if !completion > stats.Stats.cycles then
+          stats.Stats.cycles <- !completion;
+        if out.Wavefront.hit_barrier then begin
+          stats.Stats.barriers <- stats.Stats.barriers + 1;
+          wf.Wavefront.at_barrier <- true;
+          wg.barrier_waiting <- wg.barrier_waiting + 1;
+          let active =
+            Array.fold_left
+              (fun n w -> if Wavefront.finished w then n else n + 1)
+              0 wg.wavefronts
+          in
+          if wg.barrier_waiting >= active then
+            release_barrier cu wg ~now:!completion
+        end;
+        if out.Wavefront.retired then begin
+          wg.finished_wfs <- wg.finished_wfs + 1;
+          if wg.finished_wfs = Array.length wg.wavefronts then begin
+            stats.Stats.workgroups <- stats.Stats.workgroups + 1;
+            remove_wg cu wg;
+            ignore (dispatch_one cu ~now:!completion : bool)
+          end
+        end;
+        invalidate cu;
+        schedule cu
+      end
     done;
     if !next_wg < num_wgs then
       fail "deadlock: %d workgroups never dispatched" (num_wgs - !next_wg);
@@ -291,9 +368,11 @@ let run ?max_cycles ?inject (cfg : Config.t) ~program ~params ~global_size
     let stuck =
       Array.fold_left
         (fun n cu ->
-          List.fold_left
-            (fun n wf -> if Wavefront.finished wf then n else n + 1)
-            n (wavefronts_of cu))
+          let n = ref n in
+          for i = 0 to cu.n_wfs - 1 do
+            if not (Wavefront.finished cu.wf_slots.(i)) then incr n
+          done;
+          !n)
         0 cus
     in
     if stuck > 0 then fail "deadlock: %d wavefronts never retired" stuck;

@@ -16,7 +16,10 @@ type probe = {
   p_wavefronts : Wavefront.t array;
       (** all resident wavefronts, CU-major then workgroup order *)
   p_cache : Cache.t;
-  p_mem : int32 array;
+  p_mem : int array;
+      (** the simulator's working copy of global memory: one native int
+          per 32-bit word, {!Ggpu_isa.I32} canonical; mutations are
+          copied back into the caller's [int32 array] when [run] exits *)
 }
 (** Architectural-state snapshot handed to a fault injector. *)
 
@@ -33,7 +36,8 @@ val run :
 (** Execute the kernel for [global_size] work-items in workgroups of
     [local_size]. [params] are preloaded into r1..rN of every work-item
     (the code generator's convention). [mem] is global memory, mutated
-    in place.
+    in place (including on watchdog / fault exits, so partial results
+    are observable).
 
     [max_cycles] arms a watchdog over simulated time; [inject] is a
     [(cycle, f)] pair calling [f] once with a state snapshot at the

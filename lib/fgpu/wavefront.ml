@@ -11,7 +11,29 @@
 
    Register semantics mirror {!Ggpu_riscv.Cpu} (RISC-V M division corner
    cases) so the GPU, the CPU and the reference interpreter agree
-   bit-for-bit. *)
+   bit-for-bit.  Registers and global memory are [int array]s in the
+   canonical sign-extended representation of {!Ggpu_isa.I32}: an [int32
+   array] stores one boxed cell per element, which would cost an
+   allocation per register write — the old hot path's dominant cost.
+
+   [issue] consumes the predecoded program ({!Ggpu_isa.Fgpu_predecode})
+   and writes into a caller-owned [outcome] scratch record, so a
+   multi-million-instruction run allocates nothing per issue.  Two more
+   devices keep the per-lane cost at a handful of machine instructions:
+
+   - the instruction is discriminated once per lane group, with the hot
+     operators (the compiler does not inline through a 13-way match
+     without flambda) given dedicated lane loops;
+
+   - convergence is tracked incrementally in [conv_pc].  When every lane
+     sits at the same pc — the overwhelmingly common state for
+     data-parallel kernels — the issue path knows it without scanning
+     [pcs], executes a dense loop with no per-lane pc check, and leaves
+     [pcs] stale, advancing only [conv_pc].  The array is materialised
+     on the rare paths that read it directly (divergence, retirement,
+     fault-injection probes).  A mixed-outcome branch writes real pcs
+     and drops to the sparse path; the sparse scan re-detects
+     reconvergence for free while computing the minimum pc. *)
 
 open Ggpu_isa
 
@@ -24,26 +46,45 @@ type t = {
   wg_offset : int; (* global id of the workgroup's first item *)
   wg_size : int;
   global_size : int;
-  pcs : int array; (* per lane; [done_pc] when retired *)
-  regs : int32 array; (* 32 registers x size lanes, lane-major *)
+  pcs : int array; (* per lane; [done_pc] when retired; stale while converged *)
+  regs : int array; (* 32 registers x size lanes, lane-major; I32 canonical *)
+  mutable conv_pc : int; (* every lane live at this pc; -1 = consult [pcs] *)
   mutable live_lanes : int;
   mutable ready_at : int; (* cycle at which the next issue may happen *)
   mutable at_barrier : bool;
   mutable last_cu : int; (* CU this wavefront runs on *)
 }
 
-(* What an issue did, so the scheduler can cost it. *)
-type issue_outcome = {
-  executed_lanes : int;
-  partial_mask : bool;
-  mem_lines : int list; (* coalesced line base addresses (bytes) *)
-  mem_is_store : bool;
-  used_div : bool;
-  used_mul : bool;
-  taken_branch : bool;
-  hit_barrier : bool;
-  retired : bool; (* whole wavefront finished *)
+(* What an issue did, so the scheduler can cost it.  One record is
+   allocated per [Gpu.run] and reused across every issue; [mem_lines]
+   holds the first [mem_line_count] coalesced line base addresses in
+   first-touch order. *)
+type outcome = {
+  mutable executed_lanes : int;
+  mutable partial_mask : bool;
+  mem_lines : int array; (* coalesced line base addresses (bytes) *)
+  mutable mem_line_count : int;
+  mutable mem_is_store : bool;
+  mutable used_div : bool;
+  mutable used_mul : bool;
+  mutable taken_branch : bool;
+  mutable hit_barrier : bool;
+  mutable retired : bool; (* whole wavefront finished *)
 }
+
+let make_outcome ~max_lanes =
+  {
+    executed_lanes = 0;
+    partial_mask = false;
+    mem_lines = Array.make (max 1 max_lanes) 0;
+    mem_line_count = 0;
+    mem_is_store = false;
+    used_div = false;
+    used_mul = false;
+    taken_branch = false;
+    hit_barrier = false;
+    retired = false;
+  }
 
 let create ~wg_id ~wf_index ~size ~wg_offset ~wg_size ~global_size
     ~(params : int32 list) =
@@ -55,10 +96,10 @@ let create ~wg_id ~wf_index ~size ~wg_offset ~wg_size ~global_size
         if lid >= wg_size || wg_offset + lid >= global_size then done_pc else 0)
   in
   let live = Array.fold_left (fun n pc -> if pc = done_pc then n else n + 1) 0 pcs in
-  let regs = Array.make (32 * size) 0l in
+  let regs = Array.make (32 * size) 0 in
   List.iteri
     (fun i v ->
-      let r = i + 1 in
+      let r = i + 1 and v = I32.of_int32 v in
       for lane = 0 to size - 1 do
         regs.((lane * 32) + r) <- v
       done)
@@ -72,6 +113,7 @@ let create ~wg_id ~wf_index ~size ~wg_offset ~wg_size ~global_size
     global_size;
     pcs;
     regs;
+    conv_pc = (if live = size then 0 else -1);
     live_lanes = live;
     ready_at = 0;
     at_barrier = false;
@@ -80,132 +122,549 @@ let create ~wg_id ~wf_index ~size ~wg_offset ~wg_size ~global_size
 
 let finished t = t.live_lanes = 0
 
+(* Make [pcs] reflect reality before an external reader (fault
+   injection, a probe) looks at it. *)
+let materialize_pcs t =
+  if t.conv_pc >= 0 then Array.fill t.pcs 0 t.size t.conv_pc
+
 (* Overwrite a lane's program counter from outside the issue path (used
    by fault injection).  [live_lanes] is a cached count of lanes whose
    pc is not [done_pc]; recompute it so the scheduler's finished/barrier
    accounting stays consistent with the mutated pc array. *)
 let set_pc t ~lane pc =
+  materialize_pcs t;
+  t.conv_pc <- -1;
   t.pcs.(lane) <- pc;
   t.live_lanes <-
     Array.fold_left (fun n p -> if p = done_pc then n else n + 1) 0 t.pcs
 
 let min_pc t =
-  let best = ref done_pc in
-  Array.iter (fun pc -> if pc < !best then best := pc) t.pcs;
-  !best
+  if t.conv_pc >= 0 then t.conv_pc
+  else begin
+    let best = ref done_pc in
+    Array.iter (fun pc -> if pc < !best then best := pc) t.pcs;
+    !best
+  end
 
-let reg t ~lane r = if r = 0 then 0l else t.regs.((lane * 32) + r)
+(* Int32 accessors for external observers (fault injection). *)
+let reg t ~lane r = if r = 0 then 0l else I32.to_int32 t.regs.((lane * 32) + r)
 
-let set_reg t ~lane r v = if r <> 0 then t.regs.((lane * 32) + r) <- v
+let set_reg t ~lane r v =
+  if r <> 0 then t.regs.((lane * 32) + r) <- I32.of_int32 v
 
 let local_id t ~lane = (t.wf_index * t.size) + lane
 
-(* RISC-V M semantics, shared with the CPU model. *)
-let div_signed a b =
-  if b = 0l then -1l
-  else if a = Int32.min_int && b = -1l then Int32.min_int
-  else Int32.div a b
-
-let rem_signed a b =
-  if b = 0l then a
-  else if a = Int32.min_int && b = -1l then 0l
-  else Int32.rem a b
-
-let u32_lt a b = Int32.unsigned_compare a b < 0
-
 let alu op a b =
   match op with
-  | Fgpu_isa.Add -> Int32.add a b
-  | Fgpu_isa.Sub -> Int32.sub a b
-  | Fgpu_isa.Mul -> Int32.mul a b
-  | Fgpu_isa.Div -> div_signed a b
-  | Fgpu_isa.Rem -> rem_signed a b
-  | Fgpu_isa.And -> Int32.logand a b
-  | Fgpu_isa.Or -> Int32.logor a b
-  | Fgpu_isa.Xor -> Int32.logxor a b
-  | Fgpu_isa.Sll -> Int32.shift_left a (Int32.to_int b land 31)
-  | Fgpu_isa.Srl -> Int32.shift_right_logical a (Int32.to_int b land 31)
-  | Fgpu_isa.Sra -> Int32.shift_right a (Int32.to_int b land 31)
-  | Fgpu_isa.Slt -> if Int32.compare a b < 0 then 1l else 0l
-  | Fgpu_isa.Sltu -> if u32_lt a b then 1l else 0l
+  | Fgpu_isa.Add -> I32.add a b
+  | Fgpu_isa.Sub -> I32.sub a b
+  | Fgpu_isa.Mul -> I32.mul a b
+  | Fgpu_isa.Div -> I32.div_signed a b
+  | Fgpu_isa.Rem -> I32.rem_signed a b
+  | Fgpu_isa.And -> a land b
+  | Fgpu_isa.Or -> a lor b
+  | Fgpu_isa.Xor -> a lxor b
+  | Fgpu_isa.Sll -> I32.sll a b
+  | Fgpu_isa.Srl -> I32.srl a b
+  | Fgpu_isa.Sra -> I32.sra a b
+  | Fgpu_isa.Slt -> if a < b then 1 else 0
+  | Fgpu_isa.Sltu -> if I32.ult a b then 1 else 0
 
 let cond_holds c a b =
   match c with
   | Fgpu_isa.Eq -> a = b
   | Fgpu_isa.Ne -> a <> b
-  | Fgpu_isa.Lt -> Int32.compare a b < 0
-  | Fgpu_isa.Ge -> Int32.compare a b >= 0
-  | Fgpu_isa.Ltu -> u32_lt a b
-  | Fgpu_isa.Geu -> not (u32_lt a b)
+  | Fgpu_isa.Lt -> a < b
+  | Fgpu_isa.Ge -> a >= b
+  | Fgpu_isa.Ltu -> I32.ult a b
+  | Fgpu_isa.Geu -> not (I32.ult a b)
 
 exception Fault of string
 
 let fault fmt = Printf.ksprintf (fun s -> raise (Fault s)) fmt
 
+(* Minimum pc and the number of lanes sitting at it, in one pass.
+   Tail-recursive so the accumulators live in registers. *)
+let rec scan_pcs (pcs : int array) n i best cnt =
+  if i >= n then (best, cnt)
+  else
+    let p = Array.unsafe_get pcs i in
+    if p < best then scan_pcs pcs n (i + 1) p 1
+    else if p = best then scan_pcs pcs n (i + 1) best (cnt + 1)
+    else scan_pcs pcs n (i + 1) best cnt
+
+(* Has [lb] already been coalesced?  Linear scan: a wavefront touches at
+   most [size] lines per issue and almost always far fewer. *)
+let rec line_seen (lines : int array) n lb i =
+  i < n && (Array.unsafe_get lines i = lb || line_seen lines n lb (i + 1))
+
+(* Record the line containing [addr], then validate the word address.
+   The order matters: the timing model charges the coalesced request
+   even when the access itself faults (matching the original issue
+   path, where [add_line] ran before the bounds check). *)
+let[@inline] coalesce_and_check (out : outcome) ~line_bytes ~mem_words addr =
+  let lb = addr / line_bytes * line_bytes in
+  let n = out.mem_line_count in
+  if not (line_seen out.mem_lines n lb 0) then begin
+    out.mem_lines.(n) <- lb;
+    out.mem_line_count <- n + 1
+  end;
+  if addr land 3 <> 0 then fault "misaligned access 0x%x" addr;
+  let w = addr lsr 2 in
+  if w >= mem_words then fault "address 0x%x out of memory" addr;
+  w
+
 (* Execute one instruction for all lanes at the minimum PC.  Global
-   memory is read/written immediately through [mem]; the returned line
-   list carries the timing cost to the scheduler. *)
-let issue t ~(program : Fgpu_isa.t array) ~(mem : int32 array) ~line_words :
-    issue_outcome =
+   memory is read/written immediately through [mem]; the line buffer in
+   [out] carries the timing cost to the scheduler. *)
+let issue t ~(dprog : Fgpu_predecode.t array) ~(mem : int array) ~line_words
+    (out : outcome) : unit =
   assert (not (finished t));
-  let pc = min_pc t in
-  if pc < 0 || pc >= Array.length program then fault "pc %d outside program" pc;
-  let insn = program.(pc) in
-  let executed = ref 0 in
-  let lines = ref [] in
-  let add_line addr =
-    let base = addr / (line_words * 4) * (line_words * 4) in
-    if not (List.mem base !lines) then lines := base :: !lines
+  let size = t.size in
+  let pcs = t.pcs and regs = t.regs in
+  let pc, executed =
+    if t.conv_pc >= 0 then (t.conv_pc, size)
+    else begin
+      let pc, cnt = scan_pcs pcs size 0 done_pc 0 in
+      (* the sparse scan re-detects reconvergence: every lane back at
+         one pc switches the wavefront to the dense path *)
+      if cnt = size then t.conv_pc <- pc;
+      (pc, cnt)
+    end
   in
-  let mem_word addr =
-    if addr land 3 <> 0 then fault "misaligned access 0x%x" addr;
-    let w = addr lsr 2 in
-    if w < 0 || w >= Array.length mem then fault "address 0x%x out of memory" addr;
-    w
-  in
-  let taken = ref false in
-  let hit_barrier = ref false in
-  let used_div = ref false in
-  let used_mul = ref false in
-  let is_store = Fgpu_isa.is_store insn in
+  if pc < 0 || pc >= Array.length dprog then fault "pc %d outside program" pc;
+  let d = dprog.(pc) in
   let live_before = t.live_lanes in
-  for lane = 0 to t.size - 1 do
-    if t.pcs.(lane) = pc then begin
-      incr executed;
-      let rr = reg t ~lane and wr = set_reg t ~lane in
-      let next = ref (pc + 1) in
-      (match insn with
-      | Fgpu_isa.Alu (op, rd, rs1, rs2) ->
-          (match op with
-          | Fgpu_isa.Div | Fgpu_isa.Rem -> used_div := true
-          | Fgpu_isa.Mul -> used_mul := true
-          | _ -> ());
-          wr rd (alu op (rr rs1) (rr rs2))
-      | Fgpu_isa.Alui (op, rd, rs1, imm) ->
-          (match op with
-          | Fgpu_isa.Div | Fgpu_isa.Rem -> used_div := true
-          | Fgpu_isa.Mul -> used_mul := true
-          | _ -> ());
-          wr rd (alu op (rr rs1) imm)
-      | Fgpu_isa.Lui (rd, imm) -> wr rd (Int32.shift_left imm 16)
-      | Fgpu_isa.Li (rd, imm) -> wr rd imm
-      | Fgpu_isa.Lw (rd, rs1, off) ->
-          let addr = Int32.to_int (rr rs1) + off in
-          add_line addr;
-          wr rd mem.(mem_word addr)
-      | Fgpu_isa.Sw (rs2, rs1, off) ->
-          let addr = Int32.to_int (rr rs1) + off in
-          add_line addr;
-          mem.(mem_word addr) <- rr rs2
-      | Fgpu_isa.Branch (c, rs1, rs2, off) ->
-          if cond_holds c (rr rs1) (rr rs2) then begin
-            taken := true;
-            next := pc + 1 + off
+  out.mem_line_count <- 0;
+  out.mem_is_store <- d.Fgpu_predecode.is_store;
+  out.used_div <- d.Fgpu_predecode.uses_div;
+  out.used_mul <- d.Fgpu_predecode.uses_mul;
+  out.taken_branch <- false;
+  out.hit_barrier <- false;
+  out.executed_lanes <- executed;
+  out.partial_mask <- executed < live_before;
+  let dense = t.conv_pc >= 0 in
+  (match d.Fgpu_predecode.kind with
+  | Fgpu_predecode.KAlu when dense -> (
+      t.conv_pc <- pc + 1;
+      let rd = d.Fgpu_predecode.rd
+      and rs1 = d.Fgpu_predecode.rs1
+      and rs2 = d.Fgpu_predecode.rs2 in
+      match d.Fgpu_predecode.aop with
+      | Fgpu_isa.Add ->
+          for lane = 0 to size - 1 do
+            let base = lane * 32 in
+            let a = if rs1 = 0 then 0 else Array.unsafe_get regs (base + rs1)
+            and b = if rs2 = 0 then 0 else Array.unsafe_get regs (base + rs2) in
+            if rd <> 0 then Array.unsafe_set regs (base + rd) (I32.sx (a + b))
+          done
+      | Fgpu_isa.Sub ->
+          for lane = 0 to size - 1 do
+            let base = lane * 32 in
+            let a = if rs1 = 0 then 0 else Array.unsafe_get regs (base + rs1)
+            and b = if rs2 = 0 then 0 else Array.unsafe_get regs (base + rs2) in
+            if rd <> 0 then Array.unsafe_set regs (base + rd) (I32.sx (a - b))
+          done
+      | Fgpu_isa.Mul ->
+          for lane = 0 to size - 1 do
+            let base = lane * 32 in
+            let a = if rs1 = 0 then 0 else Array.unsafe_get regs (base + rs1)
+            and b = if rs2 = 0 then 0 else Array.unsafe_get regs (base + rs2) in
+            if rd <> 0 then Array.unsafe_set regs (base + rd) (I32.sx (a * b))
+          done
+      | Fgpu_isa.And ->
+          for lane = 0 to size - 1 do
+            let base = lane * 32 in
+            let a = if rs1 = 0 then 0 else Array.unsafe_get regs (base + rs1)
+            and b = if rs2 = 0 then 0 else Array.unsafe_get regs (base + rs2) in
+            if rd <> 0 then Array.unsafe_set regs (base + rd) (a land b)
+          done
+      | Fgpu_isa.Or ->
+          for lane = 0 to size - 1 do
+            let base = lane * 32 in
+            let a = if rs1 = 0 then 0 else Array.unsafe_get regs (base + rs1)
+            and b = if rs2 = 0 then 0 else Array.unsafe_get regs (base + rs2) in
+            if rd <> 0 then Array.unsafe_set regs (base + rd) (a lor b)
+          done
+      | Fgpu_isa.Slt ->
+          for lane = 0 to size - 1 do
+            let base = lane * 32 in
+            let a = if rs1 = 0 then 0 else Array.unsafe_get regs (base + rs1)
+            and b = if rs2 = 0 then 0 else Array.unsafe_get regs (base + rs2) in
+            if rd <> 0 then
+              Array.unsafe_set regs (base + rd) (if a < b then 1 else 0)
+          done
+      | Fgpu_isa.Sll ->
+          for lane = 0 to size - 1 do
+            let base = lane * 32 in
+            let a = if rs1 = 0 then 0 else Array.unsafe_get regs (base + rs1)
+            and b = if rs2 = 0 then 0 else Array.unsafe_get regs (base + rs2) in
+            if rd <> 0 then
+              Array.unsafe_set regs (base + rd) (I32.sx (a lsl (b land 31)))
+          done
+      | op ->
+          for lane = 0 to size - 1 do
+            let base = lane * 32 in
+            let a = if rs1 = 0 then 0 else Array.unsafe_get regs (base + rs1)
+            and b = if rs2 = 0 then 0 else Array.unsafe_get regs (base + rs2) in
+            if rd <> 0 then Array.unsafe_set regs (base + rd) (alu op a b)
+          done)
+  | Fgpu_predecode.KAlu -> (
+      let rd = d.Fgpu_predecode.rd
+      and rs1 = d.Fgpu_predecode.rs1
+      and rs2 = d.Fgpu_predecode.rs2 in
+      match d.Fgpu_predecode.aop with
+      | Fgpu_isa.Add ->
+          for lane = 0 to size - 1 do
+            if Array.unsafe_get pcs lane = pc then begin
+              let base = lane * 32 in
+              let a = if rs1 = 0 then 0 else Array.unsafe_get regs (base + rs1)
+              and b = if rs2 = 0 then 0 else Array.unsafe_get regs (base + rs2) in
+              if rd <> 0 then Array.unsafe_set regs (base + rd) (I32.sx (a + b));
+              Array.unsafe_set pcs lane (pc + 1)
+            end
+          done
+      | Fgpu_isa.Sub ->
+          for lane = 0 to size - 1 do
+            if Array.unsafe_get pcs lane = pc then begin
+              let base = lane * 32 in
+              let a = if rs1 = 0 then 0 else Array.unsafe_get regs (base + rs1)
+              and b = if rs2 = 0 then 0 else Array.unsafe_get regs (base + rs2) in
+              if rd <> 0 then Array.unsafe_set regs (base + rd) (I32.sx (a - b));
+              Array.unsafe_set pcs lane (pc + 1)
+            end
+          done
+      | Fgpu_isa.Mul ->
+          for lane = 0 to size - 1 do
+            if Array.unsafe_get pcs lane = pc then begin
+              let base = lane * 32 in
+              let a = if rs1 = 0 then 0 else Array.unsafe_get regs (base + rs1)
+              and b = if rs2 = 0 then 0 else Array.unsafe_get regs (base + rs2) in
+              if rd <> 0 then Array.unsafe_set regs (base + rd) (I32.sx (a * b));
+              Array.unsafe_set pcs lane (pc + 1)
+            end
+          done
+      | Fgpu_isa.And ->
+          for lane = 0 to size - 1 do
+            if Array.unsafe_get pcs lane = pc then begin
+              let base = lane * 32 in
+              let a = if rs1 = 0 then 0 else Array.unsafe_get regs (base + rs1)
+              and b = if rs2 = 0 then 0 else Array.unsafe_get regs (base + rs2) in
+              if rd <> 0 then Array.unsafe_set regs (base + rd) (a land b);
+              Array.unsafe_set pcs lane (pc + 1)
+            end
+          done
+      | Fgpu_isa.Or ->
+          for lane = 0 to size - 1 do
+            if Array.unsafe_get pcs lane = pc then begin
+              let base = lane * 32 in
+              let a = if rs1 = 0 then 0 else Array.unsafe_get regs (base + rs1)
+              and b = if rs2 = 0 then 0 else Array.unsafe_get regs (base + rs2) in
+              if rd <> 0 then Array.unsafe_set regs (base + rd) (a lor b);
+              Array.unsafe_set pcs lane (pc + 1)
+            end
+          done
+      | Fgpu_isa.Slt ->
+          for lane = 0 to size - 1 do
+            if Array.unsafe_get pcs lane = pc then begin
+              let base = lane * 32 in
+              let a = if rs1 = 0 then 0 else Array.unsafe_get regs (base + rs1)
+              and b = if rs2 = 0 then 0 else Array.unsafe_get regs (base + rs2) in
+              if rd <> 0 then
+                Array.unsafe_set regs (base + rd) (if a < b then 1 else 0);
+              Array.unsafe_set pcs lane (pc + 1)
+            end
+          done
+      | Fgpu_isa.Sll ->
+          for lane = 0 to size - 1 do
+            if Array.unsafe_get pcs lane = pc then begin
+              let base = lane * 32 in
+              let a = if rs1 = 0 then 0 else Array.unsafe_get regs (base + rs1)
+              and b = if rs2 = 0 then 0 else Array.unsafe_get regs (base + rs2) in
+              if rd <> 0 then
+                Array.unsafe_set regs (base + rd) (I32.sx (a lsl (b land 31)));
+              Array.unsafe_set pcs lane (pc + 1)
+            end
+          done
+      | op ->
+          for lane = 0 to size - 1 do
+            if Array.unsafe_get pcs lane = pc then begin
+              let base = lane * 32 in
+              let a = if rs1 = 0 then 0 else Array.unsafe_get regs (base + rs1)
+              and b = if rs2 = 0 then 0 else Array.unsafe_get regs (base + rs2) in
+              if rd <> 0 then Array.unsafe_set regs (base + rd) (alu op a b);
+              Array.unsafe_set pcs lane (pc + 1)
+            end
+          done)
+  | Fgpu_predecode.KAlui when dense -> (
+      t.conv_pc <- pc + 1;
+      let rd = d.Fgpu_predecode.rd
+      and rs1 = d.Fgpu_predecode.rs1
+      and b = d.Fgpu_predecode.imm in
+      match d.Fgpu_predecode.aop with
+      | Fgpu_isa.Add ->
+          for lane = 0 to size - 1 do
+            let base = lane * 32 in
+            let a = if rs1 = 0 then 0 else Array.unsafe_get regs (base + rs1) in
+            if rd <> 0 then Array.unsafe_set regs (base + rd) (I32.sx (a + b))
+          done
+      | Fgpu_isa.And ->
+          for lane = 0 to size - 1 do
+            let base = lane * 32 in
+            let a = if rs1 = 0 then 0 else Array.unsafe_get regs (base + rs1) in
+            if rd <> 0 then Array.unsafe_set regs (base + rd) (a land b)
+          done
+      | Fgpu_isa.Srl ->
+          for lane = 0 to size - 1 do
+            let base = lane * 32 in
+            let a = if rs1 = 0 then 0 else Array.unsafe_get regs (base + rs1) in
+            if rd <> 0 then
+              Array.unsafe_set regs (base + rd)
+                (I32.sx ((a land I32.mask) lsr (b land 31)))
+          done
+      | Fgpu_isa.Sll ->
+          for lane = 0 to size - 1 do
+            let base = lane * 32 in
+            let a = if rs1 = 0 then 0 else Array.unsafe_get regs (base + rs1) in
+            if rd <> 0 then
+              Array.unsafe_set regs (base + rd) (I32.sx (a lsl (b land 31)))
+          done
+      | op ->
+          for lane = 0 to size - 1 do
+            let base = lane * 32 in
+            let a = if rs1 = 0 then 0 else Array.unsafe_get regs (base + rs1) in
+            if rd <> 0 then Array.unsafe_set regs (base + rd) (alu op a b)
+          done)
+  | Fgpu_predecode.KAlui -> (
+      let rd = d.Fgpu_predecode.rd
+      and rs1 = d.Fgpu_predecode.rs1
+      and b = d.Fgpu_predecode.imm in
+      match d.Fgpu_predecode.aop with
+      | Fgpu_isa.Add ->
+          for lane = 0 to size - 1 do
+            if Array.unsafe_get pcs lane = pc then begin
+              let base = lane * 32 in
+              let a = if rs1 = 0 then 0 else Array.unsafe_get regs (base + rs1) in
+              if rd <> 0 then Array.unsafe_set regs (base + rd) (I32.sx (a + b));
+              Array.unsafe_set pcs lane (pc + 1)
+            end
+          done
+      | Fgpu_isa.And ->
+          for lane = 0 to size - 1 do
+            if Array.unsafe_get pcs lane = pc then begin
+              let base = lane * 32 in
+              let a = if rs1 = 0 then 0 else Array.unsafe_get regs (base + rs1) in
+              if rd <> 0 then Array.unsafe_set regs (base + rd) (a land b);
+              Array.unsafe_set pcs lane (pc + 1)
+            end
+          done
+      | Fgpu_isa.Srl ->
+          for lane = 0 to size - 1 do
+            if Array.unsafe_get pcs lane = pc then begin
+              let base = lane * 32 in
+              let a = if rs1 = 0 then 0 else Array.unsafe_get regs (base + rs1) in
+              if rd <> 0 then
+                Array.unsafe_set regs (base + rd)
+                  (I32.sx ((a land I32.mask) lsr (b land 31)));
+              Array.unsafe_set pcs lane (pc + 1)
+            end
+          done
+      | Fgpu_isa.Sll ->
+          for lane = 0 to size - 1 do
+            if Array.unsafe_get pcs lane = pc then begin
+              let base = lane * 32 in
+              let a = if rs1 = 0 then 0 else Array.unsafe_get regs (base + rs1) in
+              if rd <> 0 then
+                Array.unsafe_set regs (base + rd) (I32.sx (a lsl (b land 31)));
+              Array.unsafe_set pcs lane (pc + 1)
+            end
+          done
+      | op ->
+          for lane = 0 to size - 1 do
+            if Array.unsafe_get pcs lane = pc then begin
+              let base = lane * 32 in
+              let a = if rs1 = 0 then 0 else Array.unsafe_get regs (base + rs1) in
+              if rd <> 0 then Array.unsafe_set regs (base + rd) (alu op a b);
+              Array.unsafe_set pcs lane (pc + 1)
+            end
+          done)
+  | Fgpu_predecode.KLoadImm ->
+      let rd = d.Fgpu_predecode.rd and v = d.Fgpu_predecode.imm in
+      if dense then begin
+        t.conv_pc <- pc + 1;
+        if rd <> 0 then
+          for lane = 0 to size - 1 do
+            Array.unsafe_set regs ((lane * 32) + rd) v
+          done
+      end
+      else
+        for lane = 0 to size - 1 do
+          if Array.unsafe_get pcs lane = pc then begin
+            if rd <> 0 then Array.unsafe_set regs ((lane * 32) + rd) v;
+            Array.unsafe_set pcs lane (pc + 1)
           end
-      | Fgpu_isa.Jump target ->
-          taken := true;
-          next := target
-      | Fgpu_isa.Special (sp, rd) ->
+        done
+  | Fgpu_predecode.KLw ->
+      let rd = d.Fgpu_predecode.rd
+      and rs1 = d.Fgpu_predecode.rs1
+      and off = d.Fgpu_predecode.imm in
+      let line_bytes = line_words * 4 in
+      let mem_words = Array.length mem in
+      if dense then begin
+        t.conv_pc <- pc + 1;
+        for lane = 0 to size - 1 do
+          let base = lane * 32 in
+          let addr =
+            (if rs1 = 0 then 0 else Array.unsafe_get regs (base + rs1)) + off
+          in
+          let w = coalesce_and_check out ~line_bytes ~mem_words addr in
+          if rd <> 0 then
+            Array.unsafe_set regs (base + rd) (Array.unsafe_get mem w)
+        done
+      end
+      else
+        for lane = 0 to size - 1 do
+          if Array.unsafe_get pcs lane = pc then begin
+            let base = lane * 32 in
+            let addr =
+              (if rs1 = 0 then 0 else Array.unsafe_get regs (base + rs1)) + off
+            in
+            let w = coalesce_and_check out ~line_bytes ~mem_words addr in
+            if rd <> 0 then
+              Array.unsafe_set regs (base + rd) (Array.unsafe_get mem w);
+            Array.unsafe_set pcs lane (pc + 1)
+          end
+        done
+  | Fgpu_predecode.KSw ->
+      let rs2 = d.Fgpu_predecode.rd
+      and rs1 = d.Fgpu_predecode.rs1
+      and off = d.Fgpu_predecode.imm in
+      let line_bytes = line_words * 4 in
+      let mem_words = Array.length mem in
+      if dense then begin
+        t.conv_pc <- pc + 1;
+        for lane = 0 to size - 1 do
+          let base = lane * 32 in
+          let addr =
+            (if rs1 = 0 then 0 else Array.unsafe_get regs (base + rs1)) + off
+          in
+          let w = coalesce_and_check out ~line_bytes ~mem_words addr in
+          Array.unsafe_set mem w
+            (if rs2 = 0 then 0 else Array.unsafe_get regs (base + rs2))
+        done
+      end
+      else
+        for lane = 0 to size - 1 do
+          if Array.unsafe_get pcs lane = pc then begin
+            let base = lane * 32 in
+            let addr =
+              (if rs1 = 0 then 0 else Array.unsafe_get regs (base + rs1)) + off
+            in
+            let w = coalesce_and_check out ~line_bytes ~mem_words addr in
+            Array.unsafe_set mem w
+              (if rs2 = 0 then 0 else Array.unsafe_get regs (base + rs2));
+            Array.unsafe_set pcs lane (pc + 1)
+          end
+        done
+  | Fgpu_predecode.KBranch ->
+      (* a branch always computes real per-lane pcs: a mixed outcome is
+         exactly how a converged wavefront diverges.  In dense mode the
+         taken count decides whether convergence survives (uniform
+         outcome) or [pcs] becomes authoritative. *)
+      let rs1 = d.Fgpu_predecode.rs1 and rs2 = d.Fgpu_predecode.rd in
+      let target = pc + 1 + d.Fgpu_predecode.imm in
+      let taken = ref 0 in
+      (if dense then begin
+         (match d.Fgpu_predecode.cnd with
+         | Fgpu_isa.Lt ->
+             for lane = 0 to size - 1 do
+               let base = lane * 32 in
+               let a = if rs1 = 0 then 0 else Array.unsafe_get regs (base + rs1)
+               and b = if rs2 = 0 then 0 else Array.unsafe_get regs (base + rs2) in
+               if a < b then begin
+                 incr taken;
+                 Array.unsafe_set pcs lane target
+               end
+               else Array.unsafe_set pcs lane (pc + 1)
+             done
+         | Fgpu_isa.Ge ->
+             for lane = 0 to size - 1 do
+               let base = lane * 32 in
+               let a = if rs1 = 0 then 0 else Array.unsafe_get regs (base + rs1)
+               and b = if rs2 = 0 then 0 else Array.unsafe_get regs (base + rs2) in
+               if a >= b then begin
+                 incr taken;
+                 Array.unsafe_set pcs lane target
+               end
+               else Array.unsafe_set pcs lane (pc + 1)
+             done
+         | Fgpu_isa.Eq ->
+             for lane = 0 to size - 1 do
+               let base = lane * 32 in
+               let a = if rs1 = 0 then 0 else Array.unsafe_get regs (base + rs1)
+               and b = if rs2 = 0 then 0 else Array.unsafe_get regs (base + rs2) in
+               if a = b then begin
+                 incr taken;
+                 Array.unsafe_set pcs lane target
+               end
+               else Array.unsafe_set pcs lane (pc + 1)
+             done
+         | Fgpu_isa.Ne ->
+             for lane = 0 to size - 1 do
+               let base = lane * 32 in
+               let a = if rs1 = 0 then 0 else Array.unsafe_get regs (base + rs1)
+               and b = if rs2 = 0 then 0 else Array.unsafe_get regs (base + rs2) in
+               if a <> b then begin
+                 incr taken;
+                 Array.unsafe_set pcs lane target
+               end
+               else Array.unsafe_set pcs lane (pc + 1)
+             done
+         | c ->
+             for lane = 0 to size - 1 do
+               let base = lane * 32 in
+               let a = if rs1 = 0 then 0 else Array.unsafe_get regs (base + rs1)
+               and b = if rs2 = 0 then 0 else Array.unsafe_get regs (base + rs2) in
+               if cond_holds c a b then begin
+                 incr taken;
+                 Array.unsafe_set pcs lane target
+               end
+               else Array.unsafe_set pcs lane (pc + 1)
+             done);
+         if !taken = 0 then t.conv_pc <- pc + 1
+         else if !taken = size then t.conv_pc <- target
+         else t.conv_pc <- -1
+       end
+       else begin
+         let c = d.Fgpu_predecode.cnd in
+         for lane = 0 to size - 1 do
+           if Array.unsafe_get pcs lane = pc then begin
+             let base = lane * 32 in
+             let a = if rs1 = 0 then 0 else Array.unsafe_get regs (base + rs1)
+             and b = if rs2 = 0 then 0 else Array.unsafe_get regs (base + rs2) in
+             if cond_holds c a b then begin
+               incr taken;
+               Array.unsafe_set pcs lane target
+             end
+             else Array.unsafe_set pcs lane (pc + 1)
+           end
+         done
+       end);
+      out.taken_branch <- !taken > 0
+  | Fgpu_predecode.KJump ->
+      let target = d.Fgpu_predecode.imm in
+      out.taken_branch <- true;
+      if dense then t.conv_pc <- target
+      else
+        for lane = 0 to size - 1 do
+          if Array.unsafe_get pcs lane = pc then
+            Array.unsafe_set pcs lane target
+        done
+  | Fgpu_predecode.KSpecial ->
+      let sp = d.Fgpu_predecode.sp and rd = d.Fgpu_predecode.rd in
+      if dense then begin
+        t.conv_pc <- pc + 1;
+        for lane = 0 to size - 1 do
           let v =
             match sp with
             | Fgpu_isa.Lid -> local_id t ~lane
@@ -214,22 +673,45 @@ let issue t ~(program : Fgpu_isa.t array) ~(mem : int32 array) ~line_words :
             | Fgpu_isa.Wgsize -> t.wg_size
             | Fgpu_isa.Gsize -> t.global_size
           in
-          wr rd (Int32.of_int v)
-      | Fgpu_isa.Barrier -> hit_barrier := true
-      | Fgpu_isa.Ret ->
-          next := done_pc;
-          t.live_lanes <- t.live_lanes - 1);
-      t.pcs.(lane) <- !next
-    end
-  done;
-  {
-    executed_lanes = !executed;
-    partial_mask = !executed < live_before;
-    mem_lines = !lines;
-    mem_is_store = is_store;
-    used_div = !used_div;
-    used_mul = !used_mul;
-    taken_branch = !taken;
-    hit_barrier = !hit_barrier;
-    retired = finished t;
-  }
+          if rd <> 0 then Array.unsafe_set regs ((lane * 32) + rd) v
+        done
+      end
+      else
+        for lane = 0 to size - 1 do
+          if Array.unsafe_get pcs lane = pc then begin
+            let v =
+              match sp with
+              | Fgpu_isa.Lid -> local_id t ~lane
+              | Fgpu_isa.Wgid -> t.wg_id
+              | Fgpu_isa.Wgoff -> t.wg_offset
+              | Fgpu_isa.Wgsize -> t.wg_size
+              | Fgpu_isa.Gsize -> t.global_size
+            in
+            if rd <> 0 then Array.unsafe_set regs ((lane * 32) + rd) v;
+            Array.unsafe_set pcs lane (pc + 1)
+          end
+        done
+  | Fgpu_predecode.KBarrier ->
+      out.hit_barrier <- true;
+      if dense then t.conv_pc <- pc + 1
+      else
+        for lane = 0 to size - 1 do
+          if Array.unsafe_get pcs lane = pc then
+            Array.unsafe_set pcs lane (pc + 1)
+        done
+  | Fgpu_predecode.KRet ->
+      if dense then begin
+        (* all lanes retire together; [pcs] becomes authoritative again
+           so external readers see the retired state directly *)
+        Array.fill pcs 0 size done_pc;
+        t.conv_pc <- -1;
+        t.live_lanes <- 0
+      end
+      else begin
+        for lane = 0 to size - 1 do
+          if Array.unsafe_get pcs lane = pc then
+            Array.unsafe_set pcs lane done_pc
+        done;
+        t.live_lanes <- t.live_lanes - executed
+      end);
+  out.retired <- finished t

@@ -2,7 +2,12 @@
     on 8 processing elements, with full divergence under a minimum-PC
     policy (divergent lane groups serialise and reconverge at joins).
     Register semantics mirror {!Ggpu_riscv.Cpu} so all executors agree
-    bit-for-bit. *)
+    bit-for-bit.
+
+    Registers and memory are native [int array]s holding canonical
+    {!Ggpu_isa.I32} values (an [int32 array] would box every element);
+    [issue] consumes the predecoded program and a reusable [outcome]
+    scratch record, so the steady-state issue path allocates nothing. *)
 
 val done_pc : int
 
@@ -13,25 +18,39 @@ type t = {
   wg_offset : int;
   wg_size : int;
   global_size : int;
-  pcs : int array;  (** per lane; [done_pc] when retired *)
-  regs : int32 array;  (** 32 registers x size lanes, lane-major *)
+  pcs : int array;
+      (** per lane; [done_pc] when retired.  Stale while the wavefront
+          is converged — call {!materialize_pcs} before reading *)
+  regs : int array;
+      (** 32 registers x size lanes, lane-major, {!Ggpu_isa.I32} canonical *)
+  mutable conv_pc : int;
+      (** incrementally-tracked convergence: when >= 0, every lane is
+          live at this pc and [pcs] may be stale; -1 means [pcs] is
+          authoritative *)
   mutable live_lanes : int;
   mutable ready_at : int;
   mutable at_barrier : bool;
   mutable last_cu : int;
 }
 
-type issue_outcome = {
-  executed_lanes : int;
-  partial_mask : bool;  (** fewer lanes than live: a divergent issue *)
-  mem_lines : int list;  (** coalesced line base addresses (bytes) *)
-  mem_is_store : bool;
-  used_div : bool;
-  used_mul : bool;
-  taken_branch : bool;
-  hit_barrier : bool;
-  retired : bool;
+type outcome = {
+  mutable executed_lanes : int;
+  mutable partial_mask : bool;  (** fewer lanes than live: a divergent issue *)
+  mem_lines : int array;
+      (** coalesced line base addresses (bytes), first-touch order; only
+          the first [mem_line_count] entries are meaningful *)
+  mutable mem_line_count : int;
+  mutable mem_is_store : bool;
+  mutable used_div : bool;
+  mutable used_mul : bool;
+  mutable taken_branch : bool;
+  mutable hit_barrier : bool;
+  mutable retired : bool;
 }
+
+val make_outcome : max_lanes:int -> outcome
+(** Scratch record for {!issue}; [max_lanes] bounds the per-issue line
+    count (one wavefront touches at most one line per lane). *)
 
 exception Fault of string
 
@@ -49,19 +68,32 @@ val create :
 
 val finished : t -> bool
 
+val materialize_pcs : t -> unit
+(** Make [pcs] reflect reality (fill with [conv_pc] when converged) so
+    an external reader — fault injection, a probe — sees true per-lane
+    state. Cheap; does not change architectural state. *)
+
 val set_pc : t -> lane:int -> int -> unit
 (** Overwrite one lane's pc from outside the issue path (fault
     injection), recounting [live_lanes] so scheduler accounting stays
     consistent. [done_pc] retires the lane; any other value revives it. *)
 
 val min_pc : t -> int
+
 val reg : t -> lane:int -> int -> int32
+(** Architectural register read as [int32] (fault-injection interface). *)
+
 val set_reg : t -> lane:int -> int -> int32 -> unit
 val local_id : t -> lane:int -> int
 
 val issue :
-  t -> program:Ggpu_isa.Fgpu_isa.t array -> mem:int32 array -> line_words:int ->
-  issue_outcome
+  t ->
+  dprog:Ggpu_isa.Fgpu_predecode.t array ->
+  mem:int array ->
+  line_words:int ->
+  outcome ->
+  unit
 (** Execute one instruction for all lanes at the minimum PC. Global
-    memory is read/written immediately; timing comes from the returned
-    outcome. @raise Fault on bad addresses or a wild PC. *)
+    memory is read/written immediately; timing comes from the outcome
+    scratch record, overwritten in place. @raise Fault on bad addresses
+    or a wild PC. *)

@@ -11,7 +11,7 @@
    Determinism: trial [i] of a campaign seeded [s] derives every random
    choice from [Rng.for_trial ~seed:s ~index:i], so the trial list is
    bit-identical whether trials run serially or fan out over the
-   {!Ggpu_core.Parallel} domain pool.  Isolation: a trial's exception
+   {!Ggpu_par.Parallel} domain pool.  Isolation: a trial's exception
    is its classification, never the campaign's - trials run under
    try/with and a simulated-time watchdog, so corrupted control flow
    terminates as a counted Hang. *)
@@ -106,10 +106,14 @@ let run_trials ?domains one trials =
   let one index = Ggpu_obs.Trace.with_span "fi.trial" (fun () -> one index) in
   let t0 = Ggpu_obs.Metrics.now_ns () in
   let trials_run =
-    Ggpu_core.Parallel.map ?domains one (List.init trials Fun.id)
+    Ggpu_par.Parallel.map ?domains one (List.init trials Fun.id)
   in
   let wall_ns = max 1 (Ggpu_obs.Metrics.now_ns () - t0) in
   if Ggpu_obs.Metrics.ambient_enabled () then begin
+    Ggpu_obs.Metrics.record_gauge "fi.domains"
+      (match domains with
+      | Some d -> max 1 d
+      | None -> Ggpu_par.Parallel.default_domains ());
     Ggpu_obs.Metrics.count "fi.trials" (List.length trials_run);
     List.iter
       (fun t -> Ggpu_obs.Metrics.count (outcome_key t.outcome) 1)

@@ -1,6 +1,6 @@
 (** Fault-injection campaign engine: one golden run, then a population
     of single-bit-upset trials classified against it as Masked / SDC /
-    DUE / Hang, fanned out over the {!Ggpu_core.Parallel} domain pool.
+    DUE / Hang, fanned out over the {!Ggpu_par.Parallel} domain pool.
 
     Campaigns are deterministic: for a fixed seed the trial list is
     bit-identical whether run serially or on N domains. Trials are

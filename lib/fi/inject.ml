@@ -91,7 +91,8 @@ let apply_gpu rng (structure : Fault.structure) (probe : Gpu.probe) =
         in
         if word >= 0 && word < Array.length probe.Gpu.p_mem then begin
           let bit = Rng.int rng 32 in
-          probe.Gpu.p_mem.(word) <- flip32 probe.Gpu.p_mem.(word) ~bit
+          probe.Gpu.p_mem.(word) <-
+            Ggpu_isa.I32.flip probe.Gpu.p_mem.(word) ~bit
         end
       end
   | Fault.Rv_reg | Fault.Rv_pc | Fault.Rv_mem ->

@@ -1,0 +1,66 @@
+(* Domain pool for the embarrassingly parallel parts of the flow.
+
+   The version grid (12 Table-I syntheses, 4 physical implementations)
+   gives every spec its own freshly generated netlist, and the tech
+   models are immutable, so specs can run on separate OCaml 5 domains
+   with no shared mutable state.  Work is pulled off an atomic counter
+   (work stealing) because syntheses have very uneven cost — the 8-CU
+   versions dominate — and a static partition would leave domains
+   idle. *)
+
+let default_domains () = Domain.recommended_domain_count ()
+
+let map ?domains f xs =
+  let inputs = Array.of_list xs in
+  let n = Array.length inputs in
+  let workers =
+    max 1 (min n (match domains with Some d -> d | None -> default_domains ()))
+  in
+  if workers <= 1 then List.map f xs
+  else begin
+    let results = Array.make n None in
+    let next = Atomic.make 0 in
+    let worker () =
+      let rec go () =
+        let i = Atomic.fetch_and_add next 1 in
+        if i < n then begin
+          (results.(i) <-
+             (match f inputs.(i) with
+             | v -> Some (Ok v)
+             | exception e -> Some (Error e)));
+          go ()
+        end
+      in
+      go ()
+    in
+    let spawned = List.init (workers - 1) (fun _ -> Domain.spawn worker) in
+    worker ();
+    List.iter Domain.join spawned;
+    (* re-raise the first failure in input order, as sequential map would *)
+    Array.to_list results
+    |> List.map (function
+         | Some (Ok v) -> v
+         | Some (Error e) -> raise e
+         | None -> assert false)
+  end
+
+(* Parallel map that also collects metrics.  Each item gets a fresh
+   registry, so the merged snapshot is a fold over per-item snapshots in
+   input order — independent of which domain stole which item.  Metric
+   values are integral (see {!Ggpu_obs.Metrics}), so the merge is
+   associative and commutative and the result is bit-identical for any
+   domain count. *)
+let map_collect ?domains f xs =
+  let pairs =
+    map ?domains
+      (fun x ->
+        let reg = Ggpu_obs.Metrics.create () in
+        let v = f reg x in
+        (v, Ggpu_obs.Metrics.snapshot reg))
+      xs
+  in
+  let values = List.map fst pairs in
+  let merged =
+    Ggpu_obs.Metrics.merge_all (List.map snd pairs)
+  in
+  (values, merged)

@@ -1,7 +1,6 @@
-(** Re-export of {!Ggpu_par.Parallel}: the domain pool moved below the
-    planner core so the kernel suite runner and the FI campaign driver
-    can share it; this alias keeps [Ggpu_core.Parallel] callers
-    working. *)
+(** Domain pool for the embarrassingly parallel parts of the flow
+    (version-grid exploration).  Callers must only pass functions free
+    of shared mutable state. *)
 
 val default_domains : unit -> int
 (** [Domain.recommended_domain_count ()]. *)

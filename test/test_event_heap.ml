@@ -70,6 +70,81 @@ let prop_is_empty =
           = (Ggpu_fgpu.Event_heap.length h = 0))
         ops)
 
+(* The scheduler's stale-entry protocol: a payload may be re-pushed
+   with a newer time without removing the old entry; on pop, an entry
+   whose time disagrees with the payload's current time is discarded.
+   Drive that protocol with random interleaved push/update/pop and
+   check that the *valid* pops come out in non-decreasing time order
+   and never before the payload's current time. *)
+let prop_stale_min_order =
+  QCheck.Test.make ~name:"event_heap stale-entry protocol preserves min-order"
+    ~count:200
+    QCheck.(
+      pair (int_range 1 8)
+        (list_of_size Gen.(int_bound 300) (pair (int_bound 7) (int_bound 1000))))
+    (fun (n_payloads, ops) ->
+      (* the stock int shrinker can walk below the generator's range *)
+      let n_payloads = max 1 n_payloads in
+      let h = Ggpu_fgpu.Event_heap.create ~dummy:(-1) in
+      let current = Array.make n_payloads (-1) in
+      (* interleave: even steps push/update a payload, odd steps pop.
+         Arming times come off a monotone clock, as simulation times
+         do — the protocol does not serve pops in time order if old
+         entries can be re-armed into the past. *)
+      let clock = ref 0 in
+      let prev = ref min_int in
+      let ok = ref true in
+      List.iteri
+        (fun i (p, dt) ->
+          let p = p mod n_payloads in
+          if i land 1 = 0 then begin
+            (* re-arm payload [p] at a newer time; the old heap entry,
+               if any, goes stale *)
+            clock := !clock + dt;
+            let t = max current.(p) !clock in
+            current.(p) <- t;
+            Ggpu_fgpu.Event_heap.push h t p
+          end
+          else
+            match Ggpu_fgpu.Event_heap.pop h with
+            | exception Ggpu_fgpu.Event_heap.Empty -> ()
+            | t, p ->
+                if t = current.(p) then begin
+                  (* valid entry: must be served in global time order *)
+                  if t < !prev then ok := false;
+                  prev := t;
+                  current.(p) <- -1
+                end
+                else if t > current.(p) && current.(p) >= 0 then
+                  (* an entry newer than the payload's own clock cannot
+                     exist: updates only move time forward *)
+                  ok := false)
+        ops;
+      !ok)
+
+let prop_clear =
+  QCheck.Test.make ~name:"event_heap clear resets and allows reuse" ~count:200
+    ops_arb (fun ops ->
+      let h = Ggpu_fgpu.Event_heap.create ~dummy:0 in
+      List.iter
+        (function
+          | Push t -> Ggpu_fgpu.Event_heap.push h t t
+          | Pop -> (
+              try ignore (Ggpu_fgpu.Event_heap.pop h)
+              with Ggpu_fgpu.Event_heap.Empty -> ()))
+        ops;
+      Ggpu_fgpu.Event_heap.clear h;
+      Ggpu_fgpu.Event_heap.is_empty h
+      && Ggpu_fgpu.Event_heap.length h = 0
+      && (match Ggpu_fgpu.Event_heap.pop h with
+         | exception Ggpu_fgpu.Event_heap.Empty -> true
+         | _ -> false)
+      &&
+      (* a cleared heap behaves like a fresh one *)
+      (Ggpu_fgpu.Event_heap.push h 7 7;
+       Ggpu_fgpu.Event_heap.push h 3 3;
+       fst (Ggpu_fgpu.Event_heap.pop h) = 3))
+
 let suite =
   [
     ( "event_heap",
@@ -77,5 +152,7 @@ let suite =
         QCheck_alcotest.to_alcotest prop_pop_sorted;
         QCheck_alcotest.to_alcotest prop_model;
         QCheck_alcotest.to_alcotest prop_is_empty;
+        QCheck_alcotest.to_alcotest prop_stale_min_order;
+        QCheck_alcotest.to_alcotest prop_clear;
       ] );
   ]

@@ -1,0 +1,94 @@
+(* Golden per-kernel cycle counts for the G-GPU simulator.
+
+   Runs the full 7-kernel suite at 1 CU and 4 CU and asserts the exact
+   [Stats.to_assoc] of every run against values recorded from the
+   pre-optimisation scheduler (PR 3 tree).  The simulator hot path is
+   free to change shape, but any drift in cycle counts or counters —
+   i.e. any observable timing-model change — fails this test.  Sizes
+   match `gpuplanner run --kernel K --size S` after [round_size]. *)
+
+open Ggpu_kernels
+open Ggpu_fgpu
+
+(* (kernel, size, cus, stats in Stats.to_assoc order:
+   cycles; wf_instructions; lane_instructions; divergent_issues; loads;
+   stores; line_requests; cache_hits; cache_misses; evictions;
+   axi_words; barriers; workgroups; vu_busy_cycles) *)
+let golden =
+  [
+    ( "mat_mul", 1024, 1,
+      [ 36748; 4592; 293888; 0; 512; 16; 1344; 1200; 144; 0; 2304; 0; 16; 36736 ] );
+    ( "mat_mul", 1024, 4,
+      [ 9288; 4592; 293888; 0; 512; 16; 1344; 1200; 144; 0; 2304; 0; 16; 36736 ] );
+    ( "copy", 2048, 1,
+      [ 3072; 384; 24576; 0; 32; 32; 256; 0; 256; 0; 4096; 0; 8; 3072 ] );
+    ( "copy", 2048, 4,
+      [ 1004; 384; 24576; 0; 32; 32; 256; 0; 256; 0; 4096; 0; 8; 3072 ] );
+    ( "vec_mul", 2048, 1,
+      [ 4096; 512; 32768; 0; 64; 32; 384; 0; 384; 0; 6144; 0; 8; 4096 ] );
+    ( "vec_mul", 2048, 4,
+      [ 1260; 512; 32768; 0; 64; 32; 384; 0; 384; 0; 6144; 0; 8; 4096 ] );
+    ( "fir", 1024, 1,
+      [ 28300; 3536; 226304; 0; 512; 16; 1584; 1454; 130; 0; 2080; 0; 8; 28288 ] );
+    ( "fir", 1024, 4,
+      [ 7154; 3536; 226304; 0; 512; 16; 1584; 1454; 130; 0; 2080; 0; 8; 28288 ] );
+    ( "div_int", 1024, 1,
+      [ 67584; 256; 16384; 0; 32; 16; 192; 0; 192; 0; 3072; 0; 4; 67584 ] );
+    ( "div_int", 1024, 4,
+      [ 17040; 256; 16384; 0; 32; 16; 192; 0; 192; 0; 3072; 0; 4; 67584 ] );
+    ( "xcorr", 512, 1,
+      [ 426816; 53352; 3414528; 0; 8192; 8; 24352; 24224; 128; 0; 2048; 0; 4; 426816 ] );
+    ( "xcorr", 512, 4,
+      [ 107051; 53352; 3414528; 0; 8192; 8; 24352; 24224; 128; 0; 2048; 0; 4; 426816 ] );
+    ( "parallel_sel", 512, 1,
+      [ 491644; 61454; 3677184; 7926; 4104; 8; 4350; 4286; 64; 0; 1024; 0; 4; 491632 ] );
+    ( "parallel_sel", 512, 4,
+      [ 123039; 61454; 3677184; 7926; 4104; 8; 4350; 4286; 64; 0; 1024; 0; 4; 491632 ] );
+  ]
+
+let stat_names =
+  [
+    "cycles"; "wf_instructions"; "lane_instructions"; "divergent_issues";
+    "loads"; "stores"; "line_requests"; "cache_hits"; "cache_misses";
+    "evictions"; "axi_words"; "barriers"; "workgroups"; "vu_busy_cycles";
+  ]
+
+let run_golden (name, size, cus, expected) () =
+  let w = Suite.find name in
+  let size = w.Suite.round_size size in
+  let compiled = Codegen_fgpu.compile w.Suite.kernel in
+  let args = w.Suite.mk_args ~size in
+  let global_size = w.Suite.global_size ~size in
+  let local_size = min w.Suite.local_size size in
+  let config = Config.with_cus Config.default cus in
+  let result =
+    Run_fgpu.run ~config compiled ~args ~global_size ~local_size ()
+  in
+  (* results must still be correct, not just timed identically *)
+  let got = Run_fgpu.output result w.Suite.output_buffer in
+  let want = w.Suite.expected ~size args in
+  Alcotest.(check bool)
+    (Printf.sprintf "%s/%dcu output" name cus)
+    true
+    (Array.length got = Array.length want
+    && Array.for_all2 (fun a b -> Int32.equal a b) got want);
+  let assoc = Stats.to_assoc result.Run_fgpu.stats in
+  let expected_assoc = List.combine stat_names expected in
+  List.iter2
+    (fun (k, v) (k', v') ->
+      Alcotest.(check string)
+        (Printf.sprintf "%s/%dcu field order" name cus)
+        k' k;
+      Alcotest.(check int) (Printf.sprintf "%s/%dcu %s" name cus k) v' v)
+    assoc expected_assoc
+
+let suite =
+  [
+    ( "golden-cycles",
+      List.map
+        (fun ((name, size, cus, _) as case) ->
+          Alcotest.test_case
+            (Printf.sprintf "%s size=%d cus=%d" name size cus)
+            `Slow (run_golden case))
+        golden );
+  ]

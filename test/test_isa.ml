@@ -235,10 +235,84 @@ let test_rv32_li32_split () =
         imm value)
     [ 0l; 1l; -1l; 0x800l; 0xFFFl; 0x7FFFF800l; -2048l; -2049l; Int32.min_int; Int32.max_int ]
 
+(* --- I32: native-int arithmetic vs the Int32 reference ----------------- *)
+
+(* The simulator's hot path computes on native ints in I32's canonical
+   sign-extended representation; every operator must agree with plain
+   Int32 arithmetic on all inputs, including the overflow and shift
+   corner cases. *)
+let i32_arb =
+  QCheck.make
+    ~print:(fun v -> Int32.to_string v)
+    QCheck.Gen.(
+      frequency
+        [
+          (4, map Int32.of_int (int_bound 0xFFFF));
+          (4, map (fun i -> Int32.of_int (-i)) (int_bound 0xFFFF));
+          (2, map Int32.of_int int);
+          (1, oneofl [ 0l; 1l; -1l; Int32.min_int; Int32.max_int ]);
+        ])
+
+let prop_i32_matches_int32 =
+  let open Ggpu_isa in
+  QCheck.Test.make ~name:"I32 ops match Int32 reference" ~count:2000
+    QCheck.(pair i32_arb i32_arb)
+    (fun (a32, b32) ->
+      let a = I32.of_int32 a32 and b = I32.of_int32 b32 in
+      let eq name got ref32 =
+        if I32.to_int32 got <> ref32 then
+          QCheck.Test.fail_reportf "%s: %ld op %ld -> %ld, expected %ld" name
+            a32 b32 (I32.to_int32 got) ref32
+        else true
+      in
+      let sh = Int32.to_int (Int32.logand b32 31l) in
+      eq "add" (I32.add a b) (Int32.add a32 b32)
+      && eq "sub" (I32.sub a b) (Int32.sub a32 b32)
+      && eq "mul" (I32.mul a b) (Int32.mul a32 b32)
+      && eq "and" (a land b) (Int32.logand a32 b32)
+      && eq "or" (a lor b) (Int32.logor a32 b32)
+      && eq "xor" (a lxor b) (Int32.logxor a32 b32)
+      && eq "sll" (I32.sll a b) (Int32.shift_left a32 sh)
+      && eq "srl" (I32.srl a b) (Int32.shift_right_logical a32 sh)
+      && eq "sra" (I32.sra a b) (Int32.shift_right a32 sh)
+      && compare a b = Int32.compare a32 b32
+      && I32.ult a b
+         = (Int32.unsigned_compare a32 b32 < 0)
+      &&
+      (* RISC-V M corner cases: x/0 = -1, min/-1 = min, x rem 0 = x *)
+      let div_ref =
+        if b32 = 0l then -1l
+        else if a32 = Int32.min_int && b32 = -1l then Int32.min_int
+        else Int32.div a32 b32
+      and rem_ref =
+        if b32 = 0l then a32
+        else if a32 = Int32.min_int && b32 = -1l then 0l
+        else Int32.rem a32 b32
+      in
+      eq "div" (I32.div_signed a b) div_ref
+      && eq "rem" (I32.rem_signed a b) rem_ref)
+
+let prop_i32_canonical =
+  let open Ggpu_isa in
+  QCheck.Test.make ~name:"I32 results stay canonical (sx is idempotent)"
+    ~count:2000
+    QCheck.(pair i32_arb i32_arb)
+    (fun (a32, b32) ->
+      let a = I32.of_int32 a32 and b = I32.of_int32 b32 in
+      List.for_all
+        (fun v -> I32.sx v = v)
+        [
+          I32.add a b; I32.sub a b; I32.mul a b; I32.sll a b; I32.srl a b;
+          I32.sra a b; I32.div_signed a b; I32.rem_signed a b;
+          a land b; a lor b; a lxor b;
+        ])
+
 let suite =
   [
     ( "isa",
       [
+        QCheck_alcotest.to_alcotest prop_i32_matches_int32;
+        QCheck_alcotest.to_alcotest prop_i32_canonical;
         Alcotest.test_case "fgpu roundtrip samples" `Quick test_fgpu_roundtrip;
         Alcotest.test_case "fgpu asm labels" `Quick test_fgpu_asm_labels;
         Alcotest.test_case "fgpu asm wide li" `Quick test_fgpu_asm_wide_li;
