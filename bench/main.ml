@@ -507,6 +507,27 @@ let run_perf_sim () =
     domains
     (per_s grid_cycles grid_wall)
     (if grid_ok then "" else "  [OUTPUT MISMATCH]");
+  (* the same grid with the PMU attached: its wall-time delta is the
+     instrumentation overhead the ISSUE caps at 10%, gated in CI via
+     PERF_SIM_MAX_PMU_OVERHEAD on this number *)
+  let (pmu_results, _), pmu_wall =
+    time (fun () -> Ggpu_kernels.Suite_runner.run ~domains ~pmu:true grid_jobs)
+  in
+  let pmu_cycles =
+    List.fold_left
+      (fun acc (r : Ggpu_kernels.Suite_runner.result) ->
+        acc + r.Ggpu_kernels.Suite_runner.stats.Ggpu_fgpu.Stats.cycles)
+      0 pmu_results
+  in
+  let pmu_identical = pmu_cycles = grid_cycles in
+  let pmu_overhead_pct =
+    if grid_wall > 0.0 then 100.0 *. (pmu_wall -. grid_wall) /. grid_wall
+    else 0.0
+  in
+  Printf.printf
+    "grid+pmu: %.3e cycles/s, overhead %+.2f%% vs uninstrumented%s\n"
+    (per_s pmu_cycles pmu_wall) pmu_overhead_pct
+    (if pmu_identical then "" else "  [CYCLE MISMATCH]");
   let open Ggpu_obs.Json in
   let kernel_obj (name, gsize, gc, gwf, gw, rsize, rc, rw) =
     Obj
@@ -550,6 +571,14 @@ let run_perf_sim () =
               ("cycles_per_s", Float (per_s grid_cycles grid_wall));
               ("outputs_correct", Bool grid_ok);
             ] );
+        ( "pmu",
+          Obj
+            [
+              ("wall_s", Float pmu_wall);
+              ("cycles_per_s", Float (per_s pmu_cycles pmu_wall));
+              ("overhead_pct", Float pmu_overhead_pct);
+              ("cycles_identical", Bool pmu_identical);
+            ] );
       ]
   in
   let oc = open_out sim_json_path in
@@ -561,6 +590,18 @@ let run_perf_sim () =
     Printf.eprintf "perf-sim: grid produced wrong kernel output\n";
     exit 1
   end;
+  if not pmu_identical then begin
+    Printf.eprintf
+      "perf-sim: PMU-instrumented grid changed simulated cycles (%d vs %d)\n"
+      pmu_cycles grid_cycles;
+    exit 1
+  end;
+  (match Sys.getenv_opt "PERF_SIM_MAX_PMU_OVERHEAD" with
+  | Some limit when pmu_overhead_pct > float_of_string limit ->
+      Printf.eprintf "perf-sim: PMU overhead %.2f%% above allowed %s%%\n"
+        pmu_overhead_pct limit;
+      exit 1
+  | _ -> ());
   (* CI smoke gate: PERF_SIM_MIN_SPEEDUP=1.0 catches a simulator
      regression back below the seed without being flaky about the
      machine the runner happens to land on *)

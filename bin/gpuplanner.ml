@@ -270,7 +270,15 @@ let run_cmd =
                parallel_sel)." in
     Arg.(required & opt (some string) None & info [ "kernel" ] ~doc ~docv:"NAME")
   in
-  let run obs cus name size =
+  let pmu_term =
+    let doc =
+      "Attach the performance-monitoring unit: per-CU cycle-attribution \
+       buckets, bottleneck classification and a hot-PC profile (results \
+       stay bit-identical)."
+    in
+    Arg.(value & flag & info [ "pmu" ] ~doc)
+  in
+  let run obs cus name size pmu =
     with_obs obs @@ fun () ->
     let w =
       try Ggpu_kernels.Suite.find name
@@ -285,8 +293,16 @@ let run_cmd =
     let config = Ggpu_fgpu.Config.with_cus Ggpu_fgpu.Config.default cus in
     let args = w.Ggpu_kernels.Suite.mk_args ~size in
     let compiled = Ggpu_kernels.Codegen_fgpu.compile w.Ggpu_kernels.Suite.kernel in
+    let collector =
+      if pmu then
+        Some
+          (Ggpu_pmu.Pmu.create ~num_cus:cus
+             ~prog_len:(Array.length compiled.Ggpu_kernels.Codegen_fgpu.code)
+             ())
+      else None
+    in
     let result =
-      Ggpu_kernels.Run_fgpu.run ~config compiled ~args
+      Ggpu_kernels.Run_fgpu.run ~config ?pmu:collector compiled ~args
         ~global_size:(w.Ggpu_kernels.Suite.global_size ~size)
         ~local_size:(min w.Ggpu_kernels.Suite.local_size size)
         ()
@@ -294,6 +310,19 @@ let run_cmd =
     let stats = result.Ggpu_kernels.Run_fgpu.stats in
     Format.printf "%s size=%d on %d CU: %a@." name size cus Ggpu_fgpu.Stats.pp
       stats;
+    (match collector with
+    | Some c ->
+        let summary =
+          Ggpu_pmu.Pmu.summarize c
+            ~program:compiled.Ggpu_kernels.Codegen_fgpu.code
+        in
+        Format.printf "pmu (%s):@.%a@.hot PCs (stride %d, %d samples):@.%a@."
+          (Ggpu_pmu.Report.classify summary)
+          Ggpu_pmu.Pmu.pp_summary summary summary.Ggpu_pmu.Pmu.s_stride
+          summary.Ggpu_pmu.Pmu.s_samples
+          (fun fmt s -> Ggpu_pmu.Pmu.pp_hot fmt s)
+          summary
+    | None -> ());
     let expected = w.Ggpu_kernels.Suite.expected ~size args in
     let actual =
       Ggpu_kernels.Run_fgpu.output result w.Ggpu_kernels.Suite.output_buffer
@@ -308,7 +337,7 @@ let run_cmd =
   let term =
     Term.(
       term_result ~usage:false
-        (const run $ obs_term $ cus_term $ kernel_req $ size_term))
+        (const run $ obs_term $ cus_term $ kernel_req $ size_term $ pmu_term))
   in
   Cmd.v (Cmd.info "run" ~doc:"Simulate one kernel on the G-GPU") term
 
@@ -485,6 +514,212 @@ let bench_cmd =
           verifying every output against the OCaml reference")
     term
 
+(* --- perf-report --------------------------------------------------------- *)
+
+(* PMU-instrumented kernelxCU grid: writes PERF_REPORT.json with per-CU
+   stall buckets, hot PCs and a bottleneck classification per kernel;
+   optionally gates PMU overhead against an uninstrumented pass of the
+   same grid and diffs cycle counts against a baseline report.  The CI
+   smoke job drives all three modes. *)
+let perf_report_cmd =
+  let cus_grid_term =
+    let doc = "Comma-separated CU counts forming the grid." in
+    Arg.(value & opt (list int) [ 1; 2; 4; 8 ] & info [ "cus" ] ~doc ~docv:"N,..")
+  in
+  let domains_term =
+    let doc = "Domain-pool size for the job fan-out (1 = serial)." in
+    Arg.(value & opt (some int) None & info [ "domains" ] ~doc ~docv:"D")
+  in
+  let out_term =
+    let doc = "Report file to write." in
+    Arg.(value & opt string "PERF_REPORT.json" & info [ "out" ] ~doc ~docv:"FILE")
+  in
+  let baseline_term =
+    let doc =
+      "Baseline PERF_REPORT.json: print a per-kernel cycle diff and exit 1 \
+       if any configuration regressed past --max-regress."
+    in
+    Arg.(value & opt (some string) None & info [ "baseline" ] ~doc ~docv:"FILE")
+  in
+  let max_regress_term =
+    let doc = "Regression threshold for --baseline, in percent." in
+    Arg.(value & opt float 5.0 & info [ "max-regress" ] ~doc ~docv:"PCT")
+  in
+  let max_overhead_term =
+    let doc =
+      "Also run the grid without the PMU and exit 1 if instrumentation \
+       costs more than PCT percent of aggregate simulation throughput."
+    in
+    Arg.(value & opt (some float) None & info [ "max-overhead" ] ~doc ~docv:"PCT")
+  in
+  let check_term =
+    let doc =
+      "Validate an existing report (schema, classifications, \
+       buckets-sum-to-cycles invariant) instead of running the grid."
+    in
+    Arg.(value & opt (some string) None & info [ "check" ] ~doc ~docv:"FILE")
+  in
+  let stride_term =
+    let doc = "Hot-PC sampling period in cycles." in
+    Arg.(value & opt int 64 & info [ "stride" ] ~doc ~docv:"N")
+  in
+  let run obs domains cus_list kernel out baseline max_regress max_overhead
+      check stride =
+    match check with
+    | Some file -> (
+        match Ggpu_pmu.Report.validate_file file with
+        | Ok n ->
+            Printf.printf "%s: ok, %d kernel entries\n" file n;
+            Ok ()
+        | Error msg ->
+            Printf.eprintf "%s: invalid perf report: %s\n" file msg;
+            exit 1)
+    | None ->
+        with_obs obs @@ fun () ->
+        let workloads =
+          match kernel with
+          | None -> Ggpu_kernels.Suite.all
+          | Some name -> (
+              try [ Ggpu_kernels.Suite.find name ]
+              with Invalid_argument msg ->
+                prerr_endline msg;
+                exit 1)
+        in
+        let domains =
+          match domains with
+          | Some d -> max 1 d
+          | None -> Ggpu_par.Parallel.default_domains ()
+        in
+        let jobs =
+          Ggpu_kernels.Suite_runner.grid ~workloads ~cu_counts:cus_list ()
+        in
+        let job_wall results =
+          List.fold_left
+            (fun acc (r : Ggpu_kernels.Suite_runner.result) ->
+              acc + r.Ggpu_kernels.Suite_runner.wall_ns)
+            1 results
+        in
+        (* uninstrumented pass first (also warms the code paths), so the
+           overhead gate compares like against like *)
+        let bare_wall =
+          match max_overhead with
+          | None -> None
+          | Some _ ->
+              let bare, _ = Ggpu_kernels.Suite_runner.run ~domains jobs in
+              Some (job_wall bare)
+        in
+        let results, _merged =
+          Ggpu_kernels.Suite_runner.run ~domains ~pmu:true ~pmu_stride:stride
+            jobs
+        in
+        let entries =
+          List.map
+            (fun (r : Ggpu_kernels.Suite_runner.result) ->
+              let j = r.Ggpu_kernels.Suite_runner.job in
+              let stats = r.Ggpu_kernels.Suite_runner.stats in
+              {
+                Ggpu_pmu.Report.e_kernel =
+                  j.Ggpu_kernels.Suite_runner.workload.Ggpu_kernels.Suite.name;
+                e_cus = j.Ggpu_kernels.Suite_runner.cus;
+                e_size = j.Ggpu_kernels.Suite_runner.size;
+                e_correct = r.Ggpu_kernels.Suite_runner.correct;
+                e_stats = Ggpu_fgpu.Stats.to_assoc stats;
+                e_hit_rate = Ggpu_fgpu.Stats.hit_rate stats;
+                e_summary =
+                  Option.get r.Ggpu_kernels.Suite_runner.pmu;
+              })
+            results
+        in
+        Ggpu_pmu.Report.write ~path:out entries;
+        Printf.printf "%-20s %10s %8s %-18s %s\n" "job" "cycles" "ok"
+          "classification" "hottest pc";
+        List.iter
+          (fun (e : Ggpu_pmu.Report.entry) ->
+            let s = e.Ggpu_pmu.Report.e_summary in
+            Printf.printf "%-20s %10d %8s %-18s %s\n"
+              (Printf.sprintf "%s/%dcu" e.Ggpu_pmu.Report.e_kernel
+                 e.Ggpu_pmu.Report.e_cus)
+              s.Ggpu_pmu.Pmu.s_cycles
+              (if e.Ggpu_pmu.Report.e_correct then "yes" else "NO")
+              (Ggpu_pmu.Report.classify s)
+              (match s.Ggpu_pmu.Pmu.s_hot with
+              | (pc, insn, _) :: _ -> Printf.sprintf "%d: %s" pc insn
+              | [] -> "-"))
+          entries;
+        (match Ggpu_pmu.Report.validate_file out with
+        | Ok n -> Printf.printf "wrote %s (%d kernel entries, validated)\n" out n
+        | Error msg ->
+            Printf.eprintf "%s failed self-validation: %s\n" out msg;
+            exit 1);
+        (match (max_overhead, bare_wall) with
+        | Some limit, Some bare ->
+            let pmu_wall = job_wall results in
+            let pct =
+              100.0 *. float_of_int (pmu_wall - bare) /. float_of_int bare
+            in
+            Printf.printf "PMU overhead: %+.2f%% of grid wall time (limit %.1f%%)\n"
+              pct limit;
+            if pct > limit then begin
+              Printf.eprintf "PMU overhead %.2f%% exceeds limit %.1f%%\n" pct
+                limit;
+              exit 1
+            end
+        | _ -> ());
+        (match baseline with
+        | None -> ()
+        | Some file -> (
+            match Ggpu_pmu.Report.load file with
+            | Error msg ->
+                Printf.eprintf "cannot load baseline %s: %s\n" file msg;
+                exit 1
+            | Ok base -> (
+                match
+                  Ggpu_pmu.Report.diff ~baseline:base
+                    ~current:(Ggpu_pmu.Report.to_json entries)
+                    ~max_regress_pct:max_regress
+                with
+                | Error msg ->
+                    Printf.eprintf "cannot diff against %s: %s\n" file msg;
+                    exit 1
+                | Ok rows ->
+                    Format.printf "%a@." Ggpu_pmu.Report.pp_diff rows;
+                    let regressed =
+                      List.filter
+                        (fun r -> r.Ggpu_pmu.Report.d_regressed)
+                        rows
+                    in
+                    if regressed <> [] then begin
+                      Printf.eprintf "%d configuration(s) regressed\n"
+                        (List.length regressed);
+                      exit 1
+                    end)));
+        if
+          List.exists
+            (fun (e : Ggpu_pmu.Report.entry) ->
+              not e.Ggpu_pmu.Report.e_correct)
+            entries
+        then begin
+          Printf.eprintf "some jobs produced wrong output\n";
+          exit 1
+        end;
+        Ok ()
+  in
+  let term =
+    Term.(
+      term_result ~usage:false
+        (const run $ obs_term $ domains_term $ cus_grid_term $ kernel_term
+       $ out_term $ baseline_term $ max_regress_term $ max_overhead_term
+       $ check_term $ stride_term))
+  in
+  Cmd.v
+    (Cmd.info "perf-report"
+       ~doc:
+         "Run the kernel suite with the PMU attached, write \
+          PERF_REPORT.json (per-CU stall buckets, hot PCs, bottleneck \
+          classification), and optionally gate overhead or diff against \
+          a baseline")
+    term
+
 (* --- profile ------------------------------------------------------------ *)
 
 let profile_cmd =
@@ -619,6 +854,6 @@ let () =
        (Cmd.group info
           [
             synth_cmd; dse_cmd; map_cmd; layout_cmd; table1_cmd; compare_cmd;
-            run_cmd; bench_cmd; fi_cmd; profile_cmd; trace_check_cmd;
-            verilog_cmd;
+            run_cmd; bench_cmd; perf_report_cmd; fi_cmd; profile_cmd;
+            trace_check_cmd; verilog_cmd;
           ]))

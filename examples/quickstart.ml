@@ -34,9 +34,11 @@ let () =
       ~local_size:workload.Suite.local_size ()
   in
   let stats = result.Run_fgpu.stats in
-  Printf.printf "  %d cycles (%d wavefront instructions, %.1f%% cache hits)\n"
+  Printf.printf "  %d cycles (%d wavefront instructions, %s)\n"
     stats.Ggpu_fgpu.Stats.cycles stats.Ggpu_fgpu.Stats.wf_instructions
-    (100.0 *. Ggpu_fgpu.Stats.hit_rate stats);
+    (match Ggpu_fgpu.Stats.hit_rate stats with
+    | Some r -> Printf.sprintf "%.1f%% cache hits" (100.0 *. r)
+    | None -> "no memory accesses");
   Printf.printf "  at %.0f MHz that is %.1f us\n" impl.Flow.achieved_mhz
     (float_of_int stats.Ggpu_fgpu.Stats.cycles /. impl.Flow.achieved_mhz);
 

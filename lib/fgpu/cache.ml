@@ -24,6 +24,11 @@ type t = {
   axi_latency : int;
   line_beats : int; (* cycles to move one line over one AXI port *)
   stats : Stats.t;
+  mutable acc_class : int;
+      (* worst access class since the last [take_access_class]:
+         0 = all lines hit, 1 = a line missed, 2 = a miss also queued
+         behind a busy AXI port.  Pure observation for the PMU; the
+         hit path never writes it. *)
 }
 
 let create (cfg : Config.t) ~stats =
@@ -43,7 +48,13 @@ let create (cfg : Config.t) ~stats =
       + cfg.Config.axi.Config.words_per_beat - 1)
       / cfg.Config.axi.Config.words_per_beat;
     stats;
+    acc_class = 0;
   }
+
+let take_access_class t =
+  let c = t.acc_class in
+  t.acc_class <- 0;
+  c
 
 let line_of_addr t ~addr = addr / 4 / t.line_words
 
@@ -91,6 +102,8 @@ let access t ~now ~addr ~write =
     let axi_start =
       acquire t.axi_ports ~now:start ~busy:(victim_beats + t.line_beats)
     in
+    if axi_start > start then t.acc_class <- 2
+    else if t.acc_class = 0 then t.acc_class <- 1;
     t.tags.(index) <- tag;
     t.dirty.(index) <- write;
     axi_start + victim_beats + t.axi_latency + t.line_beats + t.hit_latency

@@ -30,3 +30,10 @@ val access : t -> now:int -> addr:int -> write:bool -> int
     the completion cycle. Updates tags, port/AXI occupancy and [stats].
     [now] must be non-decreasing across calls (guaranteed by the
     event-ordered scheduler). *)
+
+val take_access_class : t -> int
+(** Worst access class recorded since the previous call, then reset:
+    0 = every line hit, 1 = a line missed, 2 = a miss also queued
+    behind a busy AXI data port.  The PMU reads this after each
+    wavefront memory instruction to split stall attribution; purely
+    observational, never affects timing. *)

@@ -86,7 +86,7 @@ let candidate_time cu =
 
 let invalidate cu = cu.cand_valid <- false
 
-let run ?max_cycles ?inject (cfg : Config.t) ~program ~params ~global_size
+let run ?max_cycles ?inject ?pmu (cfg : Config.t) ~program ~params ~global_size
     ~local_size ~mem =
   Ggpu_obs.Trace.with_span "fgpu.run"
     ~args:
@@ -109,6 +109,21 @@ let run ?max_cycles ?inject (cfg : Config.t) ~program ~params ~global_size
     let dprog = Ggpu_isa.Fgpu_predecode.of_program program in
     let cache = Cache.create cfg ~stats in
     let beats = Config.beats cfg in
+    (* The PMU is a pure observer: [pmu_on] gates every touch of the
+       collector, so a bare run pays one load-and-branch per issue and
+       an instrumented run is bit-identical (nothing here feeds back
+       into timing or stats).  [pmu_c] exists so the instrumented
+       branch needs no option unwrap; the dummy is never written. *)
+    let pmu_on = pmu <> None in
+    let pmu_c =
+      match pmu with
+      | Some p ->
+          if Ggpu_pmu.Pmu.num_cus p <> cfg.Config.num_cus then
+            fail "PMU collector sized for %d CUs, config has %d"
+              (Ggpu_pmu.Pmu.num_cus p) cfg.Config.num_cus;
+          p
+      | None -> Ggpu_pmu.Pmu.create ~num_cus:1 ~prog_len:0 ()
+    in
     let wf_size = cfg.Config.wavefront_size in
     let num_wgs = (global_size + local_size - 1) / local_size in
     let wfs_per_wg = Config.wavefronts_per_workgroup cfg ~local_size in
@@ -168,6 +183,19 @@ let run ?max_cycles ?inject (cfg : Config.t) ~program ~params ~global_size
       if t <> no_candidate then Event_heap.push heap t cu.cu_id
     in
     let next_wg = ref 0 in
+    (* One sample of [cu]'s wavefront-occupancy track, in simulated
+       cycles; emitted at the points where occupancy changes (dispatch,
+       barrier entry/release, retirement). *)
+    let pmu_occupancy cu ~now =
+      if pmu_on && Ggpu_obs.Trace.enabled () then begin
+        let active = ref 0 in
+        for i = 0 to cu.n_wfs - 1 do
+          if runnable cu.wf_slots.(i) then incr active
+        done;
+        Ggpu_pmu.Pmu.occupancy ~cu:cu.cu_id ~now ~resident:cu.n_wfs
+          ~active:!active
+      end
+    in
     (* Hand out at most one workgroup per call, so pending workgroups
        spread round-robin over CUs instead of piling onto the first. *)
     let dispatch_one cu ~now =
@@ -182,12 +210,14 @@ let run ?max_cycles ?inject (cfg : Config.t) ~program ~params ~global_size
           (fun wf ->
             wf.Wavefront.ready_at <- now;
             wf.Wavefront.last_cu <- cu.cu_id;
+            wf.Wavefront.dispatched_at <- now;
             cu.wf_slots.(cu.n_wfs) <- wf;
             cu.wg_slots.(cu.n_wfs) <- wg;
             cu.n_wfs <- cu.n_wfs + 1)
           wg.wavefronts;
         cu.resident_items <- cu.resident_items + wg.items;
         invalidate cu;
+        pmu_occupancy cu ~now;
         true
       end
       else false
@@ -345,15 +375,36 @@ let run ?max_cycles ?inject (cfg : Config.t) ~program ~params ~global_size
               0 wg.wavefronts
           in
           if wg.barrier_waiting >= active then
-            release_barrier cu wg ~now:!completion
+            release_barrier cu wg ~now:!completion;
+          pmu_occupancy cu ~now:!completion
         end;
         if out.Wavefront.retired then begin
           wg.finished_wfs <- wg.finished_wfs + 1;
           if wg.finished_wfs = Array.length wg.wavefronts then begin
             stats.Stats.workgroups <- stats.Stats.workgroups + 1;
             remove_wg cu wg;
-            ignore (dispatch_one cu ~now:!completion : bool)
+            ignore (dispatch_one cu ~now:!completion : bool);
+            pmu_occupancy cu ~now:!completion
           end
+        end;
+        if pmu_on then begin
+          (* Close the CU's timeline up to this issue: the idle gap is
+             charged to whatever the issuing wavefront was waiting on,
+             the busy slice to (divergent) issue.  Then classify what
+             this issue's completion waits on, for the next gap. *)
+          Ggpu_pmu.Pmu.on_issue pmu_c ~cu:cu.cu_id ~now:t
+            ~busy:(beats + div_occupancy + cfg.Config.issue_overhead)
+            ~pc:out.Wavefront.pc ~divergent:out.Wavefront.partial_mask
+            ~stall:wf.Wavefront.stall_kind;
+          wf.Wavefront.stall_kind <-
+            (if out.Wavefront.hit_barrier then Ggpu_pmu.Pmu.sk_barrier
+             else if out.Wavefront.mem_line_count > 0 then
+               Ggpu_pmu.Pmu.sk_of_mem_class (Cache.take_access_class cache)
+             else Ggpu_pmu.Pmu.sk_latency);
+          if out.Wavefront.retired then
+            Ggpu_pmu.Pmu.wf_span ~cu:cu.cu_id ~wg:wf.Wavefront.wg_id
+              ~wf:wf.Wavefront.wf_index
+              ~dispatched:wf.Wavefront.dispatched_at ~retired:!completion
         end;
         invalidate cu;
         schedule cu
@@ -376,6 +427,7 @@ let run ?max_cycles ?inject (cfg : Config.t) ~program ~params ~global_size
         0 cus
     in
     if stuck > 0 then fail "deadlock: %d wavefronts never retired" stuck;
+    if pmu_on then Ggpu_pmu.Pmu.finalize pmu_c ~cycles:stats.Stats.cycles;
     if Ggpu_obs.Metrics.ambient_enabled () then begin
       let wall_ns = max 1 (Ggpu_obs.Metrics.now_ns () - t0_ns) in
       Ggpu_obs.Metrics.count "sim.fgpu.runs" 1;

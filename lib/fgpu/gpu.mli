@@ -26,6 +26,7 @@ type probe = {
 val run :
   ?max_cycles:int ->
   ?inject:int * (probe -> unit) ->
+  ?pmu:Ggpu_pmu.Pmu.t ->
   Config.t ->
   program:Ggpu_isa.Fgpu_isa.t array ->
   params:int32 list ->
@@ -44,6 +45,14 @@ val run :
     first event at or after [cycle] (fault-injection hook). Neither
     perturbs the simulation by itself: a run under a high watchdog with
     no injection reproduces the exact cycle counts of a bare run.
+
+    [pmu] attaches a {!Ggpu_pmu.Pmu} collector (sized for
+    [cfg.num_cus] and the program length): per-CU per-cause cycle
+    attribution, hot-PC sampling, and — when tracing is enabled —
+    occupancy/lifetime timelines.  The collector is a pure observer;
+    instrumented runs are bit-identical to bare ones, and a bare run
+    pays one load-and-branch per issue.  [run] calls
+    {!Ggpu_pmu.Pmu.finalize} before returning.
     @raise Launch_error on bad geometry or an empty program.
     @raise Watchdog_timeout when simulated time exceeds [max_cycles].
     @raise Wavefront.Fault on out-of-range memory accesses. *)

@@ -43,9 +43,13 @@ let utilisation t ~num_cus =
   else
     float_of_int t.vu_busy_cycles /. float_of_int (t.cycles * max 1 num_cus)
 
+(* [None] when the run made no cache accesses: a memory-free kernel
+   has no hit rate, and reporting 1.0 would classify it as a perfect
+   cache in downstream reports. *)
 let hit_rate t =
   let total = t.cache_hits + t.cache_misses in
-  if total = 0 then 1.0 else float_of_int t.cache_hits /. float_of_int total
+  if total = 0 then None
+  else Some (float_of_int t.cache_hits /. float_of_int total)
 
 (* Counters as (name, value) pairs, in declaration order, so reports
    (bench, the FI engine) can emit them without scraping [pp] output. *)

@@ -22,7 +22,10 @@ val create : unit -> t
 val utilisation : t -> num_cus:int -> float
 (** Fraction of available vector-pipeline cycles spent issuing. *)
 
-val hit_rate : t -> float
+val hit_rate : t -> float option
+(** Cache hits over total cache accesses; [None] when the run made no
+    memory accesses at all (a memory-free kernel has no hit rate — it
+    must not be mistaken for a perfectly-cached one). *)
 
 val to_assoc : t -> (string * int) list
 (** Every counter as a (name, value) pair, in declaration order, so

@@ -53,6 +53,11 @@ type t = {
   mutable ready_at : int; (* cycle at which the next issue may happen *)
   mutable at_barrier : bool;
   mutable last_cu : int; (* CU this wavefront runs on *)
+  mutable stall_kind : int;
+      (* PMU stall bucket the wavefront's next issue delay belongs to
+         ({!Ggpu_pmu.Pmu} stall kind); written only on instrumented
+         runs, never read by the scheduler *)
+  mutable dispatched_at : int; (* cycle the wavefront's CU adopted it *)
 }
 
 (* What an issue did, so the scheduler can cost it.  One record is
@@ -60,6 +65,7 @@ type t = {
    holds the first [mem_line_count] coalesced line base addresses in
    first-touch order. *)
 type outcome = {
+  mutable pc : int; (* program counter the issue executed *)
   mutable executed_lanes : int;
   mutable partial_mask : bool;
   mem_lines : int array; (* coalesced line base addresses (bytes) *)
@@ -74,6 +80,7 @@ type outcome = {
 
 let make_outcome ~max_lanes =
   {
+    pc = 0;
     executed_lanes = 0;
     partial_mask = false;
     mem_lines = Array.make (max 1 max_lanes) 0;
@@ -118,6 +125,8 @@ let create ~wg_id ~wf_index ~size ~wg_offset ~wg_size ~global_size
     ready_at = 0;
     at_barrier = false;
     last_cu = -1;
+    stall_kind = Ggpu_pmu.Pmu.sk_latency;
+    dispatched_at = 0;
   }
 
 let finished t = t.live_lanes = 0
@@ -235,6 +244,7 @@ let issue t ~(dprog : Fgpu_predecode.t array) ~(mem : int array) ~line_words
   if pc < 0 || pc >= Array.length dprog then fault "pc %d outside program" pc;
   let d = dprog.(pc) in
   let live_before = t.live_lanes in
+  out.pc <- pc;
   out.mem_line_count <- 0;
   out.mem_is_store <- d.Fgpu_predecode.is_store;
   out.used_div <- d.Fgpu_predecode.uses_div;

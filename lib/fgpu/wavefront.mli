@@ -31,9 +31,15 @@ type t = {
   mutable ready_at : int;
   mutable at_barrier : bool;
   mutable last_cu : int;
+  mutable stall_kind : int;
+      (** PMU stall kind ({!Ggpu_pmu.Pmu}) the next issue delay will be
+          attributed to; only instrumented runs write it, the scheduler
+          never reads it *)
+  mutable dispatched_at : int;  (** cycle the wavefront's CU adopted it *)
 }
 
 type outcome = {
+  mutable pc : int;  (** program counter the issue executed *)
   mutable executed_lanes : int;
   mutable partial_mask : bool;  (** fewer lanes than live: a divergent issue *)
   mem_lines : int array;

@@ -14,14 +14,16 @@ val run :
   ?base_addr:int ->
   ?max_cycles:int ->
   ?inject:int * (Ggpu_fgpu.Gpu.probe -> unit) ->
+  ?pmu:Ggpu_pmu.Pmu.t ->
   Codegen_fgpu.compiled ->
   args:Interp.args ->
   global_size:int ->
   local_size:int ->
   unit ->
   result
-(** [max_cycles] and [inject] are forwarded to {!Ggpu_fgpu.Gpu.run}
-    (watchdog and fault-injection hook). *)
+(** [max_cycles], [inject] and [pmu] are forwarded to
+    {!Ggpu_fgpu.Gpu.run} (watchdog, fault-injection hook, and the
+    performance-monitoring collector). *)
 
 val output : result -> string -> int32 array
 (** @raise Setup_error on an unknown buffer name. *)

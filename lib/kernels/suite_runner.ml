@@ -24,6 +24,7 @@ type result = {
   stats : Ggpu_fgpu.Stats.t;
   correct : bool; (* output buffer matches the OCaml reference *)
   wall_ns : int; (* this job alone, on whichever domain ran it *)
+  pmu : Ggpu_pmu.Pmu.summary option; (* present on instrumented runs *)
 }
 
 let job_name j = Printf.sprintf "%s/%dcu" j.workload.Suite.name j.cus
@@ -40,14 +41,22 @@ let grid ?(workloads = Suite.all) ~cu_counts () =
       List.map (fun cus -> { workload = w; cus; size = default_size w }) cu_counts)
     workloads
 
-let run_job reg (j : job) =
+let run_job ?pmu_stride ~pmu reg (j : job) =
   let w = j.workload in
   let t0 = Ggpu_obs.Metrics.now_ns () in
   let config = Ggpu_fgpu.Config.with_cus Ggpu_fgpu.Config.default j.cus in
   let args = w.Suite.mk_args ~size:j.size in
   let compiled = Codegen_fgpu.compile w.Suite.kernel in
+  let collector =
+    if pmu then
+      Some
+        (Ggpu_pmu.Pmu.create ?stride:pmu_stride ~num_cus:j.cus
+           ~prog_len:(Array.length compiled.Codegen_fgpu.code)
+           ())
+    else None
+  in
   let r =
-    Run_fgpu.run ~config compiled ~args
+    Run_fgpu.run ~config ?pmu:collector compiled ~args
       ~global_size:(w.Suite.global_size ~size:j.size)
       ~local_size:(min w.Suite.local_size j.size)
       ()
@@ -67,6 +76,12 @@ let run_job reg (j : job) =
   add (counter reg "suite.lane_instructions")
     stats.Ggpu_fgpu.Stats.lane_instructions;
   gauge_max (gauge reg "suite.max_cycles") stats.Ggpu_fgpu.Stats.cycles;
-  { job = j; stats; correct; wall_ns }
+  let pmu =
+    Option.map
+      (fun c -> Ggpu_pmu.Pmu.summarize c ~program:compiled.Codegen_fgpu.code)
+      collector
+  in
+  { job = j; stats; correct; wall_ns; pmu }
 
-let run ?domains jobs = Ggpu_par.Parallel.map_collect ?domains run_job jobs
+let run ?domains ?(pmu = false) ?pmu_stride jobs =
+  Ggpu_par.Parallel.map_collect ?domains (run_job ?pmu_stride ~pmu) jobs

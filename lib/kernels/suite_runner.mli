@@ -12,6 +12,8 @@ type result = {
   stats : Ggpu_fgpu.Stats.t;
   correct : bool;  (** output buffer matches the OCaml reference *)
   wall_ns : int;  (** this job alone, on whichever domain ran it *)
+  pmu : Ggpu_pmu.Pmu.summary option;
+      (** PMU bucket/hot-PC summary; [Some] iff [run ~pmu:true] *)
 }
 
 val job_name : job -> string
@@ -26,7 +28,12 @@ val grid : ?workloads:Suite.t list -> cu_counts:int list -> unit -> job list
 
 val run :
   ?domains:int ->
+  ?pmu:bool ->
+  ?pmu_stride:int ->
   job list ->
   result list * Ggpu_obs.Metrics.snapshot
 (** Run all jobs (order-preserving) and merge their per-job metric
-    registries deterministically. *)
+    registries deterministically.  [pmu] (default false) attaches a
+    {!Ggpu_pmu.Pmu} collector per job — simulated results stay
+    bit-identical; only the per-job [pmu] summaries appear.
+    [pmu_stride] sets the hot-PC sampling period in cycles. *)

@@ -48,7 +48,11 @@ let self_times (events : Trace.event list) =
               | parent :: _ -> parent.o_child_ns <- parent.o_child_ns + dur
               | [] -> ());
               Hashtbl.replace stacks e.tid rest)
-      | Trace.Instant -> ())
+      | Trace.Instant | Trace.Counter -> ()
+      | Trace.Complete ->
+          (* pre-measured spans carry no nesting information; attribute
+             the whole duration as self time *)
+          account e.name ~dur:e.dur_ns ~self:e.dur_ns)
     events;
   Hashtbl.fold (fun _ row acc -> row :: acc) table []
   |> List.sort (fun a b ->

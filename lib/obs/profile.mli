@@ -6,7 +6,11 @@
 type row = { name : string; calls : int; total_ns : int; self_ns : int }
 
 val self_times : Trace.event list -> row list
-(** Rows sorted by self time, largest first.  Unbalanced events (an
-    end without a begin, spans still open at the tail) are skipped. *)
+(** Rows sorted by self time, largest first; rows with equal self time
+    are tie-broken by name, so the ordering is fully deterministic
+    regardless of domain count or hash-table iteration order.
+    Unbalanced events (an end without a begin, spans still open at the
+    tail) are skipped.  [Complete] spans carry no nesting information
+    and count fully as self time; [Counter] samples are ignored. *)
 
 val pp_table : Format.formatter -> row list -> unit

@@ -7,16 +7,25 @@
    nothing (no closure, no timestamp, no buffer) is touched when it
    fails.  When enabled, each domain prepends to its own event list;
    the lists are registered under a mutex on first use per domain so
-   they outlive Parallel workers. *)
+   they outlive Parallel workers.
 
-type phase = Begin | End | Instant
+   Beyond begin/end spans the tracer also records Chrome counter
+   events ("C", numeric series such as the PMU's per-CU wavefront
+   occupancy) and complete events ("X", pre-measured spans with an
+   explicit duration, used for simulated-time rows like wavefront
+   lifetimes).  Both accept an explicit timestamp so callers can emit
+   virtual-time (simulated-cycle) timelines through the same buffers. *)
+
+type phase = Begin | End | Instant | Counter | Complete
 
 type event = {
   ph : phase;
   name : string;
   ts_ns : int;
+  dur_ns : int; (* Complete only; 0 otherwise *)
   tid : int;
   args : (string * string) list;
+  values : (string * int) list; (* Counter only: numeric series values *)
 }
 
 let enabled_flag = Atomic.make false
@@ -25,29 +34,47 @@ let enable () = Atomic.set enabled_flag true
 let disable () = Atomic.set enabled_flag false
 
 let buffer_lock = Mutex.create ()
-let buffers : event list ref list ref = ref []
+
+(* Per-domain buffers carry the reset epoch they registered under:
+   [reset] bumps the epoch and empties the registry, so buffers of
+   joined domains become unreachable (and collectable) instead of
+   accumulating for the process lifetime; a live domain that records
+   again simply re-registers its (cleared) buffer under the new
+   epoch.  Like [reset] before it, this is not safe to run
+   concurrently with recording domains — call it between runs. *)
+type buf = { mutable evs : event list; mutable epoch : int }
+
+let current_epoch = Atomic.make 0
+let buffers : buf list ref = ref []
 
 let with_lock f =
   Mutex.lock buffer_lock;
   Fun.protect f ~finally:(fun () -> Mutex.unlock buffer_lock)
 
-let dls_key =
-  Domain.DLS.new_key (fun () ->
-      let buf = ref [] in
-      with_lock (fun () -> buffers := buf :: !buffers);
-      buf)
+let dls_key = Domain.DLS.new_key (fun () -> { evs = []; epoch = -1 })
 
-let record ph name args =
-  let buf = Domain.DLS.get dls_key in
-  buf :=
+let my_buf () =
+  let b = Domain.DLS.get dls_key in
+  if b.epoch <> Atomic.get current_epoch then
+    with_lock (fun () ->
+        b.evs <- [];
+        b.epoch <- Atomic.get current_epoch;
+        buffers := b :: !buffers);
+  b
+
+let record ?ts_ns ?(dur_ns = 0) ?tid ?(values = []) ph name args =
+  let b = my_buf () in
+  b.evs <-
     {
       ph;
       name;
-      ts_ns = Metrics.now_ns ();
-      tid = (Domain.self () :> int);
+      ts_ns = (match ts_ns with Some t -> t | None -> Metrics.now_ns ());
+      dur_ns;
+      tid = (match tid with Some t -> t | None -> (Domain.self () :> int));
       args;
+      values;
     }
-    :: !buf
+    :: b.evs
 
 let instant ?(args = []) name = if enabled () then record Instant name args
 
@@ -58,15 +85,23 @@ let with_span ?(args = []) name f =
     Fun.protect f ~finally:(fun () -> record End name [])
   end
 
+let counter ?ts_ns ?tid name values =
+  if enabled () then record ?ts_ns ?tid ~values Counter name []
+
+let complete ?(args = []) ?tid ~ts_ns ~dur_ns name =
+  if enabled () then record ~ts_ns ~dur_ns ?tid Complete name args
+
 let reset () =
-  let bufs = with_lock (fun () -> !buffers) in
-  List.iter (fun b -> b := []) bufs
+  with_lock (fun () ->
+      Atomic.incr current_epoch;
+      List.iter (fun b -> b.evs <- []) !buffers;
+      buffers := [])
 
 let events () =
   let bufs = with_lock (fun () -> !buffers) in
   (* each buffer is newest-first; reverse to record order, then a stable
      sort keeps same-timestamp begin/end pairs of a domain in order *)
-  List.concat_map (fun b -> List.rev !b) bufs
+  List.concat_map (fun b -> List.rev b.evs) bufs
   |> List.stable_sort (fun a b -> Int.compare a.ts_ns b.ts_ns)
 
 let event_to_json e =
@@ -75,23 +110,37 @@ let event_to_json e =
       ("name", Json.String e.name);
       ("cat", Json.String "ggpu");
       ( "ph",
-        Json.String (match e.ph with Begin -> "B" | End -> "E" | Instant -> "i")
-      );
+        Json.String
+          (match e.ph with
+          | Begin -> "B"
+          | End -> "E"
+          | Instant -> "i"
+          | Counter -> "C"
+          | Complete -> "X") );
       ("ts", Json.Float (float_of_int e.ts_ns /. 1000.0));
       ("pid", Json.Int 1);
       ("tid", Json.Int e.tid);
     ]
   in
+  let dur =
+    match e.ph with
+    | Complete -> [ ("dur", Json.Float (float_of_int e.dur_ns /. 1000.0)) ]
+    | _ -> []
+  in
   let scope =
     match e.ph with Instant -> [ ("s", Json.String "t") ] | _ -> []
   in
   let args =
-    match e.args with
-    | [] -> []
-    | kvs ->
+    (* counter events carry their numeric series in args, as Chrome
+       expects; string args and numeric values never mix on one event *)
+    match (e.values, e.args) with
+    | [], [] -> []
+    | vals, [] when vals <> [] ->
+        [ ("args", Json.Obj (List.map (fun (k, v) -> (k, Json.Int v)) vals)) ]
+    | _, kvs ->
         [ ("args", Json.Obj (List.map (fun (k, v) -> (k, Json.String v)) kvs)) ]
   in
-  Json.Obj (base @ scope @ args)
+  Json.Obj (base @ dur @ scope @ args)
 
 let to_json () =
   Json.Obj
@@ -190,7 +239,20 @@ let validate_json doc =
         match Json.member "dur" obj with
         | Some (Json.Int _ | Json.Float _) -> Ok ()
         | _ -> Error (Printf.sprintf "event %d: complete event without dur" i))
-    | "i" | "I" | "C" | "M" -> Ok ()
+    | "C" -> (
+        (* a counter without numeric series renders as an empty track;
+           reject it so emitters cannot silently drop their values *)
+        match Json.member "args" obj with
+        | Some (Json.Obj ((_ :: _) as kvs))
+          when List.for_all
+                 (fun (_, v) ->
+                   match v with Json.Int _ | Json.Float _ -> true | _ -> false)
+                 kvs ->
+            Ok ()
+        | _ ->
+            Error
+              (Printf.sprintf "event %d: counter without numeric args" i))
+    | "i" | "I" | "M" -> Ok ()
     | other -> Error (Printf.sprintf "event %d: unknown phase %S" i other)
   in
   let rec go i = function

@@ -6,16 +6,24 @@
     stay instrumented unconditionally.  When enabled, each domain
     appends begin/end events to its own buffer (no contention); buffers
     are registered globally so spans recorded inside a joined
-    {!Ggpu_core.Parallel} fan-out survive their domain. *)
+    {!Ggpu_core.Parallel} fan-out survive their domain.
 
-type phase = Begin | End | Instant
+    Besides wall-clock spans the tracer records Chrome counter tracks
+    ({!counter}, phase ["C"]) and pre-measured complete spans
+    ({!complete}, phase ["X"]).  Both take explicit timestamps, so
+    virtual-time timelines — e.g. the PMU's per-CU wavefront occupancy
+    in simulated cycles — share the same buffers and viewer. *)
+
+type phase = Begin | End | Instant | Counter | Complete
 
 type event = {
   ph : phase;
   name : string;
   ts_ns : int;
-  tid : int;  (** recording domain's id *)
+  dur_ns : int;  (** [Complete] spans only; [0] otherwise *)
+  tid : int;  (** recording domain's id, unless overridden *)
   args : (string * string) list;
+  values : (string * int) list;  (** [Counter] series values *)
 }
 
 val enable : unit -> unit
@@ -23,13 +31,37 @@ val disable : unit -> unit
 val enabled : unit -> bool
 
 val reset : unit -> unit
-(** Drop all buffered events. *)
+(** Drop all buffered events and forget the buffers of joined domains,
+    so repeated traced runs in one process don't concatenate stale
+    events (or leak one buffer per completed worker domain).  Live
+    domains transparently re-register on their next recorded event.
+    Not safe to call concurrently with recording — reset between runs,
+    not during one. *)
 
 val with_span : ?args:(string * string) list -> string -> (unit -> 'a) -> 'a
 (** Run the thunk inside a named span.  The end event is recorded also
     on exceptional exit, so traces stay balanced. *)
 
 val instant : ?args:(string * string) list -> string -> unit
+
+val counter : ?ts_ns:int -> ?tid:int -> string -> (string * int) list -> unit
+(** [counter name values] records one sample of a Chrome counter track:
+    each [(series, value)] pair becomes a numeric arg, rendered by the
+    viewer as a stacked area chart.  [ts_ns]/[tid] default to wall
+    clock and the recording domain; pass both to build virtual-time
+    tracks (one [tid] per track).  No-op when disabled. *)
+
+val complete :
+  ?args:(string * string) list ->
+  ?tid:int ->
+  ts_ns:int ->
+  dur_ns:int ->
+  string ->
+  unit
+(** [complete ~ts_ns ~dur_ns name] records a pre-measured span (phase
+    ["X"]) — used when start and duration are computed after the fact,
+    e.g. a wavefront's dispatch-to-retire lifetime in simulated cycles.
+    No-op when disabled. *)
 
 val events : unit -> event list
 (** All buffered events, stably sorted by timestamp (per-domain record
@@ -58,7 +90,8 @@ val validate_json : Json.t -> (summary, string) result
 (** Check a parsed document: a top-level [traceEvents] array (or bare
     array) whose elements carry [name]/[ph]/[ts]/[pid]/[tid], with
     begin/end events properly nested (LIFO, matching names) per
-    (pid, tid). *)
+    (pid, tid), complete events carrying a numeric [dur], and counter
+    events carrying at least one numeric series in [args]. *)
 
 val validate_file : string -> (summary, string) result
 val pp_summary : Format.formatter -> summary -> unit

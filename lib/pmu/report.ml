@@ -1,0 +1,318 @@
+(* PERF_REPORT.json: per-kernel PMU results, their bottleneck
+   classification, a structural validator, and a baseline regression
+   diff — the machinery behind `gpuplanner perf-report` and its CI
+   gate.
+
+   The classifier reduces each kernel's grid-wide bucket totals to four
+   scores and picks the dominant one:
+
+     memory     = stall_mem_hit + stall_mem_miss + stall_mem_axi
+     divergence = div_serial
+     occupancy  = stall_barrier + stall_latency + idle_empty
+     compute    = issue
+
+   Latency stalls count as an occupancy signal: an under-occupied CU
+   cannot hide fixed pipeline latencies behind other wavefronts, which
+   is exactly what "more resident wavefronts would help" means.  Ties
+   resolve memory > divergence > occupancy > compute — the order in
+   which the paper's own analysis explains its outliers. *)
+
+module J = Ggpu_obs.Json
+
+let schema_id = "ggpu.perf_report/1"
+
+let classifications =
+  [ "memory-bound"; "divergence-bound"; "occupancy-limited"; "compute-bound" ]
+
+type entry = {
+  e_kernel : string;
+  e_cus : int;
+  e_size : int;
+  e_correct : bool;
+  e_stats : (string * int) list;
+  e_hit_rate : float option;
+  e_summary : Pmu.summary;
+}
+
+let classify (s : Pmu.summary) =
+  let b name = Pmu.bucket_total s name in
+  let scores =
+    [
+      ("memory-bound", b "stall_mem_hit" + b "stall_mem_miss" + b "stall_mem_axi");
+      ("divergence-bound", b "div_serial");
+      ("occupancy-limited", b "stall_barrier" + b "stall_latency" + b "idle_empty");
+      ("compute-bound", b "issue");
+    ]
+  in
+  (* ties keep the earlier (higher-priority) class *)
+  fst
+    (List.fold_left
+       (fun (bn, bv) (n, v) -> if v > bv then (n, v) else (bn, bv))
+       ("compute-bound", min_int) scores)
+
+let hot_limit = 10
+
+let entry_to_json e =
+  let s = e.e_summary in
+  J.Obj
+    [
+      ("kernel", J.String e.e_kernel);
+      ("cus", J.Int e.e_cus);
+      ("size", J.Int e.e_size);
+      ("correct", J.Bool e.e_correct);
+      ("classification", J.String (classify s));
+      ("cycles", J.Int s.Pmu.s_cycles);
+      ("stride", J.Int s.Pmu.s_stride);
+      ("samples", J.Int s.Pmu.s_samples);
+      ("stats", J.Obj (List.map (fun (k, v) -> (k, J.Int v)) e.e_stats));
+      ( "hit_rate",
+        match e.e_hit_rate with None -> J.Null | Some r -> J.Float r );
+      ( "buckets",
+        J.Obj
+          (Array.to_list
+             (Array.mapi
+                (fun cu row ->
+                  ( Printf.sprintf "cu%d" cu,
+                    J.Obj
+                      (Array.to_list
+                         (Array.mapi
+                            (fun b v -> (Pmu.bucket_names.(b), J.Int v))
+                            row)) ))
+                s.Pmu.s_buckets)) );
+      ( "hot_pcs",
+        J.List
+          (List.filteri
+             (fun i _ -> i < hot_limit)
+             s.Pmu.s_hot
+          |> List.map (fun (pc, insn, n) ->
+                 J.Obj
+                   [
+                     ("pc", J.Int pc);
+                     ("insn", J.String insn);
+                     ("samples", J.Int n);
+                   ])) );
+    ]
+
+let to_json entries =
+  J.Obj
+    [
+      ("schema", J.String schema_id);
+      ("kernels", J.List (List.map entry_to_json entries));
+    ]
+
+let write ~path entries =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      output_string oc (J.to_string (to_json entries));
+      output_char oc '\n')
+
+(* --- Validation -------------------------------------------------------- *)
+
+(* Structural checker in the mould of [Trace.validate_json]: beyond
+   field presence it enforces the PMU's load-bearing invariant — every
+   CU's buckets sum to the kernel's cycle count — so a report whose
+   attribution silently drifted cannot pass CI. *)
+
+let ( let* ) = Result.bind
+
+let field name obj =
+  match J.member name obj with
+  | Some v -> Ok v
+  | None -> Error (Printf.sprintf "missing field %S" name)
+
+let int_field name obj =
+  match J.member name obj with
+  | Some (J.Int n) -> Ok n
+  | _ -> Error (Printf.sprintf "missing integer field %S" name)
+
+let str_field name obj =
+  match J.member name obj with
+  | Some (J.String s) -> Ok s
+  | _ -> Error (Printf.sprintf "missing string field %S" name)
+
+let validate_entry i entry =
+  let ctx msg =
+    Error (Printf.sprintf "kernel entry %d: %s" i msg)
+  in
+  let lift = function Ok v -> Ok v | Error msg -> ctx msg in
+  let* kernel = lift (str_field "kernel" entry) in
+  let* cus = lift (int_field "cus" entry) in
+  let* cycles = lift (int_field "cycles" entry) in
+  let* _ = lift (int_field "size" entry) in
+  let* _ = lift (int_field "samples" entry) in
+  let* cls = lift (str_field "classification" entry) in
+  let* () =
+    if List.mem cls classifications then Ok ()
+    else ctx (Printf.sprintf "unknown classification %S" cls)
+  in
+  let* () =
+    match J.member "hit_rate" entry with
+    | Some (J.Float _ | J.Int _ | J.Null) -> Ok ()
+    | _ -> ctx "hit_rate must be a number or null"
+  in
+  let* buckets = lift (field "buckets" entry) in
+  let* cu_rows =
+    match buckets with
+    | J.Obj rows -> Ok rows
+    | _ -> ctx "buckets is not an object"
+  in
+  let* () =
+    if List.length cu_rows = cus then Ok ()
+    else
+      ctx
+        (Printf.sprintf "%s: %d bucket rows for %d CUs" kernel
+           (List.length cu_rows) cus)
+  in
+  let check_row (cu, row) =
+    let* cells =
+      match row with
+      | J.Obj cells -> Ok cells
+      | _ -> ctx (Printf.sprintf "%s.%s is not an object" kernel cu)
+    in
+    let* sum =
+      List.fold_left
+        (fun acc (name, v) ->
+          let* acc = acc in
+          match v with
+          | J.Int n -> Ok (acc + n)
+          | _ -> ctx (Printf.sprintf "%s.%s.%s is not an integer" kernel cu name))
+        (Ok 0) cells
+    in
+    if sum = cycles then Ok ()
+    else
+      ctx
+        (Printf.sprintf "%s.%s buckets sum to %d, expected cycles=%d" kernel cu
+           sum cycles)
+  in
+  let* () =
+    List.fold_left
+      (fun acc row ->
+        let* () = acc in
+        check_row row)
+      (Ok ()) cu_rows
+  in
+  Ok ()
+
+let validate_json doc =
+  let* schema = str_field "schema" doc in
+  let* () =
+    if schema = schema_id then Ok ()
+    else Error (Printf.sprintf "unknown schema %S" schema)
+  in
+  let* kernels =
+    match J.member "kernels" doc with
+    | Some (J.List l) -> Ok l
+    | _ -> Error "missing kernels array"
+  in
+  let* () =
+    if kernels = [] then Error "empty kernels array" else Ok ()
+  in
+  let rec go i = function
+    | [] -> Ok i
+    | e :: rest ->
+        let* () = validate_entry i e in
+        go (i + 1) rest
+  in
+  go 0 kernels
+
+let load path =
+  let* contents =
+    try
+      let ic = open_in_bin path in
+      Fun.protect
+        ~finally:(fun () -> close_in ic)
+        (fun () -> Ok (really_input_string ic (in_channel_length ic)))
+    with Sys_error msg -> Error msg
+  in
+  J.parse (String.trim contents)
+
+let validate_file path =
+  let* doc = load path in
+  validate_json doc
+
+(* --- Regression diff --------------------------------------------------- *)
+
+type diff_row = {
+  d_kernel : string;
+  d_cus : int;
+  d_base_cycles : int;
+  d_cur_cycles : int;
+  d_pct : float; (* +pct = slower than baseline *)
+  d_regressed : bool;
+}
+
+let kernel_index doc =
+  let* kernels =
+    match J.member "kernels" doc with
+    | Some (J.List l) -> Ok l
+    | _ -> Error "missing kernels array"
+  in
+  List.fold_left
+    (fun acc e ->
+      let* acc = acc in
+      let* kernel = str_field "kernel" e in
+      let* cus = int_field "cus" e in
+      let* cycles = int_field "cycles" e in
+      Ok (((kernel, cus), cycles) :: acc))
+    (Ok []) kernels
+
+let diff ~baseline ~current ~max_regress_pct =
+  let* base = kernel_index baseline in
+  let* cur = kernel_index current in
+  let rows =
+    List.rev_map
+      (fun ((kernel, cus), base_cycles) ->
+        match List.assoc_opt (kernel, cus) cur with
+        | None ->
+            (* a kernel that vanished from the grid is a regression by
+               definition: the gate must not pass on shrunk coverage *)
+            {
+              d_kernel = kernel;
+              d_cus = cus;
+              d_base_cycles = base_cycles;
+              d_cur_cycles = 0;
+              d_pct = nan;
+              d_regressed = true;
+            }
+        | Some cur_cycles ->
+            let pct =
+              if base_cycles = 0 then 0.0
+              else
+                100.0
+                *. float_of_int (cur_cycles - base_cycles)
+                /. float_of_int base_cycles
+            in
+            {
+              d_kernel = kernel;
+              d_cus = cus;
+              d_base_cycles = base_cycles;
+              d_cur_cycles = cur_cycles;
+              d_pct = pct;
+              d_regressed = pct > max_regress_pct;
+            })
+      base
+  in
+  Ok
+    (List.sort
+       (fun a b ->
+         match String.compare a.d_kernel b.d_kernel with
+         | 0 -> Int.compare a.d_cus b.d_cus
+         | c -> c)
+       rows)
+
+let pp_diff fmt rows =
+  Format.fprintf fmt "@[<v>%-16s %4s %12s %12s %9s@," "kernel" "cus"
+    "base cycles" "cur cycles" "delta";
+  List.iter
+    (fun r ->
+      if Float.is_nan r.d_pct then
+        Format.fprintf fmt "%-16s %4d %12d %12s %9s  REGRESSED (missing)@,"
+          r.d_kernel r.d_cus r.d_base_cycles "-" "-"
+      else
+        Format.fprintf fmt "%-16s %4d %12d %12d %+8.2f%%%s@," r.d_kernel
+          r.d_cus r.d_base_cycles r.d_cur_cycles r.d_pct
+          (if r.d_regressed then "  REGRESSED" else ""))
+    rows;
+  Format.fprintf fmt "@]"

@@ -1,0 +1,62 @@
+(** PERF_REPORT.json: per-kernel PMU results with bottleneck
+    classification, a trace-check-style structural validator, and a
+    baseline regression diff — the machinery behind
+    [gpuplanner perf-report] and its CI gate. *)
+
+val schema_id : string
+(** ["ggpu.perf_report/1"], pinned in the report's [schema] field. *)
+
+val classifications : string list
+(** The four bottleneck classes the classifier can emit. *)
+
+type entry = {
+  e_kernel : string;
+  e_cus : int;
+  e_size : int;
+  e_correct : bool;  (** output matched the reference interpreter *)
+  e_stats : (string * int) list;  (** {!Ggpu_fgpu.Stats.to_assoc} *)
+  e_hit_rate : float option;  (** [None] when the kernel touched no memory *)
+  e_summary : Pmu.summary;
+}
+
+val classify : Pmu.summary -> string
+(** Dominant bottleneck of a kernel's grid-wide bucket totals:
+    [memory-bound] (cache/AXI stalls), [divergence-bound] (serialised
+    partial-mask issue), [occupancy-limited] (barrier + latency +
+    drained-CU cycles — more resident wavefronts would help), or
+    [compute-bound] (full-mask issue dominates).  Ties resolve in that
+    order. *)
+
+val to_json : entry list -> Ggpu_obs.Json.t
+val write : path:string -> entry list -> unit
+
+val validate_json : Ggpu_obs.Json.t -> (int, string) result
+(** Check schema id, per-entry field shapes, a known classification,
+    and the PMU invariant that every CU's buckets sum to the entry's
+    cycle count.  Returns the number of kernel entries. *)
+
+val validate_file : string -> (int, string) result
+
+val load : string -> (Ggpu_obs.Json.t, string) result
+(** Parse a report file (no structural validation). *)
+
+type diff_row = {
+  d_kernel : string;
+  d_cus : int;
+  d_base_cycles : int;
+  d_cur_cycles : int;
+  d_pct : float;  (** positive = slower than baseline; [nan] if missing *)
+  d_regressed : bool;
+}
+
+val diff :
+  baseline:Ggpu_obs.Json.t ->
+  current:Ggpu_obs.Json.t ->
+  max_regress_pct:float ->
+  (diff_row list, string) result
+(** Per-(kernel, cus) cycle comparison of two reports, sorted by kernel
+    then CU count.  A row regresses when current cycles exceed baseline
+    by more than [max_regress_pct] percent, or when the configuration
+    is missing from [current] entirely. *)
+
+val pp_diff : Format.formatter -> diff_row list -> unit

@@ -205,7 +205,13 @@ let test_span_nesting () =
     (List.map
        (fun (e : T.event) ->
          e.T.name ^ ":"
-         ^ match e.T.ph with T.Begin -> "B" | T.End -> "E" | T.Instant -> "I")
+         ^
+         match e.T.ph with
+         | T.Begin -> "B"
+         | T.End -> "E"
+         | T.Instant -> "I"
+         | T.Counter -> "C"
+         | T.Complete -> "X")
        evs);
   match T.validate_json (T.to_json ()) with
   | Error msg -> Alcotest.fail msg
@@ -240,6 +246,43 @@ let test_disabled_records_nothing () =
   T.disable ();
   T.with_span "ghost" (fun () -> ());
   check "no events when disabled" 0 (List.length (T.events ()))
+
+let test_counter_and_complete_events () =
+  with_tracing @@ fun () ->
+  T.counter ~ts_ns:1000 ~tid:100 "cu0.occupancy"
+    [ ("resident", 8); ("active", 3) ];
+  T.complete ~ts_ns:2000 ~dur_ns:500 ~tid:100 "wg0.wf1";
+  let evs = T.events () in
+  check "both recorded" 2 (List.length evs);
+  let c = List.find (fun (e : T.event) -> e.T.ph = T.Counter) evs in
+  Alcotest.(check (list (pair string int)))
+    "counter keeps its series"
+    [ ("resident", 8); ("active", 3) ]
+    c.T.values;
+  check "explicit tid honoured" 100 c.T.tid;
+  let x = List.find (fun (e : T.event) -> e.T.ph = T.Complete) evs in
+  check "duration kept" 500 x.T.dur_ns;
+  match T.validate_json (T.to_json ()) with
+  | Error msg -> Alcotest.fail msg
+  | Ok s -> check "validator counts both" 2 s.T.event_count
+
+let test_reset_drops_stale_events () =
+  T.reset ();
+  T.enable ();
+  T.with_span "first-run" (fun () -> ());
+  check "first run recorded" 2 (List.length (T.events ()));
+  T.reset ();
+  check "reset empties buffers" 0 (List.length (T.events ()));
+  (* the same domain keeps recording after a reset: its buffer must
+     re-register, and only the new run's events may appear *)
+  T.with_span "second-run" (fun () -> ());
+  let names =
+    List.sort_uniq String.compare
+      (List.map (fun (e : T.event) -> e.T.name) (T.events ()))
+  in
+  T.disable ();
+  T.reset ();
+  Alcotest.(check (list string)) "no stale events" [ "second-run" ] names
 
 let event ?(ts = 0) ?(tid = 1) ph name =
   J.Obj
@@ -287,7 +330,9 @@ let test_json_roundtrip () =
 (* --- profiler ------------------------------------------------------------ *)
 
 let test_self_times () =
-  let ev ph name ts_ns = { T.ph; name; ts_ns; tid = 0; args = [] } in
+  let ev ph name ts_ns =
+    { T.ph; name; ts_ns; dur_ns = 0; tid = 0; args = []; values = [] }
+  in
   let rows =
     P.self_times
       [
@@ -304,6 +349,28 @@ let test_self_times () =
   check "b self" 40 (find "b").P.self_ns;
   check_bool "sorted by self time" true
     (List.map (fun (r : P.row) -> r.P.name) rows = [ "a"; "b" ])
+
+let test_self_times_tie_break () =
+  let ev ph name ts_ns =
+    { T.ph; name; ts_ns; dur_ns = 0; tid = 0; args = []; values = [] }
+  in
+  (* three spans with identical self time: ordering must fall back to
+     the name, independent of hash-table iteration order *)
+  let rows =
+    P.self_times
+      [
+        ev T.Begin "zeta" 0;
+        ev T.End "zeta" 10;
+        ev T.Begin "alpha" 10;
+        ev T.End "alpha" 20;
+        ev T.Begin "mid" 20;
+        ev T.End "mid" 30;
+      ]
+  in
+  Alcotest.(check (list string))
+    "equal self times ordered by name"
+    [ "alpha"; "mid"; "zeta" ]
+    (List.map (fun (r : P.row) -> r.P.name) rows)
 
 let qcheck = QCheck_alcotest.to_alcotest
 
@@ -335,9 +402,15 @@ let suite =
         Alcotest.test_case "export round-trip" `Quick test_export_roundtrip;
         Alcotest.test_case "disabled tracer records nothing" `Quick
           test_disabled_records_nothing;
+        Alcotest.test_case "counter and complete events" `Quick
+          test_counter_and_complete_events;
+        Alcotest.test_case "reset drops stale events" `Quick
+          test_reset_drops_stale_events;
         Alcotest.test_case "validator rejects unbalanced" `Quick
           test_validator_rejects_unbalanced;
         Alcotest.test_case "json round-trip" `Quick test_json_roundtrip;
         Alcotest.test_case "profiler self times" `Quick test_self_times;
+        Alcotest.test_case "profiler self-time tie-break" `Quick
+          test_self_times_tie_break;
       ] );
   ]
