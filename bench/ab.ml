@@ -1,0 +1,44 @@
+(* Scratch A/B harness: alternate backends in-process to separate real
+   engine differences from machine noise.  Usage:
+     dune exec bench/ab.exe -- [kernel] [size] [reps]            *)
+
+let () =
+  let kernel = try Sys.argv.(1) with _ -> "parallel_sel" in
+  let size = try int_of_string Sys.argv.(2) with _ -> 2048 in
+  let reps = try int_of_string Sys.argv.(3) with _ -> 5 in
+  let w = Ggpu_kernels.Suite.find kernel in
+  let size = w.Ggpu_kernels.Suite.round_size size in
+  let config = Ggpu_fgpu.Config.with_cus Ggpu_fgpu.Config.default 4 in
+  let compiled = Ggpu_kernels.Codegen_fgpu.compile w.Ggpu_kernels.Suite.kernel in
+  let run backend =
+    let args = w.Ggpu_kernels.Suite.mk_args ~size in
+    let t0 = Unix.gettimeofday () in
+    let r =
+      Ggpu_kernels.Run_fgpu.run ~config ~backend compiled ~args
+        ~global_size:(w.Ggpu_kernels.Suite.global_size ~size)
+        ~local_size:(min w.Ggpu_kernels.Suite.local_size size)
+        ()
+    in
+    let wall = Unix.gettimeofday () -. t0 in
+    (r.Ggpu_kernels.Run_fgpu.stats.Ggpu_fgpu.Stats.wf_instructions, wall)
+  in
+  let engines =
+    match try Sys.argv.(4) with _ -> "both" with
+    | "t" -> [ ("threaded", Ggpu_fgpu.Gpu.Threaded) ]
+    | "i" -> [ ("interp", Ggpu_fgpu.Gpu.Interp) ]
+    | _ ->
+        [ ("threaded", Ggpu_fgpu.Gpu.Threaded); ("interp", Ggpu_fgpu.Gpu.Interp) ]
+  in
+  List.iter (fun (_, b) -> ignore (run b)) engines (* warm *);
+  let best = Hashtbl.create 2 in
+  for _ = 1 to reps do
+    List.iter
+      (fun (name, b) ->
+        let wf, wall = run b in
+        let prev = try Hashtbl.find best name with Not_found -> infinity in
+        if wall < prev then Hashtbl.replace best name wall;
+        Printf.printf "%-9s %8.1f ms  %.3e wf/s\n%!" name (wall *. 1e3)
+          (float_of_int wf /. wall))
+      engines
+  done;
+  Hashtbl.iter (fun n v -> Printf.printf "best %-9s %8.1f ms\n" n (v *. 1e3)) best

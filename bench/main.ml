@@ -403,6 +403,36 @@ let sim_json_path = "BENCH_sim.json"
    speedup tracked across PRs. *)
 let seed_fgpu_cycles_per_s = 835897.00278148404
 
+(* Aggregate fgpu_wf_instr_per_s of the PR 4 BENCH_sim.json (the
+   event-heap interpreter, before the threaded-code backend).  The
+   headline work-rate ratio against it is the backend speedup. *)
+let pr4_fgpu_wf_instr_per_s = 2681197.0502227317
+
+(* Kernels that issue analytic multi-cycle divides advance simulated
+   time ~66 cycles per wavefront instruction, so their cycles/s is a
+   derived, inflated number; wf-instructions/s is the comparable one. *)
+let uses_div (program : Ggpu_isa.Fgpu_isa.t array) =
+  Array.exists
+    (function
+      | Ggpu_isa.Fgpu_isa.Alu ((Div | Rem), _, _, _)
+      | Ggpu_isa.Fgpu_isa.Alui ((Div | Rem), _, _, _) ->
+          true
+      | _ -> false)
+    program
+
+type sim_row = {
+  r_name : string;
+  r_gsize : int;
+  r_cycles : int;
+  r_wf : int;
+  r_wall_thr : float;  (* threaded backend, the headline engine *)
+  r_wall_int : float;  (* interpreter backend, the A/B reference *)
+  r_div_derived : bool;  (* cycles/s inflated by analytic divides *)
+  r_rsize : int;
+  r_rv_cycles : int;
+  r_rv_wall : float;
+}
+
 let run_perf_sim () =
   section "perf-sim: simulator throughput over the kernel suite";
   let time f =
@@ -411,25 +441,51 @@ let run_perf_sim () =
     (v, Unix.gettimeofday () -. t0)
   in
   let fgpu_config = Ggpu_fgpu.Config.with_cus Ggpu_fgpu.Config.default 4 in
+  (* domain fan-out inside each simulation (the CU-parallel split);
+     1 keeps the measurement directly comparable with earlier PRs *)
+  let exec_domains =
+    match Sys.getenv_opt "PERF_SIM_EXEC_DOMAINS" with
+    | Some d -> max 1 (int_of_string d)
+    | None -> 1
+  in
   (* the seed measured setup (mk_args, buffer layout) inside the timed
      region; keep doing so, or speedup_vs_seed compares different work *)
   let row_of w =
     let open Ggpu_kernels in
     let gsize = w.Suite.round_size (min 8192 w.Suite.ggpu_size) in
-    let (fgpu_cycles, fgpu_wf), fgpu_wall =
-      let compiled = Codegen_fgpu.compile w.Suite.kernel in
-      let result, wall =
-        time (fun () ->
-            Run_fgpu.run ~config:fgpu_config compiled
-              ~args:(w.Suite.mk_args ~size:gsize)
-              ~global_size:(w.Suite.global_size ~size:gsize)
-              ~local_size:(min w.Suite.local_size gsize)
-              ())
-      in
-      ( ( result.Run_fgpu.stats.Ggpu_fgpu.Stats.cycles,
-          result.Run_fgpu.stats.Ggpu_fgpu.Stats.wf_instructions ),
-        wall )
+    let compiled = Codegen_fgpu.compile w.Suite.kernel in
+    let launch backend =
+      time (fun () ->
+          Run_fgpu.run ~config:fgpu_config ~backend ~domains:exec_domains
+            compiled
+            ~args:(w.Suite.mk_args ~size:gsize)
+            ~global_size:(w.Suite.global_size ~size:gsize)
+            ~local_size:(min w.Suite.local_size gsize)
+            ())
     in
+    (* warm each backend once — first-touch page faults, code warmup
+       and GC growth land here, not in the timed runs — and use the
+       warm pair as a correctness sweep: both engines must produce the
+       same stats on every suite kernel, every run *)
+    let result_thr, _ = launch Ggpu_fgpu.Gpu.Threaded in
+    let result_int, _ = launch Ggpu_fgpu.Gpu.Interp in
+    if
+      Ggpu_fgpu.Stats.to_assoc result_thr.Run_fgpu.stats
+      <> Ggpu_fgpu.Stats.to_assoc result_int.Run_fgpu.stats
+    then begin
+      Printf.eprintf "perf-sim: %s: threaded and interp stats differ\n"
+        w.Suite.name;
+      exit 1
+    end;
+    (* best-of-2 timed launches per backend, interleaved so neither
+       engine systematically absorbs transient machine noise *)
+    let best backend =
+      let _, w1 = launch backend in
+      let _, w2 = launch backend in
+      Float.min w1 w2
+    in
+    let wall_thr = best Ggpu_fgpu.Gpu.Threaded in
+    let wall_int = best Ggpu_fgpu.Gpu.Interp in
     let rsize = w.Suite.round_size w.Suite.riscv_size in
     let rv_cycles, rv_wall =
       let compiled = Codegen_rv32.compile w.Suite.kernel in
@@ -443,7 +499,18 @@ let run_perf_sim () =
       in
       (result.Run_rv32.stats.Ggpu_riscv.Cpu.cycles, wall)
     in
-    (w.Suite.name, gsize, fgpu_cycles, fgpu_wf, fgpu_wall, rsize, rv_cycles, rv_wall)
+    {
+      r_name = w.Suite.name;
+      r_gsize = gsize;
+      r_cycles = result_thr.Run_fgpu.stats.Ggpu_fgpu.Stats.cycles;
+      r_wf = result_thr.Run_fgpu.stats.Ggpu_fgpu.Stats.wf_instructions;
+      r_wall_thr = wall_thr;
+      r_wall_int = wall_int;
+      r_div_derived = uses_div compiled.Codegen_fgpu.code;
+      r_rsize = rsize;
+      r_rv_cycles = rv_cycles;
+      r_rv_wall = rv_wall;
+    }
   in
   let rows = List.map row_of Ggpu_kernels.Suite.all in
   let per_s cycles wall =
@@ -452,31 +519,50 @@ let run_perf_sim () =
   (* cycles/s is incomparable across kernels: div_int's analytic
      multi-cycle divides make its simulated time advance ~66 cycles per
      issued instruction, so its cycles/s is inflated ~10x (see
-     EXPERIMENTS.md).  wf-instructions/s charges each kernel for the
-     work the simulator actually performs. *)
-  Printf.printf "%-13s %8s %10s %12s %12s %8s %10s %12s\n" "kernel" "gp size"
-    "gp cyc" "gp cyc/s" "gp insn/s" "rv size" "rv cyc" "rv cyc/s";
+     EXPERIMENTS.md) and flagged as derived.  wf-instructions/s charges
+     each kernel for the work the simulator actually performs and is
+     the headline number. *)
+  Printf.printf "%-13s %8s %10s %12s %12s %12s %8s %12s\n" "kernel" "gp size"
+    "gp cyc" "thr insn/s" "int insn/s" "gp cyc/s" "rv size" "rv cyc/s";
   List.iter
-    (fun (name, gsize, gc, gwf, gw, rsize, rc, rw) ->
-      Printf.printf "%-13s %8d %10d %12.3e %12.3e %8d %10d %12.3e\n" name
-        gsize gc (per_s gc gw) (per_s gwf gw) rsize rc (per_s rc rw))
+    (fun r ->
+      Printf.printf "%-13s %8d %10d %12.3e %12.3e %11.3e%s %8d %12.3e\n"
+        r.r_name r.r_gsize r.r_cycles
+        (per_s r.r_wf r.r_wall_thr)
+        (per_s r.r_wf r.r_wall_int)
+        (per_s r.r_cycles r.r_wall_thr)
+        (if r.r_div_derived then "*" else " ")
+        r.r_rsize
+        (per_s r.r_rv_cycles r.r_rv_wall))
     rows;
+  Printf.printf "(* = derived: analytic multi-cycle divides inflate cycles/s)\n";
   let total f = List.fold_left (fun acc r -> acc +. f r) 0.0 rows in
-  let fgpu_cycles = total (fun (_, _, gc, _, _, _, _, _) -> float_of_int gc) in
-  let fgpu_wf = total (fun (_, _, _, gwf, _, _, _, _) -> float_of_int gwf) in
-  let fgpu_wall = total (fun (_, _, _, _, gw, _, _, _) -> gw) in
-  let rv_cycles = total (fun (_, _, _, _, _, _, rc, _) -> float_of_int rc) in
-  let rv_wall = total (fun (_, _, _, _, _, _, _, rw) -> rw) in
+  let fgpu_cycles = total (fun r -> float_of_int r.r_cycles) in
+  let fgpu_wf = total (fun r -> float_of_int r.r_wf) in
+  let fgpu_wall = total (fun r -> r.r_wall_thr) in
+  let fgpu_wall_int = total (fun r -> r.r_wall_int) in
+  let rv_cycles = total (fun r -> float_of_int r.r_rv_cycles) in
+  let rv_wall = total (fun r -> r.r_rv_wall) in
   let agg_cycles_per_s =
     if fgpu_wall > 0.0 then fgpu_cycles /. fgpu_wall else 0.0
   in
+  let agg_wf_per_s = if fgpu_wall > 0.0 then fgpu_wf /. fgpu_wall else 0.0 in
+  let agg_wf_per_s_int =
+    if fgpu_wall_int > 0.0 then fgpu_wf /. fgpu_wall_int else 0.0
+  in
   let speedup_vs_seed = agg_cycles_per_s /. seed_fgpu_cycles_per_s in
+  let wf_speedup_vs_pr4 = agg_wf_per_s /. pr4_fgpu_wf_instr_per_s in
+  let backend_ratio =
+    if agg_wf_per_s_int > 0.0 then agg_wf_per_s /. agg_wf_per_s_int else 0.0
+  in
   Printf.printf
-    "totals: fgpu %.3e cycles/s, %.3e wf-insns/s (4 CUs) | %.2fx vs seed | \
-     rv32 %.3e cycles/s\n"
-    agg_cycles_per_s
-    (if fgpu_wall > 0.0 then fgpu_wf /. fgpu_wall else 0.0)
-    speedup_vs_seed
+    "totals (4 CUs, %d exec domain(s)):\n\
+    \  threaded %.3e wf-insns/s | %.2fx vs PR 4 interp | %.2fx vs interp \
+     same tree\n\
+    \  threaded %.3e cycles/s (derived) | %.2fx vs seed\n\
+    \  interp   %.3e wf-insns/s | rv32 %.3e cycles/s\n"
+    exec_domains agg_wf_per_s wf_speedup_vs_pr4 backend_ratio agg_cycles_per_s
+    speedup_vs_seed agg_wf_per_s_int
     (if rv_wall > 0.0 then rv_cycles /. rv_wall else 0.0);
   (* the same suite as a (kernel x CU) grid on the domain pool: the
      wall-clock face of Suite_runner, single timed region *)
@@ -487,7 +573,9 @@ let run_perf_sim () =
   in
   let grid_jobs = Ggpu_kernels.Suite_runner.grid ~cu_counts:[ 1; 4 ] () in
   let (grid_results, _merged), grid_wall =
-    time (fun () -> Ggpu_kernels.Suite_runner.run ~domains grid_jobs)
+    time (fun () ->
+        Ggpu_kernels.Suite_runner.run ~domains ~sim_domains:exec_domains
+          grid_jobs)
   in
   let grid_cycles =
     List.fold_left
@@ -511,7 +599,9 @@ let run_perf_sim () =
      instrumentation overhead the ISSUE caps at 10%, gated in CI via
      PERF_SIM_MAX_PMU_OVERHEAD on this number *)
   let (pmu_results, _), pmu_wall =
-    time (fun () -> Ggpu_kernels.Suite_runner.run ~domains ~pmu:true grid_jobs)
+    time (fun () ->
+        Ggpu_kernels.Suite_runner.run ~domains ~sim_domains:exec_domains
+          ~pmu:true grid_jobs)
   in
   let pmu_cycles =
     List.fold_left
@@ -529,20 +619,28 @@ let run_perf_sim () =
     (per_s pmu_cycles pmu_wall) pmu_overhead_pct
     (if pmu_identical then "" else "  [CYCLE MISMATCH]");
   let open Ggpu_obs.Json in
-  let kernel_obj (name, gsize, gc, gwf, gw, rsize, rc, rw) =
+  (* per-kernel fgpu numbers are the threaded (default) backend;
+     *_interp_* fields are the A/B reference on the same tree.
+     fgpu_cycles_per_s_derived marks kernels whose cycles/s is inflated
+     by analytic multi-cycle divides — compare wf_instr_per_s instead. *)
+  let kernel_obj r =
     Obj
       [
-        ("kernel", String name);
-        ("fgpu_size", Int gsize);
-        ("fgpu_cycles", Int gc);
-        ("fgpu_wf_instructions", Int gwf);
-        ("fgpu_wall_s", Float gw);
-        ("fgpu_cycles_per_s", Float (per_s gc gw));
-        ("fgpu_wf_instr_per_s", Float (per_s gwf gw));
-        ("rv32_size", Int rsize);
-        ("rv32_cycles", Int rc);
-        ("rv32_wall_s", Float rw);
-        ("rv32_cycles_per_s", Float (per_s rc rw));
+        ("kernel", String r.r_name);
+        ("fgpu_size", Int r.r_gsize);
+        ("fgpu_cycles", Int r.r_cycles);
+        ("fgpu_wf_instructions", Int r.r_wf);
+        ("fgpu_backend", String "threaded");
+        ("fgpu_wall_s", Float r.r_wall_thr);
+        ("fgpu_cycles_per_s", Float (per_s r.r_cycles r.r_wall_thr));
+        ("fgpu_cycles_per_s_derived", Bool r.r_div_derived);
+        ("fgpu_wf_instr_per_s", Float (per_s r.r_wf r.r_wall_thr));
+        ("fgpu_interp_wall_s", Float r.r_wall_int);
+        ("fgpu_interp_wf_instr_per_s", Float (per_s r.r_wf r.r_wall_int));
+        ("rv32_size", Int r.r_rsize);
+        ("rv32_cycles", Int r.r_rv_cycles);
+        ("rv32_wall_s", Float r.r_rv_wall);
+        ("rv32_cycles_per_s", Float (per_s r.r_rv_cycles r.r_rv_wall));
       ]
   in
   let doc =
@@ -550,13 +648,19 @@ let run_perf_sim () =
       [
         ("benchmark", String "simulator-throughput");
         ("fgpu_cus", Int 4);
+        ("fgpu_backend", String "threaded");
+        ("fgpu_exec_domains", Int exec_domains);
         ("kernels", List (List.map kernel_obj rows));
         ( "totals",
           Obj
             [
+              ("fgpu_wf_instr_per_s", Float agg_wf_per_s);
+              ("fgpu_interp_wf_instr_per_s", Float agg_wf_per_s_int);
+              ("backend_wf_speedup", Float backend_ratio);
+              ("pr4_fgpu_wf_instr_per_s", Float pr4_fgpu_wf_instr_per_s);
+              ("wf_speedup_vs_pr4", Float wf_speedup_vs_pr4);
               ("fgpu_cycles_per_s", Float agg_cycles_per_s);
-              ( "fgpu_wf_instr_per_s",
-                Float (if fgpu_wall > 0.0 then fgpu_wf /. fgpu_wall else 0.0) );
+              ("fgpu_cycles_per_s_derived", Bool true);
               ("seed_fgpu_cycles_per_s", Float seed_fgpu_cycles_per_s);
               ("speedup_vs_seed", Float speedup_vs_seed);
               ("rv32_cycles_per_s", Float (per_s (int_of_float rv_cycles) rv_wall));

@@ -34,6 +34,39 @@ let freq_term =
   let doc = "Target frequency in MHz." in
   Arg.(value & opt int 500 & info [ "freq" ] ~doc ~docv:"MHZ")
 
+(* Simulator execution-engine selection, shared by run/fi/bench.  Both
+   engines are bit-identical in every observable; the flag exists for
+   A/B throughput measurement and for falling back to the reference
+   interpreter when debugging the threaded compiler itself. *)
+let backend_conv =
+  let parse s =
+    match Ggpu_fgpu.Gpu.backend_of_string s with
+    | Some b -> Ok b
+    | None ->
+        Error (`Msg (Printf.sprintf "unknown backend %S (interp | threaded)" s))
+  in
+  let print fmt b = Format.pp_print_string fmt (Ggpu_fgpu.Gpu.backend_name b) in
+  Arg.conv (parse, print)
+
+let backend_term =
+  let doc =
+    "Simulator lane-execution engine: $(b,threaded) (per-PC compiled \
+     closures, the default) or $(b,interp) (tag-dispatch reference). \
+     Simulated results are bit-identical either way."
+  in
+  Arg.(
+    value
+    & opt backend_conv Ggpu_fgpu.Gpu.Threaded
+    & info [ "backend" ] ~doc ~docv:"ENGINE")
+
+let sim_domains_term =
+  let doc =
+    "Domain fan-out for the functional phase $(i,inside) one simulation \
+     (CU-parallel split). Simulated results are bit-identical for any \
+     value; 1 disables the split."
+  in
+  Arg.(value & opt int 1 & info [ "sim-domains" ] ~doc ~docv:"D")
+
 let area_term =
   let doc = "Optional area budget in mm2." in
   Arg.(value & opt (some float) None & info [ "max-area" ] ~doc ~docv:"MM2")
@@ -278,7 +311,7 @@ let run_cmd =
     in
     Arg.(value & flag & info [ "pmu" ] ~doc)
   in
-  let run obs cus name size pmu =
+  let run obs cus name size pmu backend sim_domains =
     with_obs obs @@ fun () ->
     let w =
       try Ggpu_kernels.Suite.find name
@@ -302,7 +335,8 @@ let run_cmd =
       else None
     in
     let result =
-      Ggpu_kernels.Run_fgpu.run ~config ?pmu:collector compiled ~args
+      Ggpu_kernels.Run_fgpu.run ~config ?pmu:collector ~backend
+        ~domains:sim_domains compiled ~args
         ~global_size:(w.Ggpu_kernels.Suite.global_size ~size)
         ~local_size:(min w.Ggpu_kernels.Suite.local_size size)
         ()
@@ -337,7 +371,8 @@ let run_cmd =
   let term =
     Term.(
       term_result ~usage:false
-        (const run $ obs_term $ cus_term $ kernel_req $ size_term $ pmu_term))
+        (const run $ obs_term $ cus_term $ kernel_req $ size_term $ pmu_term
+       $ backend_term $ sim_domains_term))
   in
   Cmd.v (Cmd.info "run" ~doc:"Simulate one kernel on the G-GPU") term
 
@@ -377,7 +412,7 @@ let fi_cmd =
     in
     Arg.(value & opt (some string) None & info [ "expect" ] ~doc ~docv:"SIG")
   in
-  let run obs cus kernel target trials seed size domains expect =
+  let run obs cus kernel target trials seed size domains backend expect =
     with_obs obs @@ fun () ->
     let w =
       try Ggpu_kernels.Suite.find kernel
@@ -403,7 +438,8 @@ let fi_cmd =
           | Ggpu_fi.Campaign.Rv32 -> w.Ggpu_kernels.Suite.riscv_size)
     in
     let report =
-      Ggpu_fi.Campaign.run ?domains ~target ~workload:w ~size ~trials ~seed ()
+      Ggpu_fi.Campaign.run ?domains ~backend ~target ~workload:w ~size ~trials
+        ~seed ()
     in
     Format.printf "%a@." Ggpu_fi.Campaign.pp_report report;
     let signature = Ggpu_fi.Campaign.signature report in
@@ -420,7 +456,8 @@ let fi_cmd =
     Term.(
       term_result ~usage:false
         (const run $ obs_term $ cus_term $ kernel_req $ target_term
-       $ trials_term $ seed_term $ size_term $ domains_term $ expect_term))
+       $ trials_term $ seed_term $ size_term $ domains_term $ backend_term
+       $ expect_term))
   in
   Cmd.v
     (Cmd.info "fi"
@@ -446,7 +483,7 @@ let bench_cmd =
     in
     Arg.(value & opt (some int) None & info [ "domains" ] ~doc ~docv:"D")
   in
-  let run obs domains cus_list =
+  let run obs domains cus_list backend sim_domains =
     with_obs obs @@ fun () ->
     let domains =
       match domains with
@@ -459,7 +496,9 @@ let bench_cmd =
     Ggpu_obs.Metrics.record_gauge "bench.domains" domains;
     let jobs = Ggpu_kernels.Suite_runner.grid ~cu_counts:cus_list () in
     let t0 = Ggpu_obs.Metrics.now_ns () in
-    let results, merged = Ggpu_kernels.Suite_runner.run ~domains jobs in
+    let results, merged =
+      Ggpu_kernels.Suite_runner.run ~domains ~backend ~sim_domains jobs
+    in
     let wall_ns = max 1 (Ggpu_obs.Metrics.now_ns () - t0) in
     Printf.printf "%-20s %8s %10s %10s %12s %6s\n" "job" "size" "cycles"
       "wf insns" "cycles/s" "ok";
@@ -505,7 +544,8 @@ let bench_cmd =
   let term =
     Term.(
       term_result ~usage:false
-        (const run $ obs_term $ domains_term $ cus_grid_term))
+        (const run $ obs_term $ domains_term $ cus_grid_term $ backend_term
+       $ sim_domains_term))
   in
   Cmd.v
     (Cmd.info "bench"

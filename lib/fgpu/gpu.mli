@@ -23,10 +23,24 @@ type probe = {
 }
 (** Architectural-state snapshot handed to a fault injector. *)
 
+type backend =
+  | Interp  (** dispatch on predecoded instruction tags per issue *)
+  | Threaded
+      (** per-pc closures compiled once per launch ({!Threaded}); the
+          default.  Bit-identical to [Interp] in every observable —
+          stats, memory, faults, PMU — just faster. *)
+
+val backend_name : backend -> string
+
+val backend_of_string : string -> backend option
+(** Recognises ["interp"] and ["threaded"]. *)
+
 val run :
   ?max_cycles:int ->
   ?inject:int * (probe -> unit) ->
   ?pmu:Ggpu_pmu.Pmu.t ->
+  ?backend:backend ->
+  ?domains:int ->
   Config.t ->
   program:Ggpu_isa.Fgpu_isa.t array ->
   params:int32 list ->
@@ -53,6 +67,16 @@ val run :
     instrumented runs are bit-identical to bare ones, and a bare run
     pays one load-and-branch per issue.  [run] calls
     {!Ggpu_pmu.Pmu.finalize} before returning.
+
+    [backend] selects the lane-execution engine (default [Threaded]);
+    [domains] > 1 additionally fans the functional execution of
+    workgroups out over that many {!Ggpu_par} domains, replaying the
+    recorded issue streams through the sequential timing model so
+    stats, memory and PMU output are bit-identical at every domain
+    count.  Runs that need mid-flight state access ([inject] or
+    [max_cycles]) ignore [domains] and execute in place, as does any
+    split run that faults or desynchronises (racy kernels): memory is
+    restored from a snapshot and the run repeats sequentially.
     @raise Launch_error on bad geometry or an empty program.
     @raise Watchdog_timeout when simulated time exceeds [max_cycles].
     @raise Wavefront.Fault on out-of-range memory accesses. *)

@@ -16,6 +16,21 @@
    array] stores one boxed cell per element, which would cost an
    allocation per register write — the old hot path's dominant cost.
 
+   The register file is register-major: register [r] of lane [l] lives
+   at [r * size + l], so one instruction's operand slices are three
+   contiguous 64-word runs instead of 64 strided touches across a 16 KiB
+   lane-major block.  Two extra tricks remove every per-lane branch from
+   the ALU loops:
+
+   - slice 0 (register x0) is never written, so reads of x0 fall out of
+     the same indexed load as any other register and return 0 without a
+     [rs = 0] test;
+
+   - slice 32 is a write sink: an instruction with [rd = 0] redirects
+     its (architecturally discarded) result there, so the store needs no
+     [rd <> 0] test either.  The sink is scratch — external readers go
+     through {!reg}, which answers 0 for x0 directly.
+
    [issue] consumes the predecoded program ({!Ggpu_isa.Fgpu_predecode})
    and writes into a caller-owned [outcome] scratch record, so a
    multi-million-instruction run allocates nothing per issue.  Two more
@@ -39,6 +54,11 @@ open Ggpu_isa
 
 let done_pc = max_int
 
+(* Register-file geometry: 32 architectural slices plus the x0 write
+   sink at slice 32. *)
+let num_reg_slices = 33
+let sink_reg = 32
+
 type t = {
   wg_id : int;
   wf_index : int; (* index of this wavefront inside its workgroup *)
@@ -47,8 +67,16 @@ type t = {
   wg_size : int;
   global_size : int;
   pcs : int array; (* per lane; [done_pc] when retired; stale while converged *)
-  regs : int array; (* 32 registers x size lanes, lane-major; I32 canonical *)
+  regs : int array;
+      (* 33 slices x size lanes, register-major ([r * size + lane]);
+         I32 canonical.  Slice 0 stays zero, slice 32 is the x0 sink. *)
   mutable conv_pc : int; (* every lane live at this pc; -1 = consult [pcs] *)
+  mutable sel_pc : int; (* cached scan_pcs result for the sparse path *)
+  mutable sel_cnt : int;
+  mutable sel_valid : bool;
+      (* [sel_pc]/[sel_cnt] hold scan_pcs of [pcs]; maintained by the
+         threaded backend's sparse loops (which visit every lane
+         anyway), invalidated by every other [pcs] writer *)
   mutable live_lanes : int;
   mutable ready_at : int; (* cycle at which the next issue may happen *)
   mutable at_barrier : bool;
@@ -103,13 +131,11 @@ let create ~wg_id ~wf_index ~size ~wg_offset ~wg_size ~global_size
         if lid >= wg_size || wg_offset + lid >= global_size then done_pc else 0)
   in
   let live = Array.fold_left (fun n pc -> if pc = done_pc then n else n + 1) 0 pcs in
-  let regs = Array.make (32 * size) 0 in
+  let regs = Array.make (num_reg_slices * size) 0 in
   List.iteri
     (fun i v ->
       let r = i + 1 and v = I32.of_int32 v in
-      for lane = 0 to size - 1 do
-        regs.((lane * 32) + r) <- v
-      done)
+      Array.fill regs (r * size) size v)
     params;
   {
     wg_id;
@@ -121,6 +147,9 @@ let create ~wg_id ~wf_index ~size ~wg_offset ~wg_size ~global_size
     pcs;
     regs;
     conv_pc = (if live = size then 0 else -1);
+    sel_pc = 0;
+    sel_cnt = 0;
+    sel_valid = false;
     live_lanes = live;
     ready_at = 0;
     at_barrier = false;
@@ -143,23 +172,28 @@ let materialize_pcs t =
 let set_pc t ~lane pc =
   materialize_pcs t;
   t.conv_pc <- -1;
+  t.sel_valid <- false;
   t.pcs.(lane) <- pc;
   t.live_lanes <-
     Array.fold_left (fun n p -> if p = done_pc then n else n + 1) 0 t.pcs
 
+let rec min_pc_from (pcs : int array) n i best =
+  if i >= n then best
+  else
+    let p = Array.unsafe_get pcs i in
+    min_pc_from pcs n (i + 1) (if p < best then p else best)
+
 let min_pc t =
   if t.conv_pc >= 0 then t.conv_pc
-  else begin
-    let best = ref done_pc in
-    Array.iter (fun pc -> if pc < !best then best := pc) t.pcs;
-    !best
-  end
+  else if t.sel_valid then t.sel_pc
+  else min_pc_from t.pcs t.size 0 done_pc
 
 (* Int32 accessors for external observers (fault injection). *)
-let reg t ~lane r = if r = 0 then 0l else I32.to_int32 t.regs.((lane * 32) + r)
+let reg t ~lane r =
+  if r = 0 then 0l else I32.to_int32 t.regs.((r * t.size) + lane)
 
 let set_reg t ~lane r v =
-  if r <> 0 then t.regs.((lane * 32) + r) <- I32.of_int32 v
+  if r <> 0 then t.regs.((r * t.size) + lane) <- I32.of_int32 v
 
 let local_id t ~lane = (t.wf_index * t.size) + lane
 
@@ -202,6 +236,21 @@ let rec scan_pcs (pcs : int array) n i best cnt =
     else if p = best then scan_pcs pcs n (i + 1) best (cnt + 1)
     else scan_pcs pcs n (i + 1) best cnt
 
+(* Pick the pc the next issue executes and how many lanes sit at it.
+   On the sparse path the scan re-detects reconvergence: every lane
+   back at one pc flips the wavefront to the dense path.  Shared by the
+   interpreting issue below and the threaded backend ({!Threaded}). *)
+let select_pc t =
+  if t.conv_pc >= 0 then (t.conv_pc, t.size)
+  else begin
+    let pc, cnt =
+      if t.sel_valid then (t.sel_pc, t.sel_cnt)
+      else scan_pcs t.pcs t.size 0 done_pc 0
+    in
+    if cnt = t.size then t.conv_pc <- pc;
+    (pc, cnt)
+  end
+
 (* Has [lb] already been coalesced?  Linear scan: a wavefront touches at
    most [size] lines per issue and almost always far fewer. *)
 let rec line_seen (lines : int array) n lb i =
@@ -223,6 +272,11 @@ let[@inline] coalesce_and_check (out : outcome) ~line_bytes ~mem_words addr =
   if w >= mem_words then fault "address 0x%x out of memory" addr;
   w
 
+(* Destination slice offset: an [rd = 0] result is architecturally
+   discarded, so it lands in the sink slice and the lane loop needs no
+   conditional. *)
+let[@inline] dst_off ~size rd = (if rd = 0 then sink_reg else rd) * size
+
 (* Execute one instruction for all lanes at the minimum PC.  Global
    memory is read/written immediately through [mem]; the line buffer in
    [out] carries the timing cost to the scheduler. *)
@@ -231,16 +285,10 @@ let issue t ~(dprog : Fgpu_predecode.t array) ~(mem : int array) ~line_words
   assert (not (finished t));
   let size = t.size in
   let pcs = t.pcs and regs = t.regs in
-  let pc, executed =
-    if t.conv_pc >= 0 then (t.conv_pc, size)
-    else begin
-      let pc, cnt = scan_pcs pcs size 0 done_pc 0 in
-      (* the sparse scan re-detects reconvergence: every lane back at
-         one pc switches the wavefront to the dense path *)
-      if cnt = size then t.conv_pc <- pc;
-      (pc, cnt)
-    end
-  in
+  let pc, executed = select_pc t in
+  (* the interpreting path writes [pcs] without maintaining the sparse
+     selection cache *)
+  t.sel_valid <- false;
   if pc < 0 || pc >= Array.length dprog then fault "pc %d outside program" pc;
   let d = dprog.(pc) in
   let live_before = t.live_lanes in
@@ -257,322 +305,271 @@ let issue t ~(dprog : Fgpu_predecode.t array) ~(mem : int array) ~line_words
   (match d.Fgpu_predecode.kind with
   | Fgpu_predecode.KAlu when dense -> (
       t.conv_pc <- pc + 1;
-      let rd = d.Fgpu_predecode.rd
-      and rs1 = d.Fgpu_predecode.rs1
-      and rs2 = d.Fgpu_predecode.rs2 in
+      let od = dst_off ~size d.Fgpu_predecode.rd
+      and o1 = d.Fgpu_predecode.rs1 * size
+      and o2 = d.Fgpu_predecode.rs2 * size in
       match d.Fgpu_predecode.aop with
       | Fgpu_isa.Add ->
           for lane = 0 to size - 1 do
-            let base = lane * 32 in
-            let a = if rs1 = 0 then 0 else Array.unsafe_get regs (base + rs1)
-            and b = if rs2 = 0 then 0 else Array.unsafe_get regs (base + rs2) in
-            if rd <> 0 then Array.unsafe_set regs (base + rd) (I32.sx (a + b))
+            let a = Array.unsafe_get regs (o1 + lane)
+            and b = Array.unsafe_get regs (o2 + lane) in
+            Array.unsafe_set regs (od + lane) (I32.sx (a + b))
           done
       | Fgpu_isa.Sub ->
           for lane = 0 to size - 1 do
-            let base = lane * 32 in
-            let a = if rs1 = 0 then 0 else Array.unsafe_get regs (base + rs1)
-            and b = if rs2 = 0 then 0 else Array.unsafe_get regs (base + rs2) in
-            if rd <> 0 then Array.unsafe_set regs (base + rd) (I32.sx (a - b))
+            let a = Array.unsafe_get regs (o1 + lane)
+            and b = Array.unsafe_get regs (o2 + lane) in
+            Array.unsafe_set regs (od + lane) (I32.sx (a - b))
           done
       | Fgpu_isa.Mul ->
           for lane = 0 to size - 1 do
-            let base = lane * 32 in
-            let a = if rs1 = 0 then 0 else Array.unsafe_get regs (base + rs1)
-            and b = if rs2 = 0 then 0 else Array.unsafe_get regs (base + rs2) in
-            if rd <> 0 then Array.unsafe_set regs (base + rd) (I32.sx (a * b))
+            let a = Array.unsafe_get regs (o1 + lane)
+            and b = Array.unsafe_get regs (o2 + lane) in
+            Array.unsafe_set regs (od + lane) (I32.sx (a * b))
           done
       | Fgpu_isa.And ->
           for lane = 0 to size - 1 do
-            let base = lane * 32 in
-            let a = if rs1 = 0 then 0 else Array.unsafe_get regs (base + rs1)
-            and b = if rs2 = 0 then 0 else Array.unsafe_get regs (base + rs2) in
-            if rd <> 0 then Array.unsafe_set regs (base + rd) (a land b)
+            let a = Array.unsafe_get regs (o1 + lane)
+            and b = Array.unsafe_get regs (o2 + lane) in
+            Array.unsafe_set regs (od + lane) (a land b)
           done
       | Fgpu_isa.Or ->
           for lane = 0 to size - 1 do
-            let base = lane * 32 in
-            let a = if rs1 = 0 then 0 else Array.unsafe_get regs (base + rs1)
-            and b = if rs2 = 0 then 0 else Array.unsafe_get regs (base + rs2) in
-            if rd <> 0 then Array.unsafe_set regs (base + rd) (a lor b)
+            let a = Array.unsafe_get regs (o1 + lane)
+            and b = Array.unsafe_get regs (o2 + lane) in
+            Array.unsafe_set regs (od + lane) (a lor b)
           done
       | Fgpu_isa.Slt ->
           for lane = 0 to size - 1 do
-            let base = lane * 32 in
-            let a = if rs1 = 0 then 0 else Array.unsafe_get regs (base + rs1)
-            and b = if rs2 = 0 then 0 else Array.unsafe_get regs (base + rs2) in
-            if rd <> 0 then
-              Array.unsafe_set regs (base + rd) (if a < b then 1 else 0)
+            let a = Array.unsafe_get regs (o1 + lane)
+            and b = Array.unsafe_get regs (o2 + lane) in
+            Array.unsafe_set regs (od + lane) (if a < b then 1 else 0)
           done
       | Fgpu_isa.Sll ->
           for lane = 0 to size - 1 do
-            let base = lane * 32 in
-            let a = if rs1 = 0 then 0 else Array.unsafe_get regs (base + rs1)
-            and b = if rs2 = 0 then 0 else Array.unsafe_get regs (base + rs2) in
-            if rd <> 0 then
-              Array.unsafe_set regs (base + rd) (I32.sx (a lsl (b land 31)))
+            let a = Array.unsafe_get regs (o1 + lane)
+            and b = Array.unsafe_get regs (o2 + lane) in
+            Array.unsafe_set regs (od + lane) (I32.sx (a lsl (b land 31)))
           done
       | op ->
           for lane = 0 to size - 1 do
-            let base = lane * 32 in
-            let a = if rs1 = 0 then 0 else Array.unsafe_get regs (base + rs1)
-            and b = if rs2 = 0 then 0 else Array.unsafe_get regs (base + rs2) in
-            if rd <> 0 then Array.unsafe_set regs (base + rd) (alu op a b)
+            let a = Array.unsafe_get regs (o1 + lane)
+            and b = Array.unsafe_get regs (o2 + lane) in
+            Array.unsafe_set regs (od + lane) (alu op a b)
           done)
   | Fgpu_predecode.KAlu -> (
-      let rd = d.Fgpu_predecode.rd
-      and rs1 = d.Fgpu_predecode.rs1
-      and rs2 = d.Fgpu_predecode.rs2 in
+      let od = dst_off ~size d.Fgpu_predecode.rd
+      and o1 = d.Fgpu_predecode.rs1 * size
+      and o2 = d.Fgpu_predecode.rs2 * size in
       match d.Fgpu_predecode.aop with
       | Fgpu_isa.Add ->
           for lane = 0 to size - 1 do
             if Array.unsafe_get pcs lane = pc then begin
-              let base = lane * 32 in
-              let a = if rs1 = 0 then 0 else Array.unsafe_get regs (base + rs1)
-              and b = if rs2 = 0 then 0 else Array.unsafe_get regs (base + rs2) in
-              if rd <> 0 then Array.unsafe_set regs (base + rd) (I32.sx (a + b));
+              let a = Array.unsafe_get regs (o1 + lane)
+              and b = Array.unsafe_get regs (o2 + lane) in
+              Array.unsafe_set regs (od + lane) (I32.sx (a + b));
               Array.unsafe_set pcs lane (pc + 1)
             end
           done
       | Fgpu_isa.Sub ->
           for lane = 0 to size - 1 do
             if Array.unsafe_get pcs lane = pc then begin
-              let base = lane * 32 in
-              let a = if rs1 = 0 then 0 else Array.unsafe_get regs (base + rs1)
-              and b = if rs2 = 0 then 0 else Array.unsafe_get regs (base + rs2) in
-              if rd <> 0 then Array.unsafe_set regs (base + rd) (I32.sx (a - b));
+              let a = Array.unsafe_get regs (o1 + lane)
+              and b = Array.unsafe_get regs (o2 + lane) in
+              Array.unsafe_set regs (od + lane) (I32.sx (a - b));
               Array.unsafe_set pcs lane (pc + 1)
             end
           done
       | Fgpu_isa.Mul ->
           for lane = 0 to size - 1 do
             if Array.unsafe_get pcs lane = pc then begin
-              let base = lane * 32 in
-              let a = if rs1 = 0 then 0 else Array.unsafe_get regs (base + rs1)
-              and b = if rs2 = 0 then 0 else Array.unsafe_get regs (base + rs2) in
-              if rd <> 0 then Array.unsafe_set regs (base + rd) (I32.sx (a * b));
+              let a = Array.unsafe_get regs (o1 + lane)
+              and b = Array.unsafe_get regs (o2 + lane) in
+              Array.unsafe_set regs (od + lane) (I32.sx (a * b));
               Array.unsafe_set pcs lane (pc + 1)
             end
           done
       | Fgpu_isa.And ->
           for lane = 0 to size - 1 do
             if Array.unsafe_get pcs lane = pc then begin
-              let base = lane * 32 in
-              let a = if rs1 = 0 then 0 else Array.unsafe_get regs (base + rs1)
-              and b = if rs2 = 0 then 0 else Array.unsafe_get regs (base + rs2) in
-              if rd <> 0 then Array.unsafe_set regs (base + rd) (a land b);
+              let a = Array.unsafe_get regs (o1 + lane)
+              and b = Array.unsafe_get regs (o2 + lane) in
+              Array.unsafe_set regs (od + lane) (a land b);
               Array.unsafe_set pcs lane (pc + 1)
             end
           done
       | Fgpu_isa.Or ->
           for lane = 0 to size - 1 do
             if Array.unsafe_get pcs lane = pc then begin
-              let base = lane * 32 in
-              let a = if rs1 = 0 then 0 else Array.unsafe_get regs (base + rs1)
-              and b = if rs2 = 0 then 0 else Array.unsafe_get regs (base + rs2) in
-              if rd <> 0 then Array.unsafe_set regs (base + rd) (a lor b);
+              let a = Array.unsafe_get regs (o1 + lane)
+              and b = Array.unsafe_get regs (o2 + lane) in
+              Array.unsafe_set regs (od + lane) (a lor b);
               Array.unsafe_set pcs lane (pc + 1)
             end
           done
       | Fgpu_isa.Slt ->
           for lane = 0 to size - 1 do
             if Array.unsafe_get pcs lane = pc then begin
-              let base = lane * 32 in
-              let a = if rs1 = 0 then 0 else Array.unsafe_get regs (base + rs1)
-              and b = if rs2 = 0 then 0 else Array.unsafe_get regs (base + rs2) in
-              if rd <> 0 then
-                Array.unsafe_set regs (base + rd) (if a < b then 1 else 0);
+              let a = Array.unsafe_get regs (o1 + lane)
+              and b = Array.unsafe_get regs (o2 + lane) in
+              Array.unsafe_set regs (od + lane) (if a < b then 1 else 0);
               Array.unsafe_set pcs lane (pc + 1)
             end
           done
       | Fgpu_isa.Sll ->
           for lane = 0 to size - 1 do
             if Array.unsafe_get pcs lane = pc then begin
-              let base = lane * 32 in
-              let a = if rs1 = 0 then 0 else Array.unsafe_get regs (base + rs1)
-              and b = if rs2 = 0 then 0 else Array.unsafe_get regs (base + rs2) in
-              if rd <> 0 then
-                Array.unsafe_set regs (base + rd) (I32.sx (a lsl (b land 31)));
+              let a = Array.unsafe_get regs (o1 + lane)
+              and b = Array.unsafe_get regs (o2 + lane) in
+              Array.unsafe_set regs (od + lane) (I32.sx (a lsl (b land 31)));
               Array.unsafe_set pcs lane (pc + 1)
             end
           done
       | op ->
           for lane = 0 to size - 1 do
             if Array.unsafe_get pcs lane = pc then begin
-              let base = lane * 32 in
-              let a = if rs1 = 0 then 0 else Array.unsafe_get regs (base + rs1)
-              and b = if rs2 = 0 then 0 else Array.unsafe_get regs (base + rs2) in
-              if rd <> 0 then Array.unsafe_set regs (base + rd) (alu op a b);
+              let a = Array.unsafe_get regs (o1 + lane)
+              and b = Array.unsafe_get regs (o2 + lane) in
+              Array.unsafe_set regs (od + lane) (alu op a b);
               Array.unsafe_set pcs lane (pc + 1)
             end
           done)
   | Fgpu_predecode.KAlui when dense -> (
       t.conv_pc <- pc + 1;
-      let rd = d.Fgpu_predecode.rd
-      and rs1 = d.Fgpu_predecode.rs1
+      let od = dst_off ~size d.Fgpu_predecode.rd
+      and o1 = d.Fgpu_predecode.rs1 * size
       and b = d.Fgpu_predecode.imm in
       match d.Fgpu_predecode.aop with
       | Fgpu_isa.Add ->
           for lane = 0 to size - 1 do
-            let base = lane * 32 in
-            let a = if rs1 = 0 then 0 else Array.unsafe_get regs (base + rs1) in
-            if rd <> 0 then Array.unsafe_set regs (base + rd) (I32.sx (a + b))
+            let a = Array.unsafe_get regs (o1 + lane) in
+            Array.unsafe_set regs (od + lane) (I32.sx (a + b))
           done
       | Fgpu_isa.And ->
           for lane = 0 to size - 1 do
-            let base = lane * 32 in
-            let a = if rs1 = 0 then 0 else Array.unsafe_get regs (base + rs1) in
-            if rd <> 0 then Array.unsafe_set regs (base + rd) (a land b)
+            let a = Array.unsafe_get regs (o1 + lane) in
+            Array.unsafe_set regs (od + lane) (a land b)
           done
       | Fgpu_isa.Srl ->
           for lane = 0 to size - 1 do
-            let base = lane * 32 in
-            let a = if rs1 = 0 then 0 else Array.unsafe_get regs (base + rs1) in
-            if rd <> 0 then
-              Array.unsafe_set regs (base + rd)
-                (I32.sx ((a land I32.mask) lsr (b land 31)))
+            let a = Array.unsafe_get regs (o1 + lane) in
+            Array.unsafe_set regs (od + lane)
+              (I32.sx ((a land I32.mask) lsr (b land 31)))
           done
       | Fgpu_isa.Sll ->
           for lane = 0 to size - 1 do
-            let base = lane * 32 in
-            let a = if rs1 = 0 then 0 else Array.unsafe_get regs (base + rs1) in
-            if rd <> 0 then
-              Array.unsafe_set regs (base + rd) (I32.sx (a lsl (b land 31)))
+            let a = Array.unsafe_get regs (o1 + lane) in
+            Array.unsafe_set regs (od + lane) (I32.sx (a lsl (b land 31)))
           done
       | op ->
           for lane = 0 to size - 1 do
-            let base = lane * 32 in
-            let a = if rs1 = 0 then 0 else Array.unsafe_get regs (base + rs1) in
-            if rd <> 0 then Array.unsafe_set regs (base + rd) (alu op a b)
+            let a = Array.unsafe_get regs (o1 + lane) in
+            Array.unsafe_set regs (od + lane) (alu op a b)
           done)
   | Fgpu_predecode.KAlui -> (
-      let rd = d.Fgpu_predecode.rd
-      and rs1 = d.Fgpu_predecode.rs1
+      let od = dst_off ~size d.Fgpu_predecode.rd
+      and o1 = d.Fgpu_predecode.rs1 * size
       and b = d.Fgpu_predecode.imm in
       match d.Fgpu_predecode.aop with
       | Fgpu_isa.Add ->
           for lane = 0 to size - 1 do
             if Array.unsafe_get pcs lane = pc then begin
-              let base = lane * 32 in
-              let a = if rs1 = 0 then 0 else Array.unsafe_get regs (base + rs1) in
-              if rd <> 0 then Array.unsafe_set regs (base + rd) (I32.sx (a + b));
+              let a = Array.unsafe_get regs (o1 + lane) in
+              Array.unsafe_set regs (od + lane) (I32.sx (a + b));
               Array.unsafe_set pcs lane (pc + 1)
             end
           done
       | Fgpu_isa.And ->
           for lane = 0 to size - 1 do
             if Array.unsafe_get pcs lane = pc then begin
-              let base = lane * 32 in
-              let a = if rs1 = 0 then 0 else Array.unsafe_get regs (base + rs1) in
-              if rd <> 0 then Array.unsafe_set regs (base + rd) (a land b);
+              let a = Array.unsafe_get regs (o1 + lane) in
+              Array.unsafe_set regs (od + lane) (a land b);
               Array.unsafe_set pcs lane (pc + 1)
             end
           done
       | Fgpu_isa.Srl ->
           for lane = 0 to size - 1 do
             if Array.unsafe_get pcs lane = pc then begin
-              let base = lane * 32 in
-              let a = if rs1 = 0 then 0 else Array.unsafe_get regs (base + rs1) in
-              if rd <> 0 then
-                Array.unsafe_set regs (base + rd)
-                  (I32.sx ((a land I32.mask) lsr (b land 31)));
+              let a = Array.unsafe_get regs (o1 + lane) in
+              Array.unsafe_set regs (od + lane)
+                (I32.sx ((a land I32.mask) lsr (b land 31)));
               Array.unsafe_set pcs lane (pc + 1)
             end
           done
       | Fgpu_isa.Sll ->
           for lane = 0 to size - 1 do
             if Array.unsafe_get pcs lane = pc then begin
-              let base = lane * 32 in
-              let a = if rs1 = 0 then 0 else Array.unsafe_get regs (base + rs1) in
-              if rd <> 0 then
-                Array.unsafe_set regs (base + rd) (I32.sx (a lsl (b land 31)));
+              let a = Array.unsafe_get regs (o1 + lane) in
+              Array.unsafe_set regs (od + lane) (I32.sx (a lsl (b land 31)));
               Array.unsafe_set pcs lane (pc + 1)
             end
           done
       | op ->
           for lane = 0 to size - 1 do
             if Array.unsafe_get pcs lane = pc then begin
-              let base = lane * 32 in
-              let a = if rs1 = 0 then 0 else Array.unsafe_get regs (base + rs1) in
-              if rd <> 0 then Array.unsafe_set regs (base + rd) (alu op a b);
+              let a = Array.unsafe_get regs (o1 + lane) in
+              Array.unsafe_set regs (od + lane) (alu op a b);
               Array.unsafe_set pcs lane (pc + 1)
             end
           done)
   | Fgpu_predecode.KLoadImm ->
-      let rd = d.Fgpu_predecode.rd and v = d.Fgpu_predecode.imm in
+      let od = dst_off ~size d.Fgpu_predecode.rd and v = d.Fgpu_predecode.imm in
       if dense then begin
         t.conv_pc <- pc + 1;
-        if rd <> 0 then
-          for lane = 0 to size - 1 do
-            Array.unsafe_set regs ((lane * 32) + rd) v
-          done
+        Array.fill regs od size v
       end
       else
         for lane = 0 to size - 1 do
           if Array.unsafe_get pcs lane = pc then begin
-            if rd <> 0 then Array.unsafe_set regs ((lane * 32) + rd) v;
+            Array.unsafe_set regs (od + lane) v;
             Array.unsafe_set pcs lane (pc + 1)
           end
         done
   | Fgpu_predecode.KLw ->
-      let rd = d.Fgpu_predecode.rd
-      and rs1 = d.Fgpu_predecode.rs1
+      let od = dst_off ~size d.Fgpu_predecode.rd
+      and o1 = d.Fgpu_predecode.rs1 * size
       and off = d.Fgpu_predecode.imm in
       let line_bytes = line_words * 4 in
       let mem_words = Array.length mem in
       if dense then begin
         t.conv_pc <- pc + 1;
         for lane = 0 to size - 1 do
-          let base = lane * 32 in
-          let addr =
-            (if rs1 = 0 then 0 else Array.unsafe_get regs (base + rs1)) + off
-          in
+          let addr = Array.unsafe_get regs (o1 + lane) + off in
           let w = coalesce_and_check out ~line_bytes ~mem_words addr in
-          if rd <> 0 then
-            Array.unsafe_set regs (base + rd) (Array.unsafe_get mem w)
+          Array.unsafe_set regs (od + lane) (Array.unsafe_get mem w)
         done
       end
       else
         for lane = 0 to size - 1 do
           if Array.unsafe_get pcs lane = pc then begin
-            let base = lane * 32 in
-            let addr =
-              (if rs1 = 0 then 0 else Array.unsafe_get regs (base + rs1)) + off
-            in
+            let addr = Array.unsafe_get regs (o1 + lane) + off in
             let w = coalesce_and_check out ~line_bytes ~mem_words addr in
-            if rd <> 0 then
-              Array.unsafe_set regs (base + rd) (Array.unsafe_get mem w);
+            Array.unsafe_set regs (od + lane) (Array.unsafe_get mem w);
             Array.unsafe_set pcs lane (pc + 1)
           end
         done
   | Fgpu_predecode.KSw ->
-      let rs2 = d.Fgpu_predecode.rd
-      and rs1 = d.Fgpu_predecode.rs1
+      (* the store-data register travels in the rd field: a read, so no
+         sink redirection — x0 reads as slice 0's zeros *)
+      let o2 = d.Fgpu_predecode.rd * size
+      and o1 = d.Fgpu_predecode.rs1 * size
       and off = d.Fgpu_predecode.imm in
       let line_bytes = line_words * 4 in
       let mem_words = Array.length mem in
       if dense then begin
         t.conv_pc <- pc + 1;
         for lane = 0 to size - 1 do
-          let base = lane * 32 in
-          let addr =
-            (if rs1 = 0 then 0 else Array.unsafe_get regs (base + rs1)) + off
-          in
+          let addr = Array.unsafe_get regs (o1 + lane) + off in
           let w = coalesce_and_check out ~line_bytes ~mem_words addr in
-          Array.unsafe_set mem w
-            (if rs2 = 0 then 0 else Array.unsafe_get regs (base + rs2))
+          Array.unsafe_set mem w (Array.unsafe_get regs (o2 + lane))
         done
       end
       else
         for lane = 0 to size - 1 do
           if Array.unsafe_get pcs lane = pc then begin
-            let base = lane * 32 in
-            let addr =
-              (if rs1 = 0 then 0 else Array.unsafe_get regs (base + rs1)) + off
-            in
+            let addr = Array.unsafe_get regs (o1 + lane) + off in
             let w = coalesce_and_check out ~line_bytes ~mem_words addr in
-            Array.unsafe_set mem w
-              (if rs2 = 0 then 0 else Array.unsafe_get regs (base + rs2));
+            Array.unsafe_set mem w (Array.unsafe_get regs (o2 + lane));
             Array.unsafe_set pcs lane (pc + 1)
           end
         done
@@ -580,17 +577,17 @@ let issue t ~(dprog : Fgpu_predecode.t array) ~(mem : int array) ~line_words
       (* a branch always computes real per-lane pcs: a mixed outcome is
          exactly how a converged wavefront diverges.  In dense mode the
          taken count decides whether convergence survives (uniform
-         outcome) or [pcs] becomes authoritative. *)
-      let rs1 = d.Fgpu_predecode.rs1 and rs2 = d.Fgpu_predecode.rd in
+         outcome) or [pcs] becomes authoritative.  The second operand
+         travels in the rd field (a read). *)
+      let o1 = d.Fgpu_predecode.rs1 * size and o2 = d.Fgpu_predecode.rd * size in
       let target = pc + 1 + d.Fgpu_predecode.imm in
       let taken = ref 0 in
       (if dense then begin
          (match d.Fgpu_predecode.cnd with
          | Fgpu_isa.Lt ->
              for lane = 0 to size - 1 do
-               let base = lane * 32 in
-               let a = if rs1 = 0 then 0 else Array.unsafe_get regs (base + rs1)
-               and b = if rs2 = 0 then 0 else Array.unsafe_get regs (base + rs2) in
+               let a = Array.unsafe_get regs (o1 + lane)
+               and b = Array.unsafe_get regs (o2 + lane) in
                if a < b then begin
                  incr taken;
                  Array.unsafe_set pcs lane target
@@ -599,9 +596,8 @@ let issue t ~(dprog : Fgpu_predecode.t array) ~(mem : int array) ~line_words
              done
          | Fgpu_isa.Ge ->
              for lane = 0 to size - 1 do
-               let base = lane * 32 in
-               let a = if rs1 = 0 then 0 else Array.unsafe_get regs (base + rs1)
-               and b = if rs2 = 0 then 0 else Array.unsafe_get regs (base + rs2) in
+               let a = Array.unsafe_get regs (o1 + lane)
+               and b = Array.unsafe_get regs (o2 + lane) in
                if a >= b then begin
                  incr taken;
                  Array.unsafe_set pcs lane target
@@ -610,9 +606,8 @@ let issue t ~(dprog : Fgpu_predecode.t array) ~(mem : int array) ~line_words
              done
          | Fgpu_isa.Eq ->
              for lane = 0 to size - 1 do
-               let base = lane * 32 in
-               let a = if rs1 = 0 then 0 else Array.unsafe_get regs (base + rs1)
-               and b = if rs2 = 0 then 0 else Array.unsafe_get regs (base + rs2) in
+               let a = Array.unsafe_get regs (o1 + lane)
+               and b = Array.unsafe_get regs (o2 + lane) in
                if a = b then begin
                  incr taken;
                  Array.unsafe_set pcs lane target
@@ -621,9 +616,8 @@ let issue t ~(dprog : Fgpu_predecode.t array) ~(mem : int array) ~line_words
              done
          | Fgpu_isa.Ne ->
              for lane = 0 to size - 1 do
-               let base = lane * 32 in
-               let a = if rs1 = 0 then 0 else Array.unsafe_get regs (base + rs1)
-               and b = if rs2 = 0 then 0 else Array.unsafe_get regs (base + rs2) in
+               let a = Array.unsafe_get regs (o1 + lane)
+               and b = Array.unsafe_get regs (o2 + lane) in
                if a <> b then begin
                  incr taken;
                  Array.unsafe_set pcs lane target
@@ -632,9 +626,8 @@ let issue t ~(dprog : Fgpu_predecode.t array) ~(mem : int array) ~line_words
              done
          | c ->
              for lane = 0 to size - 1 do
-               let base = lane * 32 in
-               let a = if rs1 = 0 then 0 else Array.unsafe_get regs (base + rs1)
-               and b = if rs2 = 0 then 0 else Array.unsafe_get regs (base + rs2) in
+               let a = Array.unsafe_get regs (o1 + lane)
+               and b = Array.unsafe_get regs (o2 + lane) in
                if cond_holds c a b then begin
                  incr taken;
                  Array.unsafe_set pcs lane target
@@ -649,9 +642,8 @@ let issue t ~(dprog : Fgpu_predecode.t array) ~(mem : int array) ~line_words
          let c = d.Fgpu_predecode.cnd in
          for lane = 0 to size - 1 do
            if Array.unsafe_get pcs lane = pc then begin
-             let base = lane * 32 in
-             let a = if rs1 = 0 then 0 else Array.unsafe_get regs (base + rs1)
-             and b = if rs2 = 0 then 0 else Array.unsafe_get regs (base + rs2) in
+             let a = Array.unsafe_get regs (o1 + lane)
+             and b = Array.unsafe_get regs (o2 + lane) in
              if cond_holds c a b then begin
                incr taken;
                Array.unsafe_set pcs lane target
@@ -671,20 +663,20 @@ let issue t ~(dprog : Fgpu_predecode.t array) ~(mem : int array) ~line_words
             Array.unsafe_set pcs lane target
         done
   | Fgpu_predecode.KSpecial ->
-      let sp = d.Fgpu_predecode.sp and rd = d.Fgpu_predecode.rd in
+      let sp = d.Fgpu_predecode.sp in
+      let od = dst_off ~size d.Fgpu_predecode.rd in
       if dense then begin
         t.conv_pc <- pc + 1;
-        for lane = 0 to size - 1 do
-          let v =
-            match sp with
-            | Fgpu_isa.Lid -> local_id t ~lane
-            | Fgpu_isa.Wgid -> t.wg_id
-            | Fgpu_isa.Wgoff -> t.wg_offset
-            | Fgpu_isa.Wgsize -> t.wg_size
-            | Fgpu_isa.Gsize -> t.global_size
-          in
-          if rd <> 0 then Array.unsafe_set regs ((lane * 32) + rd) v
-        done
+        match sp with
+        | Fgpu_isa.Lid ->
+            let first = t.wf_index * size in
+            for lane = 0 to size - 1 do
+              Array.unsafe_set regs (od + lane) (first + lane)
+            done
+        | Fgpu_isa.Wgid -> Array.fill regs od size t.wg_id
+        | Fgpu_isa.Wgoff -> Array.fill regs od size t.wg_offset
+        | Fgpu_isa.Wgsize -> Array.fill regs od size t.wg_size
+        | Fgpu_isa.Gsize -> Array.fill regs od size t.global_size
       end
       else
         for lane = 0 to size - 1 do
@@ -697,7 +689,7 @@ let issue t ~(dprog : Fgpu_predecode.t array) ~(mem : int array) ~line_words
               | Fgpu_isa.Wgsize -> t.wg_size
               | Fgpu_isa.Gsize -> t.global_size
             in
-            if rd <> 0 then Array.unsafe_set regs ((lane * 32) + rd) v;
+            Array.unsafe_set regs (od + lane) v;
             Array.unsafe_set pcs lane (pc + 1)
           end
         done

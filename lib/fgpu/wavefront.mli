@@ -11,6 +11,10 @@
 
 val done_pc : int
 
+val sink_reg : int
+(** Index of the write-sink register slice that absorbs [rd = 0]
+    results (slice 32, just past the architectural file). *)
+
 type t = {
   wg_id : int;
   wf_index : int;
@@ -22,11 +26,23 @@ type t = {
       (** per lane; [done_pc] when retired.  Stale while the wavefront
           is converged — call {!materialize_pcs} before reading *)
   regs : int array;
-      (** 32 registers x size lanes, lane-major, {!Ggpu_isa.I32} canonical *)
+      (** 33 register slices x size lanes, register-major (register [r]
+          of lane [l] at [r * size + l]), {!Ggpu_isa.I32} canonical.
+          Slice 0 (x0) is never written so reads need no zero check;
+          slice 32 is a write sink that absorbs [rd = 0] results so
+          writes need no check either.  Read through {!reg} from
+          outside the issue path. *)
   mutable conv_pc : int;
       (** incrementally-tracked convergence: when >= 0, every lane is
           live at this pc and [pcs] may be stale; -1 means [pcs] is
           authoritative *)
+  mutable sel_pc : int;
+  mutable sel_cnt : int;
+  mutable sel_valid : bool;
+      (** when true, [sel_pc]/[sel_cnt] cache what a scan of [pcs]
+          would return ({!select_pc}'s sparse answer).  The threaded
+          backend's sparse lane loops maintain the cache as they
+          rewrite [pcs]; every other writer invalidates it. *)
   mutable live_lanes : int;
   mutable ready_at : int;
   mutable at_barrier : bool;
@@ -85,6 +101,26 @@ val set_pc : t -> lane:int -> int -> unit
     consistent. [done_pc] retires the lane; any other value revives it. *)
 
 val min_pc : t -> int
+
+val select_pc : t -> int * int
+(** The pc the next issue executes and the number of lanes sitting at
+    it, in one pass.  On the sparse path the scan re-detects
+    reconvergence and flips the wavefront back to dense ([conv_pc]).
+    Backend helper, shared by {!issue} and {!Threaded}. *)
+
+val alu : Ggpu_isa.Fgpu_isa.alu_op -> int -> int -> int
+(** ALU semantics on canonical {!Ggpu_isa.I32} values (RISC-V M
+    division corner cases included). *)
+
+val cond_holds : Ggpu_isa.Fgpu_isa.cond -> int -> int -> bool
+
+val coalesce_and_check : outcome -> line_bytes:int -> mem_words:int -> int -> int
+(** Record the cache line containing a byte address into the outcome's
+    line buffer (first-touch order, deduplicated), then validate the
+    access; returns the word index.  The line is charged before
+    validation so the timing model sees the request even when the
+    access faults.  @raise Fault on misaligned or out-of-range
+    addresses. *)
 
 val reg : t -> lane:int -> int -> int32
 (** Architectural register read as [int32] (fault-injection interface). *)

@@ -25,8 +25,8 @@ let layout_buffers ~base_addr buffers =
     buffers
 
 let run ?(config = Config.default) ?(base_addr = 0x1000) ?max_cycles ?inject
-    ?pmu (compiled : Codegen_fgpu.compiled) ~(args : Interp.args) ~global_size
-    ~local_size () =
+    ?pmu ?backend ?domains (compiled : Codegen_fgpu.compiled)
+    ~(args : Interp.args) ~global_size ~local_size () =
   Ggpu_obs.Trace.with_span "kernels.run_fgpu"
     ~args:[ ("global_size", string_of_int global_size) ]
   @@ fun () ->
@@ -56,7 +56,8 @@ let run ?(config = Config.default) ?(base_addr = 0x1000) ?max_cycles ?inject
     |> List.map (fun (name, _) -> param_value name)
   in
   let stats =
-    Gpu.run ?max_cycles ?inject ?pmu config ~program:compiled.Codegen_fgpu.code
+    Gpu.run ?max_cycles ?inject ?pmu ?backend ?domains config
+      ~program:compiled.Codegen_fgpu.code
       ~params ~global_size ~local_size ~mem
   in
   let buffers =

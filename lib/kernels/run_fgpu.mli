@@ -15,15 +15,18 @@ val run :
   ?max_cycles:int ->
   ?inject:int * (Ggpu_fgpu.Gpu.probe -> unit) ->
   ?pmu:Ggpu_pmu.Pmu.t ->
+  ?backend:Ggpu_fgpu.Gpu.backend ->
+  ?domains:int ->
   Codegen_fgpu.compiled ->
   args:Interp.args ->
   global_size:int ->
   local_size:int ->
   unit ->
   result
-(** [max_cycles], [inject] and [pmu] are forwarded to
-    {!Ggpu_fgpu.Gpu.run} (watchdog, fault-injection hook, and the
-    performance-monitoring collector). *)
+(** [max_cycles], [inject], [pmu], [backend] and [domains] are
+    forwarded to {!Ggpu_fgpu.Gpu.run} (watchdog, fault-injection hook,
+    the performance-monitoring collector, the lane-execution engine,
+    and the functional-phase domain fan-out). *)
 
 val output : result -> string -> int32 array
 (** @raise Setup_error on an unknown buffer name. *)

@@ -41,7 +41,7 @@ let grid ?(workloads = Suite.all) ~cu_counts () =
       List.map (fun cus -> { workload = w; cus; size = default_size w }) cu_counts)
     workloads
 
-let run_job ?pmu_stride ~pmu reg (j : job) =
+let run_job ?pmu_stride ?backend ?sim_domains ~pmu reg (j : job) =
   let w = j.workload in
   let t0 = Ggpu_obs.Metrics.now_ns () in
   let config = Ggpu_fgpu.Config.with_cus Ggpu_fgpu.Config.default j.cus in
@@ -56,7 +56,8 @@ let run_job ?pmu_stride ~pmu reg (j : job) =
     else None
   in
   let r =
-    Run_fgpu.run ~config ?pmu:collector compiled ~args
+    Run_fgpu.run ~config ?pmu:collector ?backend ?domains:sim_domains compiled
+      ~args
       ~global_size:(w.Suite.global_size ~size:j.size)
       ~local_size:(min w.Suite.local_size j.size)
       ()
@@ -69,7 +70,9 @@ let run_job ?pmu_stride ~pmu reg (j : job) =
   (* deterministic values only: the merge must not depend on domains *)
   let open Ggpu_obs.Metrics in
   add (counter reg "suite.jobs") 1;
-  if not correct then add (counter reg "suite.failures") 1;
+  (* register unconditionally so a clean run carries an explicit zero:
+     consumers can tell "no failures" from "metric missing" *)
+  add (counter reg "suite.failures") (if correct then 0 else 1);
   add (counter reg "suite.cycles") stats.Ggpu_fgpu.Stats.cycles;
   add (counter reg "suite.wf_instructions")
     stats.Ggpu_fgpu.Stats.wf_instructions;
@@ -83,5 +86,7 @@ let run_job ?pmu_stride ~pmu reg (j : job) =
   in
   { job = j; stats; correct; wall_ns; pmu }
 
-let run ?domains ?(pmu = false) ?pmu_stride jobs =
-  Ggpu_par.Parallel.map_collect ?domains (run_job ?pmu_stride ~pmu) jobs
+let run ?domains ?(pmu = false) ?pmu_stride ?backend ?sim_domains jobs =
+  Ggpu_par.Parallel.map_collect ?domains
+    (run_job ?pmu_stride ?backend ?sim_domains ~pmu)
+    jobs

@@ -2,10 +2,19 @@
 
    Runs the full 7-kernel suite at 1 CU and 4 CU and asserts the exact
    [Stats.to_assoc] of every run against values recorded from the
-   pre-optimisation scheduler (PR 3 tree).  The simulator hot path is
-   free to change shape, but any drift in cycle counts or counters —
-   i.e. any observable timing-model change — fails this test.  Sizes
-   match `gpuplanner run --kernel K --size S` after [round_size]. *)
+   pre-optimisation scheduler (PR 3 tree), re-pinned once in PR 6 when
+   the event heap adopted a value-deterministic (time, cu_id) tie-break
+   (only the 4-CU `cycles` entries moved; every other counter is
+   unchanged).  The simulator hot path is free to change shape, but any
+   drift in cycle counts or counters — i.e. any observable timing-model
+   change — fails this test.  Sizes match
+   `gpuplanner run --kernel K --size S` after [round_size].
+
+   Every case runs under a matrix of (backend x domains) execution
+   combinations — the threaded-code engine and the CU-parallel split
+   must hit the same table, bit for bit.  CI can pin a single extra
+   combination via GGPU_GOLDEN_BACKEND / GGPU_GOLDEN_DOMAINS, which
+   replaces the default matrix for that run. *)
 
 open Ggpu_kernels
 open Ggpu_fgpu
@@ -19,7 +28,7 @@ let golden =
     ( "mat_mul", 1024, 1,
       [ 36748; 4592; 293888; 0; 512; 16; 1344; 1200; 144; 0; 2304; 0; 16; 36736 ] );
     ( "mat_mul", 1024, 4,
-      [ 9288; 4592; 293888; 0; 512; 16; 1344; 1200; 144; 0; 2304; 0; 16; 36736 ] );
+      [ 9280; 4592; 293888; 0; 512; 16; 1344; 1200; 144; 0; 2304; 0; 16; 36736 ] );
     ( "copy", 2048, 1,
       [ 3072; 384; 24576; 0; 32; 32; 256; 0; 256; 0; 4096; 0; 8; 3072 ] );
     ( "copy", 2048, 4,
@@ -31,19 +40,19 @@ let golden =
     ( "fir", 1024, 1,
       [ 28300; 3536; 226304; 0; 512; 16; 1584; 1454; 130; 0; 2080; 0; 8; 28288 ] );
     ( "fir", 1024, 4,
-      [ 7154; 3536; 226304; 0; 512; 16; 1584; 1454; 130; 0; 2080; 0; 8; 28288 ] );
+      [ 7146; 3536; 226304; 0; 512; 16; 1584; 1454; 130; 0; 2080; 0; 8; 28288 ] );
     ( "div_int", 1024, 1,
       [ 67584; 256; 16384; 0; 32; 16; 192; 0; 192; 0; 3072; 0; 4; 67584 ] );
     ( "div_int", 1024, 4,
-      [ 17040; 256; 16384; 0; 32; 16; 192; 0; 192; 0; 3072; 0; 4; 67584 ] );
+      [ 17048; 256; 16384; 0; 32; 16; 192; 0; 192; 0; 3072; 0; 4; 67584 ] );
     ( "xcorr", 512, 1,
       [ 426816; 53352; 3414528; 0; 8192; 8; 24352; 24224; 128; 0; 2048; 0; 4; 426816 ] );
     ( "xcorr", 512, 4,
-      [ 107051; 53352; 3414528; 0; 8192; 8; 24352; 24224; 128; 0; 2048; 0; 4; 426816 ] );
+      [ 107018; 53352; 3414528; 0; 8192; 8; 24352; 24224; 128; 0; 2048; 0; 4; 426816 ] );
     ( "parallel_sel", 512, 1,
       [ 491644; 61454; 3677184; 7926; 4104; 8; 4350; 4286; 64; 0; 1024; 0; 4; 491632 ] );
     ( "parallel_sel", 512, 4,
-      [ 123039; 61454; 3677184; 7926; 4104; 8; 4350; 4286; 64; 0; 1024; 0; 4; 491632 ] );
+      [ 123057; 61454; 3677184; 7926; 4104; 8; 4350; 4286; 64; 0; 1024; 0; 4; 491632 ] );
   ]
 
 let stat_names =
@@ -53,7 +62,7 @@ let stat_names =
     "evictions"; "axi_words"; "barriers"; "workgroups"; "vu_busy_cycles";
   ]
 
-let run_golden (name, size, cus, expected) () =
+let run_golden ~backend ~domains (name, size, cus, expected) () =
   let w = Suite.find name in
   let size = w.Suite.round_size size in
   let compiled = Codegen_fgpu.compile w.Suite.kernel in
@@ -62,7 +71,8 @@ let run_golden (name, size, cus, expected) () =
   let local_size = min w.Suite.local_size size in
   let config = Config.with_cus Config.default cus in
   let result =
-    Run_fgpu.run ~config compiled ~args ~global_size ~local_size ()
+    Run_fgpu.run ~config ~backend ~domains compiled ~args ~global_size
+      ~local_size ()
   in
   (* results must still be correct, not just timed identically *)
   let got = Run_fgpu.output result w.Suite.output_buffer in
@@ -82,13 +92,38 @@ let run_golden (name, size, cus, expected) () =
       Alcotest.(check int) (Printf.sprintf "%s/%dcu %s" name cus k) v' v)
     assoc expected_assoc
 
+(* Default (backend, domains) execution matrix; CI overrides it with a
+   single pinned combination via the environment to exercise e.g.
+   `threaded x 4 domains` as a dedicated step. *)
+let combos =
+  match (Sys.getenv_opt "GGPU_GOLDEN_BACKEND", Sys.getenv_opt "GGPU_GOLDEN_DOMAINS") with
+  | None, None -> [ (Gpu.Interp, 1); (Gpu.Threaded, 1); (Gpu.Threaded, 4) ]
+  | b, d ->
+      let backend =
+        match b with
+        | None -> Gpu.Threaded
+        | Some s -> (
+            match Gpu.backend_of_string s with
+            | Some backend -> backend
+            | None ->
+                failwith
+                  (Printf.sprintf "GGPU_GOLDEN_BACKEND: unknown backend %S" s))
+      in
+      let domains = match d with None -> 1 | Some s -> int_of_string s in
+      [ (backend, domains) ]
+
 let suite =
   [
     ( "golden-cycles",
-      List.map
-        (fun ((name, size, cus, _) as case) ->
-          Alcotest.test_case
-            (Printf.sprintf "%s size=%d cus=%d" name size cus)
-            `Slow (run_golden case))
-        golden );
+      List.concat_map
+        (fun (backend, domains) ->
+          List.map
+            (fun ((name, size, cus, _) as case) ->
+              Alcotest.test_case
+                (Printf.sprintf "%s size=%d cus=%d [%s/%dd]" name size cus
+                   (Gpu.backend_name backend) domains)
+                `Slow
+                (run_golden ~backend ~domains case))
+            golden)
+        combos );
   ]
