@@ -7,7 +7,7 @@
      dune exec bench/main.exe                 # everything
      dune exec bench/main.exe -- table1 fig5  # selected experiments
    Experiments: table1 table2 table3 fig3 fig4 fig5 fig6 ablation-dse
-   ablation-mem future-gmc fi perf perf-sim *)
+   ablation-mem future-gmc fi perf perf-sim serve *)
 
 open Ggpu_core
 
@@ -717,6 +717,165 @@ let run_perf_sim () =
       exit 1
   | _ -> ()
 
+(* --- Serving: memo cache + batched scheduler ----------------------------- *)
+
+(* Load-generates the planning service in-process: replays a seeded mix
+   of synth/sim/perf requests through one Engine on a persistent domain
+   pool, in pipelined windows like the socket client sends, and records
+   latency percentiles, throughput and cache effectiveness in
+   BENCH_serve.json.  CI gates the hit rate (SERVE_MIN_HIT_RATE); the
+   mix draws from a ~114-key universe so a 2000-request replay is
+   overwhelmingly warm — a cache regression shows up as a cliff, not
+   noise. *)
+let serve_json_path = "BENCH_serve.json"
+
+let run_serve () =
+  section "serve: cached planning service replay";
+  let getenv_int name default =
+    match Sys.getenv_opt name with
+    | Some v -> max 1 (int_of_string v)
+    | None -> default
+  in
+  let n = getenv_int "SERVE_REQUESTS" 2000 in
+  let seed = getenv_int "SERVE_SEED" 7 in
+  let batch = getenv_int "SERVE_BATCH" 64 in
+  let domains =
+    match Sys.getenv_opt "SERVE_DOMAINS" with
+    | Some d -> max 1 (int_of_string d)
+    | None -> Ggpu_par.Parallel.default_domains ()
+  in
+  let pool = Ggpu_par.Parallel.Pool.create ~domains () in
+  Fun.protect ~finally:(fun () -> Ggpu_par.Parallel.Pool.shutdown pool)
+  @@ fun () ->
+  let engine = Ggpu_serve.Engine.create ~pool () in
+  let reqs = Ggpu_serve.Workload.mix ~seed ~n () in
+  let lat_us = ref [] in
+  let ok = ref 0 and cached = ref 0 and bad = ref 0 in
+  let rec take k = function
+    | x :: rest when k > 0 ->
+        let chunk, rest = take (k - 1) rest in
+        (x :: chunk, rest)
+    | rest -> ([], rest)
+  in
+  let t0 = Unix.gettimeofday () in
+  let rec windows = function
+    | [] -> ()
+    | reqs ->
+        let chunk, rest = take batch reqs in
+        let sent_at = Unix.gettimeofday () in
+        let responses = Ggpu_serve.Engine.process engine chunk in
+        let finished_at = Unix.gettimeofday () in
+        (* every request in the window completes when its batch does —
+           the same latency the pipelined socket client observes *)
+        let window_us = (finished_at -. sent_at) *. 1e6 in
+        List.iter
+          (fun (resp : Ggpu_serve.Proto.response) ->
+            lat_us := window_us :: !lat_us;
+            match resp.Ggpu_serve.Proto.status with
+            | Ggpu_serve.Proto.Done ->
+                incr ok;
+                if resp.Ggpu_serve.Proto.cached then incr cached
+            | _ -> incr bad)
+          responses;
+        windows rest
+  in
+  windows reqs;
+  let wall_s = Unix.gettimeofday () -. t0 in
+  let lats = Array.of_list !lat_us in
+  Array.sort compare lats;
+  let percentile q =
+    let m = Array.length lats in
+    if m = 0 then 0.0
+    else lats.(min (m - 1) (int_of_float (q *. float_of_int (m - 1) +. 0.5)))
+  in
+  let mean_us =
+    if Array.length lats = 0 then 0.0
+    else Array.fold_left ( +. ) 0.0 lats /. float_of_int (Array.length lats)
+  in
+  let throughput = if wall_s > 0.0 then float_of_int n /. wall_s else 0.0 in
+  let hit_rate =
+    Option.value ~default:0.0 (Ggpu_serve.Engine.hit_rate engine)
+  in
+  let snap = Ggpu_serve.Engine.metrics engine in
+  let counter name =
+    Option.value ~default:0 (Ggpu_obs.Metrics.find_counter snap name)
+  in
+  Printf.printf
+    "replay: %d requests (seed %d, %d-deep windows, universe %d keys) on %d \
+     domains\n"
+    n seed batch Ggpu_serve.Workload.universe domains;
+  Printf.printf
+    "  %.3fs wall | %.0f req/s | p50 %.0f us | p99 %.0f us | mean %.0f us\n"
+    wall_s throughput (percentile 0.50) (percentile 0.99) mean_us;
+  Printf.printf
+    "  cache: %.1f%% hit rate (%d hits + %d coalesced vs %d misses, %d \
+     evictions)\n"
+    (100.0 *. hit_rate)
+    (counter "serve.cache.hit")
+    (counter "serve.cache.coalesced")
+    (counter "serve.cache.miss")
+    (counter "serve.cache.eviction");
+  Printf.printf "  artifacts: %d/%d base netlists built, %d/%d kernels compiled\n"
+    (counter "serve.netlist.build")
+    (counter "serve.netlist.build" + counter "serve.netlist.reuse")
+    (counter "serve.kernel.compile")
+    (counter "serve.kernel.compile" + counter "serve.kernel.reuse");
+  let open Ggpu_obs.Json in
+  let doc =
+    Obj
+      [
+        ("benchmark", String "serve-replay");
+        ("requests", Int n);
+        ("seed", Int seed);
+        ("batch", Int batch);
+        ("domains", Int domains);
+        ("universe_keys", Int Ggpu_serve.Workload.universe);
+        ("wall_s", Float wall_s);
+        ("throughput_rps", Float throughput);
+        ("p50_us", Float (percentile 0.50));
+        ("p99_us", Float (percentile 0.99));
+        ("mean_us", Float mean_us);
+        ( "cache",
+          Obj
+            [
+              ("hit", Int (counter "serve.cache.hit"));
+              ("coalesced", Int (counter "serve.cache.coalesced"));
+              ("miss", Int (counter "serve.cache.miss"));
+              ("eviction", Int (counter "serve.cache.eviction"));
+              ("hit_rate", Float hit_rate);
+            ] );
+        ( "statuses",
+          Obj [ ("ok", Int !ok); ("cached", Int !cached); ("other", Int !bad) ]
+        );
+        ( "artifacts",
+          Obj
+            [
+              ("netlist_build", Int (counter "serve.netlist.build"));
+              ("netlist_reuse", Int (counter "serve.netlist.reuse"));
+              ("kernel_compile", Int (counter "serve.kernel.compile"));
+              ("kernel_reuse", Int (counter "serve.kernel.reuse"));
+            ] );
+      ]
+  in
+  let oc = open_out serve_json_path in
+  output_string oc (to_string doc);
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf "wrote %s\n" serve_json_path;
+  if !bad > 0 then begin
+    Printf.eprintf "serve: %d request(s) not served (rejected/expired/failed)\n"
+      !bad;
+    exit 1
+  end;
+  (* CI gate: the replay must actually exercise the cache.  Expressed in
+     percent, like the other env-tunable thresholds. *)
+  match Sys.getenv_opt "SERVE_MIN_HIT_RATE" with
+  | Some threshold when 100.0 *. hit_rate < float_of_string threshold ->
+      Printf.eprintf "serve: hit rate %.1f%% below required %s%%\n"
+        (100.0 *. hit_rate) threshold;
+      exit 1
+  | _ -> ()
+
 (* --- Bechamel performance benches -------------------------------------- *)
 
 let run_perf () =
@@ -803,6 +962,7 @@ let experiments =
     ("fi", run_fi);
     ("perf", run_perf);
     ("perf-sim", run_perf_sim);
+    ("serve", run_serve);
   ]
 
 let () =
@@ -812,7 +972,7 @@ let () =
     | _ ->
         [
           "table1"; "table2"; "table3"; "fig3"; "fig5"; "fig6"; "ablation-dse";
-          "ablation-mem"; "future-gmc"; "fi"; "perf"; "perf-sim";
+          "ablation-mem"; "future-gmc"; "fi"; "perf"; "perf-sim"; "serve";
         ]
   in
   List.iter

@@ -67,6 +67,17 @@ let sim_domains_term =
   in
   Arg.(value & opt int 1 & info [ "sim-domains" ] ~doc ~docv:"D")
 
+(* On subcommands with no job fan-out (run/compare) the CU-parallel
+   split is the only domain knob, so --domains and --sim-domains name
+   the same flag there. *)
+let sim_domains_alias_term =
+  let doc =
+    "Domain fan-out for the functional phase inside one simulation \
+     (CU-parallel split). Simulated results are bit-identical for any \
+     value; 1 disables the split."
+  in
+  Arg.(value & opt int 1 & info [ "domains"; "sim-domains" ] ~doc ~docv:"D")
+
 let area_term =
   let doc = "Optional area budget in mm2." in
   Arg.(value & opt (some float) None & info [ "max-area" ] ~doc ~docv:"MM2")
@@ -263,7 +274,7 @@ let kernel_term =
   Arg.(value & opt (some string) None & info [ "kernel" ] ~doc ~docv:"NAME")
 
 let compare_cmd =
-  let run obs tech kernel =
+  let run obs tech kernel backend sim_domains =
     with_obs obs @@ fun () ->
     let workloads =
       match kernel with
@@ -274,7 +285,7 @@ let compare_cmd =
             prerr_endline msg;
             exit 1)
     in
-    let rows = Compare.table3 ~workloads () in
+    let rows = Compare.table3 ~workloads ~backend ~domains:sim_domains () in
     Format.printf "%a@." Compare.pp_table3 rows;
     let speedups = Compare.speedups ~tech rows in
     Format.printf "%a@." (Compare.pp_speedups ~label:"raw") speedups;
@@ -284,7 +295,8 @@ let compare_cmd =
   let term =
     Term.(
       term_result ~usage:false
-        (const run $ obs_term $ tech_term $ kernel_term))
+        (const run $ obs_term $ tech_term $ kernel_term $ backend_term
+       $ sim_domains_alias_term))
   in
   Cmd.v
     (Cmd.info "compare"
@@ -372,7 +384,7 @@ let run_cmd =
     Term.(
       term_result ~usage:false
         (const run $ obs_term $ cus_term $ kernel_req $ size_term $ pmu_term
-       $ backend_term $ sim_domains_term))
+       $ backend_term $ sim_domains_alias_term))
   in
   Cmd.v (Cmd.info "run" ~doc:"Simulate one kernel on the G-GPU") term
 
@@ -604,7 +616,7 @@ let perf_report_cmd =
     Arg.(value & opt int 64 & info [ "stride" ] ~doc ~docv:"N")
   in
   let run obs domains cus_list kernel out baseline max_regress max_overhead
-      check stride =
+      check stride backend sim_domains =
     match check with
     | Some file -> (
         match Ggpu_pmu.Report.validate_file file with
@@ -645,12 +657,15 @@ let perf_report_cmd =
           match max_overhead with
           | None -> None
           | Some _ ->
-              let bare, _ = Ggpu_kernels.Suite_runner.run ~domains jobs in
+              let bare, _ =
+                Ggpu_kernels.Suite_runner.run ~domains ~backend ~sim_domains
+                  jobs
+              in
               Some (job_wall bare)
         in
         let results, _merged =
           Ggpu_kernels.Suite_runner.run ~domains ~pmu:true ~pmu_stride:stride
-            jobs
+            ~backend ~sim_domains jobs
         in
         let entries =
           List.map
@@ -749,7 +764,7 @@ let perf_report_cmd =
       term_result ~usage:false
         (const run $ obs_term $ domains_term $ cus_grid_term $ kernel_term
        $ out_term $ baseline_term $ max_regress_term $ max_overhead_term
-       $ check_term $ stride_term))
+       $ check_term $ stride_term $ backend_term $ sim_domains_term))
   in
   Cmd.v
     (Cmd.info "perf-report"
@@ -767,7 +782,7 @@ let profile_cmd =
     let doc = "Workload to profile: dse | layout | sim | fi | table1." in
     Arg.(value & pos 0 string "dse" & info [] ~doc ~docv:"WORKLOAD")
   in
-  let run obs tech cus freq workload =
+  let run obs tech cus freq backend workload =
     with_obs obs @@ fun () ->
     (* the whole point of this command is the span table *)
     Ggpu_obs.Trace.enable ();
@@ -796,7 +811,7 @@ let profile_cmd =
               Ggpu_kernels.Codegen_fgpu.compile w.Ggpu_kernels.Suite.kernel
             in
             ignore
-              (Ggpu_kernels.Run_fgpu.run ~config compiled
+              (Ggpu_kernels.Run_fgpu.run ~config ~backend compiled
                  ~args:(w.Ggpu_kernels.Suite.mk_args ~size)
                  ~global_size:(w.Ggpu_kernels.Suite.global_size ~size)
                  ~local_size:(min w.Ggpu_kernels.Suite.local_size size)
@@ -804,7 +819,7 @@ let profile_cmd =
           Ggpu_kernels.Suite.all
     | "fi" ->
         ignore
-          (Ggpu_fi.Campaign.run
+          (Ggpu_fi.Campaign.run ~backend
              ~target:(Ggpu_fi.Campaign.Ggpu cus)
              ~workload:(Ggpu_kernels.Suite.find "copy")
              ~size:512 ~trials:200 ~seed:42 ())
@@ -820,7 +835,7 @@ let profile_cmd =
     Term.(
       term_result ~usage:false
         (const run $ obs_term $ tech_term $ cus_term $ freq_term
-       $ workload_term))
+       $ backend_term $ workload_term))
   in
   Cmd.v
     (Cmd.info "profile"
@@ -886,6 +901,207 @@ let verilog_cmd =
        ~doc:"Export the optimised netlist as structural Verilog")
     term
 
+(* --- serve / client ------------------------------------------------------ *)
+
+let socket_term =
+  let doc = "Unix-domain socket path of the planning daemon." in
+  Arg.(
+    value
+    & opt string "/tmp/ggpu_serve.sock"
+    & info [ "socket" ] ~doc ~docv:"PATH")
+
+let serve_cmd =
+  let domains_term =
+    let doc =
+      "Domain-pool size shared by all request batches (default: the \
+       runtime's recommended domain count)."
+    in
+    Arg.(value & opt (some int) None & info [ "domains" ] ~doc ~docv:"D")
+  in
+  let cache_term =
+    let doc = "Memo-cache capacity in result entries (LRU per shard)." in
+    Arg.(
+      value
+      & opt int Ggpu_serve.Engine.default_config.Ggpu_serve.Engine.cache_capacity
+      & info [ "cache-capacity" ] ~doc ~docv:"N")
+  in
+  let queue_term =
+    let doc =
+      "Pending-request bound; requests beyond it are rejected with a \
+       retry-after hint (backpressure)."
+    in
+    Arg.(
+      value
+      & opt int Ggpu_serve.Engine.default_config.Ggpu_serve.Engine.queue_capacity
+      & info [ "queue-capacity" ] ~doc ~docv:"N")
+  in
+  let run obs socket domains cache_capacity queue_capacity backend =
+    with_obs obs @@ fun () ->
+    let engine_config =
+      {
+        Ggpu_serve.Engine.default_config with
+        Ggpu_serve.Engine.cache_capacity;
+        queue_capacity;
+        backend;
+      }
+    in
+    Ggpu_serve.Daemon.run ~engine_config ?domains ~log:prerr_endline ~socket
+      ();
+    Ok ()
+  in
+  let term =
+    Term.(
+      term_result ~usage:false
+        (const run $ obs_term $ socket_term $ domains_term $ cache_term
+       $ queue_term $ backend_term))
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Run the planning daemon: a content-hash-cached, batching request \
+          scheduler over a persistent domain pool, speaking \
+          newline-delimited JSON on a Unix socket")
+    term
+
+let client_cmd =
+  let ping_term =
+    let doc = "Health-check the daemon and exit." in
+    Arg.(value & flag & info [ "ping" ] ~doc)
+  in
+  let stats_term =
+    let doc = "Print the daemon's metrics snapshot (after any replay)." in
+    Arg.(value & flag & info [ "stats" ] ~doc)
+  in
+  let shutdown_term =
+    let doc = "Ask the daemon to drain in-flight work and exit (last)." in
+    Arg.(value & flag & info [ "shutdown" ] ~doc)
+  in
+  let replay_term =
+    let doc = "Replay N requests from the seeded workload mix." in
+    Arg.(value & opt (some int) None & info [ "replay" ] ~doc ~docv:"N")
+  in
+  let seed_term =
+    let doc = "Workload-mix seed for --replay." in
+    Arg.(value & opt int 7 & info [ "seed" ] ~doc ~docv:"SEED")
+  in
+  let batch_term =
+    let doc = "Pipelining window for --replay (requests in flight)." in
+    Arg.(value & opt int 64 & info [ "batch" ] ~doc ~docv:"N")
+  in
+  let min_hits_term =
+    let doc =
+      "Exit 1 unless at least N replayed responses were served from the \
+       daemon's cache. Used by CI."
+    in
+    Arg.(value & opt (some int) None & info [ "min-hits" ] ~doc ~docv:"N")
+  in
+  let kind_term =
+    let doc = "Send one request: synth | sim | perf." in
+    Arg.(value & opt (some string) None & info [ "kind" ] ~doc ~docv:"KIND")
+  in
+  let kernel_term =
+    let doc = "Kernel for a single sim/perf request." in
+    Arg.(value & opt string "copy" & info [ "kernel" ] ~doc ~docv:"NAME")
+  in
+  let size_term =
+    let doc = "Problem size for a single sim/perf request." in
+    Arg.(value & opt int 256 & info [ "size" ] ~doc ~docv:"N")
+  in
+  let tech_name_term =
+    let doc = "Technology model for requests: 65nm or 28nm." in
+    Arg.(value & opt string "65nm" & info [ "tech" ] ~doc ~docv:"NODE")
+  in
+  let deadline_term =
+    let doc = "Per-request queueing deadline in milliseconds." in
+    Arg.(
+      value & opt (some int) None & info [ "deadline-ms" ] ~doc ~docv:"MS")
+  in
+  let run socket ping stats shutdown replay seed batch min_hits kind cus freq
+      kernel size tech deadline_ms =
+    let c =
+      try Ggpu_serve.Client.connect ~socket
+      with Unix.Unix_error (err, _, _) ->
+        Printf.eprintf "cannot connect to %s: %s\n" socket
+          (Unix.error_message err);
+        exit 1
+    in
+    Fun.protect ~finally:(fun () -> Ggpu_serve.Client.close c) @@ fun () ->
+    let failed = ref false in
+    if ping then
+      if Ggpu_serve.Client.ping c then print_endline "pong"
+      else begin
+        prerr_endline "ping failed";
+        failed := true
+      end;
+    (match replay with
+    | None -> ()
+    | Some n ->
+        let reqs = Ggpu_serve.Workload.mix ~tech ~seed ~n () in
+        let summary = Ggpu_serve.Client.replay ~batch c reqs in
+        print_endline
+          (Ggpu_obs.Json.to_string (Ggpu_serve.Client.summary_json summary));
+        (match min_hits with
+        | Some k when summary.Ggpu_serve.Client.cached < k ->
+            Printf.eprintf "only %d/%d responses were cache hits (need %d)\n"
+              summary.Ggpu_serve.Client.cached summary.Ggpu_serve.Client.sent
+              k;
+            failed := true
+        | _ -> ()));
+    (match kind with
+    | None -> ()
+    | Some kind_s ->
+        let kind =
+          match kind_s with
+          | "synth" -> Ggpu_serve.Proto.Synth { cus; freq_mhz = freq }
+          | "sim" -> Ggpu_serve.Proto.Sim { kernel; cus; size }
+          | "perf" -> Ggpu_serve.Proto.Perf { kernel; cus; size }
+          | other ->
+              Printf.eprintf "unknown request kind %s (synth|sim|perf)\n"
+                other;
+              exit 1
+        in
+        let req =
+          Ggpu_serve.Proto.mk_request ?deadline_ms ~tech ~id:1 kind
+        in
+        (match Ggpu_serve.Client.call c req with
+        | Ok resp ->
+            print_endline (Ggpu_serve.Proto.response_to_line resp);
+            (match resp.Ggpu_serve.Proto.status with
+            | Ggpu_serve.Proto.Done -> ()
+            | _ -> failed := true)
+        | Error msg ->
+            prerr_endline msg;
+            failed := true));
+    if stats then (
+      match Ggpu_serve.Client.stats c with
+      | Ok j -> print_endline (Ggpu_obs.Json.to_string j)
+      | Error msg ->
+          prerr_endline msg;
+          failed := true);
+    if shutdown then
+      if Ggpu_serve.Client.shutdown c then print_endline "daemon stopping"
+      else begin
+        prerr_endline "shutdown failed";
+        failed := true
+      end;
+    if !failed then exit 1;
+    Ok ()
+  in
+  let term =
+    Term.(
+      term_result ~usage:false
+        (const run $ socket_term $ ping_term $ stats_term $ shutdown_term
+       $ replay_term $ seed_term $ batch_term $ min_hits_term $ kind_term
+       $ cus_term $ freq_term $ kernel_term $ size_term $ tech_name_term
+       $ deadline_term))
+  in
+  Cmd.v
+    (Cmd.info "client"
+       ~doc:
+         "Talk to a running planning daemon: ping, replay a seeded \
+          workload, send one request, print stats, or shut it down")
+    term
+
 let () =
   let doc = "open-source generator of GPU-like ASIC accelerators" in
   let info = Cmd.info "gpuplanner" ~version:"1.0.0" ~doc in
@@ -895,5 +1111,5 @@ let () =
           [
             synth_cmd; dse_cmd; map_cmd; layout_cmd; table1_cmd; compare_cmd;
             run_cmd; bench_cmd; perf_report_cmd; fi_cmd; profile_cmd;
-            trace_check_cmd; verilog_cmd;
+            trace_check_cmd; verilog_cmd; serve_cmd; client_cmd;
           ]))

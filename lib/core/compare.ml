@@ -59,13 +59,13 @@ let run_riscv (w : Suite.t) =
   in
   result.Run_rv32.stats.Ggpu_riscv.Cpu.cycles
 
-let run_ggpu (w : Suite.t) ~num_cus =
+let run_ggpu ?backend ?domains (w : Suite.t) ~num_cus =
   let size = w.Suite.ggpu_size in
   let config = Ggpu_fgpu.Config.with_cus Ggpu_fgpu.Config.default num_cus in
   let args = w.Suite.mk_args ~size in
   let compiled = Codegen_fgpu.compile w.Suite.kernel in
   let result =
-    Run_fgpu.run ~config compiled ~args
+    Run_fgpu.run ~config ?backend ?domains compiled ~args
       ~global_size:(w.Suite.global_size ~size)
       ~local_size:(min w.Suite.local_size size)
       ()
@@ -73,7 +73,7 @@ let run_ggpu (w : Suite.t) ~num_cus =
   result.Run_fgpu.stats.Ggpu_fgpu.Stats.cycles
 
 (* Table III: input sizes and measured cycle counts. *)
-let table3 ?(workloads = Suite.all) () =
+let table3 ?(workloads = Suite.all) ?backend ?domains () =
   List.map
     (fun w ->
       {
@@ -83,7 +83,10 @@ let table3 ?(workloads = Suite.all) () =
         riscv_kcycles = float_of_int (run_riscv w) /. 1000.0;
         ggpu_kcycles =
           List.map
-            (fun cus -> (cus, float_of_int (run_ggpu w ~num_cus:cus) /. 1000.0))
+            (fun cus ->
+              ( cus,
+                float_of_int (run_ggpu ?backend ?domains w ~num_cus:cus)
+                /. 1000.0 ))
             cu_counts;
       })
     workloads

@@ -26,10 +26,22 @@ val riscv_area_mm2 : Ggpu_tech.Tech.t -> float
 val run_riscv : Ggpu_kernels.Suite.t -> int
 (** Cycle count at the workload's RISC-V size. *)
 
-val run_ggpu : Ggpu_kernels.Suite.t -> num_cus:int -> int
-(** Cycle count at the workload's G-GPU size. *)
+val run_ggpu :
+  ?backend:Ggpu_fgpu.Gpu.backend ->
+  ?domains:int ->
+  Ggpu_kernels.Suite.t ->
+  num_cus:int ->
+  int
+(** Cycle count at the workload's G-GPU size.  [backend] selects the
+    simulator execution engine and [domains] the CU-parallel split;
+    cycle counts are bit-identical for any combination. *)
 
-val table3 : ?workloads:Ggpu_kernels.Suite.t list -> unit -> row list
+val table3 :
+  ?workloads:Ggpu_kernels.Suite.t list ->
+  ?backend:Ggpu_fgpu.Gpu.backend ->
+  ?domains:int ->
+  unit ->
+  row list
 val ggpu_areas_mm2 : ?tech:Ggpu_tech.Tech.t -> unit -> (int * float) list
 val speedups : ?tech:Ggpu_tech.Tech.t -> row list -> speedups list
 val pp_table3 : Format.formatter -> row list -> unit

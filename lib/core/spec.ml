@@ -50,6 +50,14 @@ let check t ~area_mm2 ~power_w ~achieved_mhz =
       Frequency_missed { target_mhz = t.freq_mhz; achieved_mhz } :: !violations;
   match !violations with [] -> Ok () | vs -> Error (List.rev vs)
 
+(* Lossless, order-fixed rendering of every result-affecting field —
+   the memo-cache key fragment for a spec.  Floats print as hex
+   (%h) so distinct budgets can never collide through rounding. *)
+let canonical t =
+  let fopt = function None -> "-" | Some f -> Printf.sprintf "%h" f in
+  Printf.sprintf "cus=%d;freq=%d;area=%s;power=%s" t.num_cus t.freq_mhz
+    (fopt t.max_area_mm2) (fopt t.max_power_w)
+
 let to_string t =
   Printf.sprintf "%dCU@%dMHz%s%s" t.num_cus t.freq_mhz
     (match t.max_area_mm2 with

@@ -39,6 +39,12 @@ val default : t
 (** 1 CU, FGPU-like geometry, calibrated timing (see source). *)
 
 val with_cus : t -> int -> t
+
+(** Injective, order-fixed rendering of every field — the config
+    fragment of {!Ggpu_serve} memo-cache keys.  Execution engine and
+    domain fan-out are excluded by design: simulated results are
+    bit-identical across both. *)
+val canonical : t -> string
 val beats : t -> int
 (** Vector-pipeline occupancy per wavefront instruction. *)
 

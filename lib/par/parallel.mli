@@ -21,3 +21,42 @@ val map_collect :
     returns the per-item snapshots merged in input order.  Because all
     metric values are integral, the merged snapshot is bit-identical
     for any [?domains], including 1. *)
+
+(** {1 Persistent pool}
+
+    {!map} spawns and joins its domains on every call, which is fine
+    for one-shot grids but wasteful for a long-lived service issuing
+    many small fan-outs.  A {!Pool.t} spawns its worker domains once;
+    each {!Pool.map} hands them one job and reuses them.  Results are
+    identical to {!map} — order-preserving, first failure in input
+    order re-raised — only the domain lifetime differs. *)
+
+module Pool : sig
+  type t
+
+  val create : ?domains:int -> unit -> t
+  (** A pool of [domains] (default {!default_domains}) workers: the
+      calling domain plus [domains - 1] spawned ones.  [~domains:1]
+      spawns nothing and {!map} degrades to [List.map]. *)
+
+  val size : t -> int
+  (** Number of domains a {!map} call runs on (callers use this to size
+      batches). *)
+
+  val map : t -> ('a -> 'b) -> 'a list -> 'b list
+  (** As {!Parallel.map} on the pool's domains.  The caller participates,
+      so all [size t] domains work the job.  Not reentrant: one [map]
+      at a time per pool.
+      @raise Invalid_argument after {!shutdown}. *)
+
+  val map_collect :
+    t ->
+    (Ggpu_obs.Metrics.t -> 'a -> 'b) ->
+    'a list ->
+    'b list * Ggpu_obs.Metrics.snapshot
+  (** As {!Parallel.map_collect} on the pool's domains. *)
+
+  val shutdown : t -> unit
+  (** Join the worker domains.  Idempotent; subsequent {!map} calls
+      raise. *)
+end

@@ -1,0 +1,145 @@
+module Json = Ggpu_obs.Json
+
+type t = { fd : Unix.file_descr; ic : in_channel; oc : out_channel }
+
+let connect ~socket =
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  (try Unix.connect fd (Unix.ADDR_UNIX socket)
+   with e ->
+     (try Unix.close fd with Unix.Unix_error _ -> ());
+     raise e);
+  { fd; ic = Unix.in_channel_of_descr fd; oc = Unix.out_channel_of_descr fd }
+
+let close t = try close_out t.oc with Sys_error _ -> ()
+
+let send_line t line =
+  output_string t.oc line;
+  output_char t.oc '\n';
+  flush t.oc
+
+let recv_line t =
+  match input_line t.ic with
+  | line -> Ok line
+  | exception End_of_file -> Error "connection closed by daemon"
+
+let call t req =
+  send_line t (Proto.request_to_line req);
+  Result.bind (recv_line t) Proto.response_of_line
+
+let control t c =
+  send_line t (Proto.control_to_line c);
+  Result.bind (recv_line t) Json.parse
+
+let ping t =
+  match control t Proto.Ping with
+  | Ok j -> Json.member "ok" j = Some (Json.Bool true)
+  | Error _ -> false
+
+let stats t = control t Proto.Stats
+
+let shutdown t =
+  match control t Proto.Shutdown with
+  | Ok j -> Json.member "ok" j = Some (Json.Bool true)
+  | Error _ -> false
+
+type replay_summary = {
+  sent : int;
+  ok : int;
+  cached : int;
+  rejected : int;
+  expired : int;
+  failed : int;
+  wall_s : float;
+  mean_us : float;
+  p50_us : float;
+  p99_us : float;
+  throughput_rps : float;
+}
+
+let percentile sorted q =
+  let n = Array.length sorted in
+  if n = 0 then 0.
+  else sorted.(min (n - 1) (int_of_float (q *. float_of_int (n - 1) +. 0.5)))
+
+let replay ?(batch = 64) t reqs =
+  let batch = max 1 batch in
+  let lat_us = ref [] in
+  let ok = ref 0 and cached = ref 0 and rejected = ref 0 in
+  let expired = ref 0 and failed = ref 0 and sent = ref 0 in
+  let t0 = Unix.gettimeofday () in
+  let rec window = function
+    | [] -> ()
+    | reqs ->
+        let rec take n = function
+          | x :: rest when n > 0 ->
+              let chunk, rest = take (n - 1) rest in
+              (x :: chunk, rest)
+          | rest -> ([], rest)
+        in
+        let chunk, rest = take batch reqs in
+        (* pipeline: write the whole window, then collect its replies;
+           latency is measured from the window's send to each reply *)
+        let sent_at = Unix.gettimeofday () in
+        List.iter (fun r -> send_line t (Proto.request_to_line r)) chunk;
+        incr_sent chunk sent_at;
+        window rest
+  and incr_sent chunk sent_at =
+    List.iter
+      (fun (req : Proto.request) ->
+        incr sent;
+        match Result.bind (recv_line t) Proto.response_of_line with
+        | Error msg -> failwith ("replay: " ^ msg)
+        | Ok resp ->
+            if resp.Proto.id <> req.Proto.id then
+              failwith
+                (Printf.sprintf "replay: response %d for request %d"
+                   resp.Proto.id req.Proto.id);
+            lat_us :=
+              ((Unix.gettimeofday () -. sent_at) *. 1e6) :: !lat_us;
+            (match resp.Proto.status with
+            | Proto.Done ->
+                incr ok;
+                if resp.Proto.cached then incr cached
+            | Proto.Rejected _ -> incr rejected
+            | Proto.Expired -> incr expired
+            | Proto.Failed _ -> incr failed))
+      chunk
+  in
+  window reqs;
+  let wall_s = Unix.gettimeofday () -. t0 in
+  let lats = Array.of_list !lat_us in
+  Array.sort compare lats;
+  let mean_us =
+    if Array.length lats = 0 then 0.
+    else Array.fold_left ( +. ) 0. lats /. float_of_int (Array.length lats)
+  in
+  {
+    sent = !sent;
+    ok = !ok;
+    cached = !cached;
+    rejected = !rejected;
+    expired = !expired;
+    failed = !failed;
+    wall_s;
+    mean_us;
+    p50_us = percentile lats 0.50;
+    p99_us = percentile lats 0.99;
+    throughput_rps =
+      (if wall_s > 0. then float_of_int !sent /. wall_s else 0.);
+  }
+
+let summary_json s =
+  Json.Obj
+    [
+      ("sent", Json.Int s.sent);
+      ("ok", Json.Int s.ok);
+      ("cached", Json.Int s.cached);
+      ("rejected", Json.Int s.rejected);
+      ("expired", Json.Int s.expired);
+      ("failed", Json.Int s.failed);
+      ("wall_s", Json.Float s.wall_s);
+      ("mean_us", Json.Float s.mean_us);
+      ("p50_us", Json.Float s.p50_us);
+      ("p99_us", Json.Float s.p99_us);
+      ("throughput_rps", Json.Float s.throughput_rps);
+    ]

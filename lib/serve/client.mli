@@ -1,0 +1,41 @@
+(** Blocking NDJSON client for the planning daemon, plus the replay
+    driver used by the CLI smoke and the load bench. *)
+
+type t
+
+val connect : socket:string -> t
+(** @raise Unix.Unix_error when the daemon is not listening. *)
+
+val close : t -> unit
+
+val call : t -> Proto.request -> (Proto.response, string) result
+(** One request, one response (responses arrive in request order per
+    connection). *)
+
+val ping : t -> bool
+val stats : t -> (Ggpu_obs.Json.t, string) result
+
+val shutdown : t -> bool
+(** Ask the daemon to drain and exit; [true] once it acknowledges. *)
+
+type replay_summary = {
+  sent : int;
+  ok : int;
+  cached : int;  (** [Done] responses served from cache or coalesced *)
+  rejected : int;
+  expired : int;
+  failed : int;
+  wall_s : float;
+  mean_us : float;
+  p50_us : float;
+  p99_us : float;
+  throughput_rps : float;
+}
+
+val replay : ?batch:int -> t -> Proto.request list -> replay_summary
+(** Pipeline the requests in write-then-read windows of [batch]
+    (default 64; clamped to at least 1) and record per-request
+    round-trip latency.  [Rejected] responses are counted, not
+    retried. *)
+
+val summary_json : replay_summary -> Ggpu_obs.Json.t

@@ -1,0 +1,190 @@
+(* Single-threaded select loop; all parallelism lives behind
+   [Engine.step]'s pool fan-out.  Connections are independent NDJSON
+   streams: requests keep their caller-chosen ids on the wire, and are
+   renumbered onto a private sequence internally so concurrent clients
+   cannot collide inside the engine. *)
+
+module Json = Ggpu_obs.Json
+module Pool = Ggpu_par.Parallel.Pool
+
+type conn = {
+  fd : Unix.file_descr;
+  buf : Buffer.t;  (* bytes of a not-yet-terminated incoming line *)
+  mutable alive : bool;
+}
+
+type state = {
+  engine : Engine.t;
+  pool : Pool.t;
+  listen_fd : Unix.file_descr;
+  mutable conns : conn list;
+  (* engine-side sequence id -> (connection, caller id) *)
+  routes : (int, conn * int) Hashtbl.t;
+  mutable seq : int;
+  mutable stopping : bool;
+  log : string -> unit;
+}
+
+let write_line conn s =
+  if conn.alive then begin
+    let line = s ^ "\n" in
+    let len = String.length line in
+    let pos = ref 0 in
+    try
+      while !pos < len do
+        let n =
+          try Unix.write_substring conn.fd line !pos (len - !pos)
+          with Unix.Unix_error (Unix.EINTR, _, _) -> 0
+        in
+        pos := !pos + n
+      done
+    with Unix.Unix_error ((Unix.EPIPE | Unix.ECONNRESET), _, _) ->
+      conn.alive <- false
+  end
+
+let unkeyed id status =
+  { Proto.id; status; cached = false; key = ""; result = "" }
+
+let stats_line st =
+  Json.to_string
+    (Json.Obj
+       [
+         ("control", Json.String "stats");
+         ("pool_domains", Json.Int (Engine.pool_size st.engine));
+         ("pending", Json.Int (Engine.pending st.engine));
+         ( "hit_rate",
+           match Engine.hit_rate st.engine with
+           | Some r -> Json.Float r
+           | None -> Json.Null );
+         ( "metrics",
+           Ggpu_obs.Metrics.snapshot_to_json (Engine.metrics st.engine) );
+       ])
+
+let handle_line st conn line =
+  match Proto.incoming_of_line line with
+  | Error msg ->
+      write_line conn (Proto.response_to_line (unkeyed 0 (Proto.Failed msg)))
+  | Ok (Proto.Control Proto.Ping) ->
+      write_line conn
+        (Json.to_string
+           (Json.Obj
+              [ ("control", Json.String "ping"); ("ok", Json.Bool true) ]))
+  | Ok (Proto.Control Proto.Stats) -> write_line conn (stats_line st)
+  | Ok (Proto.Control Proto.Shutdown) ->
+      st.stopping <- true;
+      write_line conn
+        (Json.to_string
+           (Json.Obj
+              [ ("control", Json.String "shutdown"); ("ok", Json.Bool true) ]))
+  | Ok (Proto.Req req) -> (
+      st.seq <- st.seq + 1;
+      let seq = st.seq in
+      match Engine.submit st.engine { req with Proto.id = seq } with
+      | `Queued -> Hashtbl.replace st.routes seq (conn, req.Proto.id)
+      | `Rejected retry_after_ms ->
+          write_line conn
+            (Proto.response_to_line
+               (unkeyed req.Proto.id (Proto.Rejected { retry_after_ms }))))
+
+(* One engine batch; replies routed back to whichever connection each
+   request came in on, with its original id restored. *)
+let pump st =
+  if Engine.pending st.engine > 0 then
+    List.iter
+      (fun (resp : Proto.response) ->
+        match Hashtbl.find_opt st.routes resp.Proto.id with
+        | None -> ()
+        | Some (conn, orig_id) ->
+            Hashtbl.remove st.routes resp.Proto.id;
+            write_line conn
+              (Proto.response_to_line { resp with Proto.id = orig_id }))
+      (Engine.step st.engine)
+
+let drop_conn st conn =
+  conn.alive <- false;
+  (try Unix.close conn.fd with Unix.Unix_error _ -> ());
+  st.conns <- List.filter (fun c -> c != conn) st.conns
+
+let read_ready st conn =
+  let chunk = Bytes.create 4096 in
+  match Unix.read conn.fd chunk 0 (Bytes.length chunk) with
+  | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+  | exception Unix.Unix_error ((Unix.ECONNRESET | Unix.EPIPE), _, _) ->
+      drop_conn st conn
+  | 0 -> drop_conn st conn
+  | n ->
+      for i = 0 to n - 1 do
+        let c = Bytes.get chunk i in
+        if c = '\n' then begin
+          let line = Buffer.contents conn.buf in
+          Buffer.clear conn.buf;
+          if String.trim line <> "" then handle_line st conn line
+        end
+        else Buffer.add_char conn.buf c
+      done
+
+let accept_ready st =
+  match Unix.accept st.listen_fd with
+  | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+  | fd, _ ->
+      st.conns <- { fd; buf = Buffer.create 256; alive = true } :: st.conns
+
+let run ?(engine_config = Engine.default_config) ?domains
+    ?(log = fun _ -> ()) ~socket () =
+  (* broken client connections must surface as EPIPE, not kill us *)
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ());
+  let pool = Pool.create ?domains () in
+  let engine = Engine.create ~config:engine_config ~pool () in
+  (try Unix.unlink socket with Unix.Unix_error _ -> ());
+  let listen_fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.bind listen_fd (Unix.ADDR_UNIX socket);
+  Unix.listen listen_fd 64;
+  let st =
+    {
+      engine;
+      pool;
+      listen_fd;
+      conns = [];
+      routes = Hashtbl.create 64;
+      seq = 0;
+      stopping = false;
+      log;
+    }
+  in
+  let request_stop _ = st.stopping <- true in
+  let prev_term =
+    try Some (Sys.signal Sys.sigterm (Sys.Signal_handle request_stop))
+    with Invalid_argument _ -> None
+  in
+  let prev_int =
+    try Some (Sys.signal Sys.sigint (Sys.Signal_handle request_stop))
+    with Invalid_argument _ -> None
+  in
+  log
+    (Printf.sprintf "serving on %s (%d domains)" socket
+       (Engine.pool_size engine));
+  while not st.stopping do
+    let fds = st.listen_fd :: List.map (fun c -> c.fd) st.conns in
+    match Unix.select fds [] [] 0.25 with
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+    | ready, _, _ ->
+        if List.memq st.listen_fd ready then accept_ready st;
+        List.iter
+          (fun conn -> if List.memq conn.fd ready then read_ready st conn)
+          st.conns;
+        pump st
+  done;
+  (* graceful drain: no new connections, finish queued work, flush *)
+  log "shutting down: draining queued work";
+  (try Unix.close st.listen_fd with Unix.Unix_error _ -> ());
+  while Engine.pending st.engine > 0 do
+    pump st
+  done;
+  List.iter
+    (fun conn -> try Unix.close conn.fd with Unix.Unix_error _ -> ())
+    st.conns;
+  (try Unix.unlink socket with Unix.Unix_error _ -> ());
+  Pool.shutdown pool;
+  (match prev_term with Some b -> Sys.set_signal Sys.sigterm b | None -> ());
+  (match prev_int with Some b -> Sys.set_signal Sys.sigint b | None -> ());
+  log "stopped"

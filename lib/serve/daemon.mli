@@ -1,0 +1,25 @@
+(** The planning daemon: a single-threaded [Unix.select] loop speaking
+    newline-delimited JSON ({!Proto}) over a Unix-domain socket, driving
+    one {!Engine} whose batches fan out over a persistent
+    {!Ggpu_par.Parallel.Pool} created once at startup.
+
+    Each select round drains every complete line from every ready
+    connection into the engine queue, then runs one {!Engine.step} — so
+    requests that arrive together are batched together, sharing base
+    netlists and kernel compilations.
+
+    Shutdown (a [shutdown] control line, SIGTERM or SIGINT) is graceful:
+    the listener closes, queued work drains through the engine, replies
+    flush, and the socket path is unlinked. *)
+
+val run :
+  ?engine_config:Engine.config ->
+  ?domains:int ->
+  ?log:(string -> unit) ->
+  socket:string ->
+  unit ->
+  unit
+(** Serve on [socket] (an existing path is replaced) until asked to shut
+    down.  [domains] sizes the shared pool (default
+    {!Ggpu_par.Parallel.default_domains}); [log] receives one-line
+    lifecycle messages (default: silent). *)

@@ -1,0 +1,76 @@
+(** The serving core, socket-free: a bounded request queue with
+    backpressure and deadlines, a sharded content-hash memo cache of
+    serialised results, and batched execution over a persistent
+    {!Ggpu_par.Parallel.Pool}.
+
+    The engine is deliberately synchronous and single-owner (the daemon
+    loop or a bench driver drives it); parallelism happens inside
+    {!step}, which fans one batch of cache misses out over the pool.
+
+    Determinism contract: a payload is a pure function of its memo key,
+    so a cache hit returns the exact bytes the cold computation
+    produced — enforced by tests across execution backends and domain
+    counts. *)
+
+type config = {
+  cache_capacity : int;  (** result entries, across all shards *)
+  shards : int;  (** cache shards (chosen by key hash) *)
+  queue_capacity : int;  (** pending requests before backpressure *)
+  retry_after_ms : int;  (** hint sent with [Rejected] *)
+  pmu_stride : int;  (** hot-PC sampling period of [Perf] requests *)
+  backend : Ggpu_fgpu.Gpu.backend;  (** simulator execution engine *)
+}
+
+val default_config : config
+(** 4096 entries over 8 shards, queue of 256, retry hint 50 ms,
+    stride 64, threaded backend. *)
+
+type t
+
+val create : ?config:config -> ?pool:Ggpu_par.Parallel.Pool.t -> unit -> t
+(** [pool] is the shared domain pool batches fan out on; absent, misses
+    run sequentially on the caller.  The engine never shuts the pool
+    down — its owner does. *)
+
+val pool_size : t -> int
+(** Domains a batch runs on (1 without a pool) — the scheduler's
+    batch-sizing input. *)
+
+val tech_of_name : string -> Ggpu_tech.Tech.t option
+(** ["65nm"] or ["28nm"]. *)
+
+val key_of_request : ?pmu_stride:int -> Proto.request -> (string, string) result
+(** The full memo key a request resolves to (after size normalisation),
+    or a deterministic error for an unknown kernel/technology.
+    [pmu_stride] (default as in {!default_config}) enters [Perf] keys.
+    Exposed for key-property tests and for clients that want to reason
+    about cache identity. *)
+
+val submit : t -> Proto.request -> [ `Queued | `Rejected of int ]
+(** Enqueue, or reject with a retry-after hint (ms) when the queue is
+    at capacity. *)
+
+val pending : t -> int
+
+val step : t -> Proto.response list
+(** Drain everything queued as one batch: answer hits from the cache,
+    expire overdue requests, coalesce duplicate keys, prefetch shared
+    base netlists / kernel compilations, fan the remaining unique
+    misses out over the pool, fill the cache, and return responses in
+    arrival order. *)
+
+val process : t -> Proto.request list -> Proto.response list
+(** Convenience driver: submit each request ([Rejected] responses are
+    synthesised inline for overflow) and {!step} until drained;
+    responses come back in input order. *)
+
+val metrics : t -> Ggpu_obs.Metrics.snapshot
+(** The engine's own registry: [serve.requests], [serve.batches],
+    [serve.cache.hit]/[miss]/[eviction]/[coalesced],
+    [serve.netlist.build]/[reuse], [serve.kernel.compile]/[reuse],
+    [serve.rejected], [serve.expired], [serve.failed], and the
+    [serve.queue.high_water] / [serve.pool.domains] gauges. *)
+
+val hit_rate : t -> float option
+(** (hits + coalesced) / (hits + coalesced + misses); [None] before any
+    keyed request. *)

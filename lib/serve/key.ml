@@ -1,0 +1,43 @@
+(* Keys are full canonical strings; hashing is only for shard choice
+   and wire-visible digests, never for identity. *)
+
+let fnv1a64 s =
+  let offset_basis = 0xcbf29ce484222325L in
+  let prime = 0x100000001b3L in
+  let h = ref offset_basis in
+  String.iter
+    (fun c ->
+      h := Int64.logxor !h (Int64.of_int (Char.code c));
+      h := Int64.mul !h prime)
+    s;
+  !h
+
+let hash_hex s = Printf.sprintf "%016Lx" (fnv1a64 s)
+
+let shard ~shards key =
+  if shards < 1 then invalid_arg "Key.shard: shards < 1";
+  Int64.to_int (Int64.rem (Int64.logand (fnv1a64 key) Int64.max_int)
+                  (Int64.of_int shards))
+
+(* The tech models are plain records of floats and ints; Marshal gives
+   a canonical byte rendering of every parameter without naming each
+   field of four nested model types.  The hash only has to separate
+   models within one server process, where Marshal is deterministic. *)
+let tech (t : Ggpu_tech.Tech.t) =
+  Printf.sprintf "%s:%s" t.Ggpu_tech.Tech.name
+    (hash_hex (Marshal.to_string t []))
+
+let synth ~tech:t spec =
+  Printf.sprintf "synth|tech=%s|%s" (tech t) (Ggpu_core.Spec.canonical spec)
+
+let sim ~config ~kernel ~global_size ~local_size =
+  Printf.sprintf "sim|k=%s;g=%d;l=%d|%s" kernel global_size local_size
+    (Ggpu_fgpu.Config.canonical config)
+
+let perf ~config ~kernel ~global_size ~local_size ~stride =
+  Printf.sprintf "perf|stride=%d|k=%s;g=%d;l=%d|%s" stride kernel global_size
+    local_size
+    (Ggpu_fgpu.Config.canonical config)
+
+let base_netlist ~cus = Printf.sprintf "base|cus=%d" cus
+let compiled_kernel name = "compiled|" ^ name

@@ -1,0 +1,56 @@
+(** Content-hashed memo-cache keys.
+
+    A key is the full canonical rendering of everything the cached
+    result is a function of — request kind, normalised geometry, the
+    complete simulator configuration ({!Ggpu_fgpu.Config.canonical}),
+    the spec ({!Ggpu_core.Spec.canonical}) and a technology
+    fingerprint.  The cache is keyed on the whole string (collisions
+    are impossible by construction); the 64-bit FNV-1a hash is used
+    only to pick a shard. *)
+
+val fnv1a64 : string -> int64
+(** FNV-1a over the bytes of the string. *)
+
+val hash_hex : string -> string
+(** [fnv1a64] as 16 lowercase hex digits (wire-visible key digest). *)
+
+val shard : shards:int -> string -> int
+(** Shard index in [0, shards) from the key's hash. *)
+
+val tech : Ggpu_tech.Tech.t -> string
+(** Technology fingerprint: the model name plus a content hash of every
+    numeric parameter, so a retuned model never aliases a cached
+    result. *)
+
+val synth : tech:Ggpu_tech.Tech.t -> Ggpu_core.Spec.t -> string
+(** Key of a synthesis / DSE request (netlist generation + STA + DSE
+    ride on this result). *)
+
+val sim :
+  config:Ggpu_fgpu.Config.t ->
+  kernel:string ->
+  global_size:int ->
+  local_size:int ->
+  string
+(** Key of a simulation request.  Execution backend and domain fan-out
+    are deliberately not part of the key: simulated results are
+    bit-identical across both (enforced by tests). *)
+
+val perf :
+  config:Ggpu_fgpu.Config.t ->
+  kernel:string ->
+  global_size:int ->
+  local_size:int ->
+  stride:int ->
+  string
+(** Key of a PMU perf-report request; [stride] is the hot-PC sampling
+    period, which changes the report (but never the simulated run). *)
+
+val base_netlist : cus:int -> string
+(** Key of a memoized pre-DSE base netlist, shared by every synth
+    request of the same CU count — the batching axis.  RTL generation
+    is technology-agnostic (the paper's point), so tech is not part of
+    this key. *)
+
+val compiled_kernel : string -> string
+(** Key of a memoized FGPU compilation of the named suite kernel. *)

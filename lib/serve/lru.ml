@@ -1,0 +1,75 @@
+(* Classic hashtable + doubly-linked recency list.  [head] is the
+   most-recently-used end; eviction pops [tail]. *)
+
+type 'a node = {
+  key : string;
+  mutable value : 'a;
+  mutable prev : 'a node option;
+  mutable next : 'a node option;
+}
+
+type 'a t = {
+  capacity : int;
+  table : (string, 'a node) Hashtbl.t;
+  mutable head : 'a node option;
+  mutable tail : 'a node option;
+  mutable length : int;
+}
+
+let create ~capacity =
+  if capacity < 1 then invalid_arg "Lru.create: capacity < 1";
+  { capacity; table = Hashtbl.create 64; head = None; tail = None; length = 0 }
+
+let capacity t = t.capacity
+let length t = t.length
+
+let unlink t node =
+  (match node.prev with
+  | Some p -> p.next <- node.next
+  | None -> t.head <- node.next);
+  (match node.next with
+  | Some n -> n.prev <- node.prev
+  | None -> t.tail <- node.prev);
+  node.prev <- None;
+  node.next <- None
+
+let push_front t node =
+  node.next <- t.head;
+  (match t.head with Some h -> h.prev <- Some node | None -> t.tail <- Some node);
+  t.head <- Some node
+
+let find t key =
+  match Hashtbl.find_opt t.table key with
+  | None -> None
+  | Some node ->
+      unlink t node;
+      push_front t node;
+      Some node.value
+
+let add t key value =
+  match Hashtbl.find_opt t.table key with
+  | Some node ->
+      node.value <- value;
+      unlink t node;
+      push_front t node;
+      0
+  | None ->
+      let node = { key; value; prev = None; next = None } in
+      Hashtbl.replace t.table key node;
+      push_front t node;
+      t.length <- t.length + 1;
+      if t.length <= t.capacity then 0
+      else begin
+        let victim = Option.get t.tail in
+        unlink t victim;
+        Hashtbl.remove t.table victim.key;
+        t.length <- t.length - 1;
+        1
+      end
+
+let to_alist t =
+  let rec go acc = function
+    | None -> List.rev acc
+    | Some node -> go ((node.key, node.value) :: acc) node.next
+  in
+  go [] t.head

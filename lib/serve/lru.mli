@@ -1,0 +1,22 @@
+(** Bounded string-keyed LRU map: the storage cell of the serve memo
+    cache.  One shard of {!Engine}'s sharded cache; not thread-safe on
+    its own (the engine serialises access). *)
+
+type 'a t
+
+val create : capacity:int -> 'a t
+(** @raise Invalid_argument when [capacity < 1]. *)
+
+val capacity : 'a t -> int
+val length : 'a t -> int
+
+val find : 'a t -> string -> 'a option
+(** Lookup; a hit promotes the entry to most-recently-used. *)
+
+val add : 'a t -> string -> 'a -> int
+(** Insert or replace (either way the entry becomes most-recently-used)
+    and return how many entries were evicted to stay within capacity
+    (0 or 1). *)
+
+val to_alist : 'a t -> (string * 'a) list
+(** Most-recently-used first (tests). *)

@@ -1,0 +1,192 @@
+(* Newline-delimited JSON wire format.  Requests parse strictly;
+   responses embed the cached payload bytes verbatim (the payload is
+   JSON the engine itself emitted, so splicing it into the response
+   line keeps the line valid while preserving byte identity). *)
+
+open Ggpu_obs
+
+type kind =
+  | Synth of { cus : int; freq_mhz : int }
+  | Sim of { kernel : string; cus : int; size : int }
+  | Perf of { kernel : string; cus : int; size : int }
+
+type request = {
+  id : int;
+  tech : string;
+  kind : kind;
+  deadline_ms : int option;
+}
+
+type status =
+  | Done
+  | Rejected of { retry_after_ms : int }
+  | Expired
+  | Failed of string
+
+type response = {
+  id : int;
+  status : status;
+  cached : bool;
+  key : string;
+  result : string;
+}
+
+type control = Ping | Stats | Shutdown
+type incoming = Req of request | Control of control
+
+let mk_request ?deadline_ms ?(tech = "65nm") ~id kind =
+  { id; tech; kind; deadline_ms }
+
+let kind_name = function Synth _ -> "synth" | Sim _ -> "sim" | Perf _ -> "perf"
+
+let request_to_line r =
+  let kind_fields =
+    match r.kind with
+    | Synth { cus; freq_mhz } ->
+        [ ("cus", Json.Int cus); ("freq_mhz", Json.Int freq_mhz) ]
+    | Sim { kernel; cus; size } | Perf { kernel; cus; size } ->
+        [
+          ("kernel", Json.String kernel);
+          ("cus", Json.Int cus);
+          ("size", Json.Int size);
+        ]
+  in
+  Json.to_string
+    (Json.Obj
+       ([ ("id", Json.Int r.id); ("kind", Json.String (kind_name r.kind)) ]
+       @ kind_fields
+       @ [ ("tech", Json.String r.tech) ]
+       @
+       match r.deadline_ms with
+       | Some d -> [ ("deadline_ms", Json.Int d) ]
+       | None -> []))
+
+let control_to_line c =
+  Json.to_string
+    (Json.Obj
+       [
+         ( "control",
+           Json.String
+             (match c with
+             | Ping -> "ping"
+             | Stats -> "stats"
+             | Shutdown -> "shutdown") );
+       ])
+
+let int_member name j =
+  match Json.member name j with
+  | Some (Json.Int i) -> Ok i
+  | Some _ -> Error (Printf.sprintf "field %S must be an integer" name)
+  | None -> Error (Printf.sprintf "missing field %S" name)
+
+let string_member name j =
+  match Json.member name j with
+  | Some (Json.String s) -> Ok s
+  | Some _ -> Error (Printf.sprintf "field %S must be a string" name)
+  | None -> Error (Printf.sprintf "missing field %S" name)
+
+let ( let* ) = Result.bind
+
+let request_of_json j =
+  let* id = int_member "id" j in
+  let* kind_s = string_member "kind" j in
+  let tech =
+    match Json.member "tech" j with Some (Json.String s) -> s | _ -> "65nm"
+  in
+  let deadline_ms =
+    match Json.member "deadline_ms" j with Some (Json.Int d) -> Some d | _ -> None
+  in
+  let* kind =
+    match kind_s with
+    | "synth" ->
+        let* cus = int_member "cus" j in
+        let* freq_mhz = int_member "freq_mhz" j in
+        Ok (Synth { cus; freq_mhz })
+    | "sim" | "perf" ->
+        let* kernel = string_member "kernel" j in
+        let* cus = int_member "cus" j in
+        let* size = int_member "size" j in
+        Ok
+          (if kind_s = "sim" then Sim { kernel; cus; size }
+           else Perf { kernel; cus; size })
+    | other -> Error (Printf.sprintf "unknown request kind %S" other)
+  in
+  Ok { id; tech; kind; deadline_ms }
+
+let incoming_of_line line =
+  let* j = Json.parse line in
+  match Json.member "control" j with
+  | Some (Json.String "ping") -> Ok (Control Ping)
+  | Some (Json.String "stats") -> Ok (Control Stats)
+  | Some (Json.String "shutdown") -> Ok (Control Shutdown)
+  | Some _ -> Error "unknown control message"
+  | None ->
+      let* r = request_of_json j in
+      Ok (Req r)
+
+let status_fields = function
+  | Done -> [ ("status", Json.String "ok") ]
+  | Rejected { retry_after_ms } ->
+      [
+        ("status", Json.String "rejected");
+        ("retry_after_ms", Json.Int retry_after_ms);
+      ]
+  | Expired -> [ ("status", Json.String "expired") ]
+  | Failed msg ->
+      [ ("status", Json.String "failed"); ("error", Json.String msg) ]
+
+let response_to_line r =
+  (* render the envelope without the payload, then splice the payload
+     bytes in verbatim as the (last) "result" field, so cached results
+     reach the wire byte-identical to the cold computation *)
+  let envelope =
+    Json.Obj
+      ([ ("id", Json.Int r.id) ]
+      @ status_fields r.status
+      @ [ ("cached", Json.Bool r.cached) ]
+      @ if r.key = "" then [] else [ ("key", Json.String r.key) ])
+  in
+  let s = Json.to_string envelope in
+  if r.result = "" then s
+  else
+    String.sub s 0 (String.length s - 1)
+    ^ ",\"result\":" ^ r.result ^ "}"
+
+let response_of_line line =
+  let* j = Json.parse line in
+  let* id = int_member "id" j in
+  let* status_s = string_member "status" j in
+  let* status =
+    match status_s with
+    | "ok" -> Ok Done
+    | "rejected" ->
+        let retry =
+          match Json.member "retry_after_ms" j with
+          | Some (Json.Int d) -> d
+          | _ -> 0
+        in
+        Ok (Rejected { retry_after_ms = retry })
+    | "expired" -> Ok Expired
+    | "failed" ->
+        let msg =
+          match Json.member "error" j with Some (Json.String m) -> m | _ -> ""
+        in
+        Ok (Failed msg)
+    | other -> Error (Printf.sprintf "unknown status %S" other)
+  in
+  let cached =
+    match Json.member "cached" j with Some (Json.Bool b) -> b | _ -> false
+  in
+  let key =
+    match Json.member "key" j with Some (Json.String k) -> k | _ -> ""
+  in
+  let result =
+    match Json.member "result" j with
+    | Some (Json.Null) | None -> ""
+    | Some payload -> Json.to_string payload
+  in
+  Ok { id; status; cached; key; result }
+
+let result_json r =
+  if r.status <> Done || r.result = "" then None
+  else match Json.parse r.result with Ok j -> Some j | Error _ -> None

@@ -1,0 +1,53 @@
+(* SplitMix64-style generator: the same stream on every OCaml version
+   and platform, so replay workloads are comparable across machines. *)
+
+let next_state s = Int64.add s 0x9E3779B97F4A7C15L
+
+let mix_bits z =
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30))
+            0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27))
+            0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+(* The parameter universe.  Kept deliberately small: a service replay
+   is interesting because the Table-I-style grid keeps re-asking for
+   the same configurations.  Synths stop at 4 CUs so a cold miss stays
+   cheap enough for thousands-of-request replays. *)
+let kernels =
+  [ "mat_mul"; "copy"; "vec_mul"; "fir"; "div_int"; "xcorr"; "parallel_sel" ]
+
+let sim_cus = [ 1; 2; 4 ]
+let sim_sizes = [ 256; 1024 ]
+let synth_cus = [ 1; 2; 4 ]
+let synth_freqs = [ 500; 590; 667 ]
+let perf_sizes = [ 256 ]
+
+let universe =
+  List.length kernels * List.length sim_cus * List.length sim_sizes
+  + (List.length synth_cus * List.length synth_freqs)
+  + (List.length kernels * List.length sim_cus * List.length perf_sizes)
+
+let mix ?tech ~seed ~n () =
+  let state = ref (mix_bits (Int64.of_int (succ seed))) in
+  let draw bound =
+    state := next_state !state;
+    Int64.to_int
+      (Int64.rem
+         (Int64.logand (mix_bits !state) Int64.max_int)
+         (Int64.of_int bound))
+  in
+  let pick xs = List.nth xs (draw (List.length xs)) in
+  List.init n (fun i ->
+      let kind =
+        match draw 10 with
+        | 0 | 1 | 2 | 3 | 4 ->
+            Proto.Sim { kernel = pick kernels; cus = pick sim_cus;
+                        size = pick sim_sizes }
+        | 5 | 6 | 7 ->
+            Proto.Synth { cus = pick synth_cus; freq_mhz = pick synth_freqs }
+        | _ ->
+            Proto.Perf { kernel = pick kernels; cus = pick sim_cus;
+                         size = pick perf_sizes }
+      in
+      Proto.mk_request ?tech ~id:(i + 1) kind)

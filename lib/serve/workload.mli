@@ -1,0 +1,14 @@
+(** Seeded request-mix generator for the load bench and the CI smoke
+    replay: a deterministic stream of mixed synth / sim / perf requests
+    drawn from a bounded parameter universe, so long replays revisit
+    keys and exercise the memo cache the way grid traffic does. *)
+
+val universe : int
+(** Number of distinct memo keys the mix can draw (the expected steady-
+    state hit rate of an [n]-request replay is roughly
+    [1 - universe/n]). *)
+
+val mix : ?tech:string -> seed:int -> n:int -> unit -> Proto.request list
+(** [n] requests with ids [1..n].  Same [seed], same list — the replay
+    is reproducible across processes and machines.  Roughly half are
+    sims, a third synths, the rest perf-reports. *)

@@ -1,0 +1,474 @@
+(* The serving subsystem: memo-cache key injectivity, byte-identical
+   cache hits across backends and pool sizes, batching/coalescing,
+   LRU bounds, backpressure, deadlines, the persistent domain pool and
+   the wire protocol. *)
+
+module E = Ggpu_serve.Engine
+module P = Ggpu_serve.Proto
+module K = Ggpu_serve.Key
+module L = Ggpu_serve.Lru
+module W = Ggpu_serve.Workload
+module C = Ggpu_fgpu.Config
+module Pool = Ggpu_par.Parallel.Pool
+module Json = Ggpu_obs.Json
+
+let counter engine name =
+  Option.value ~default:0
+    (Ggpu_obs.Metrics.find_counter (E.metrics engine) name)
+
+let req ?deadline_ms ?tech ~id kind = P.mk_request ?deadline_ms ?tech ~id kind
+let sim ~kernel ~cus ~size = P.Sim { kernel; cus; size }
+let perf ~kernel ~cus ~size = P.Perf { kernel; cus; size }
+let synth ~cus ~freq_mhz = P.Synth { cus; freq_mhz }
+
+let key_exn r =
+  match E.key_of_request r with
+  | Ok k -> k
+  | Error msg -> Alcotest.failf "expected a key, got error: %s" msg
+
+(* --- keys ---------------------------------------------------------------- *)
+
+let test_key_perturbations () =
+  let base = req ~id:1 (sim ~kernel:"copy" ~cus:2 ~size:256) in
+  let distinct what a b =
+    Alcotest.(check bool)
+      (what ^ " changes the key") false
+      (String.equal (key_exn a) (key_exn b))
+  in
+  distinct "cus" base (req ~id:1 (sim ~kernel:"copy" ~cus:4 ~size:256));
+  distinct "kernel" base (req ~id:1 (sim ~kernel:"vec_mul" ~cus:2 ~size:256));
+  distinct "size" base (req ~id:1 (sim ~kernel:"copy" ~cus:2 ~size:1024));
+  distinct "kind" base (req ~id:1 (perf ~kernel:"copy" ~cus:2 ~size:256));
+  (* the id is NOT part of any key; neither is the tech of a sim —
+     simulation is technology-agnostic, so 65nm and 28nm sims share one
+     cached result by design *)
+  Alcotest.(check string)
+    "id never enters the key" (key_exn base)
+    (key_exn (req ~id:999 (sim ~kernel:"copy" ~cus:2 ~size:256)));
+  Alcotest.(check string)
+    "tech never enters a sim key" (key_exn base)
+    (key_exn (req ~tech:"28nm" ~id:1 (sim ~kernel:"copy" ~cus:2 ~size:256)));
+  let sbase = req ~id:1 (synth ~cus:2 ~freq_mhz:590) in
+  distinct "synth freq" sbase (req ~id:1 (synth ~cus:2 ~freq_mhz:667));
+  distinct "synth cus" sbase (req ~id:1 (synth ~cus:4 ~freq_mhz:590));
+  distinct "synth tech" sbase
+    (req ~tech:"28nm" ~id:1 (synth ~cus:2 ~freq_mhz:590));
+  distinct "synth vs sim" sbase base;
+  (* pmu stride is part of a perf key, never of a sim key *)
+  let p = req ~id:1 (perf ~kernel:"copy" ~cus:2 ~size:256) in
+  Alcotest.(check bool)
+    "perf stride changes the key" false
+    (String.equal
+       (Result.get_ok (E.key_of_request ~pmu_stride:64 p))
+       (Result.get_ok (E.key_of_request ~pmu_stride:128 p)))
+
+let test_key_cache_config () =
+  let with_cache cache = { C.default with C.cache } in
+  let k cache =
+    K.sim ~config:(with_cache cache) ~kernel:"copy" ~global_size:256
+      ~local_size:64
+  in
+  let base = C.default.C.cache in
+  let distinct what cache =
+    Alcotest.(check bool)
+      (what ^ " changes the key") false
+      (String.equal (k base) (k cache))
+  in
+  distinct "cache size" { base with C.size_bytes = base.C.size_bytes * 2 };
+  distinct "line words" { base with C.line_words = base.C.line_words * 2 };
+  distinct "cache ports" { base with C.ports = base.C.ports + 1 };
+  distinct "hit latency" { base with C.hit_latency = base.C.hit_latency + 1 }
+
+let test_key_digest () =
+  let key = key_exn (req ~id:1 (sim ~kernel:"copy" ~cus:1 ~size:256)) in
+  let hex = K.hash_hex key in
+  Alcotest.(check int) "digest is 16 hex chars" 16 (String.length hex);
+  String.iter
+    (fun c ->
+      Alcotest.(check bool) "hex digit" true
+        ((c >= '0' && c <= '9') || (c >= 'a' && c <= 'f')))
+    hex;
+  for shards = 1 to 9 do
+    let s = K.shard ~shards key in
+    Alcotest.(check bool) "shard in range" true (s >= 0 && s < shards)
+  done
+
+(* qcheck: the sim key is injective on (geometry, cache, axi, kernel) —
+   two configurations produce the same key iff they are the same
+   configuration. *)
+let kernels = [| "copy"; "vec_mul"; "fir"; "mat_mul" |]
+
+let key_params_gen =
+  QCheck.Gen.(
+    map
+      (fun ((cus, kb), ((line, ports), (axi, k))) ->
+        (cus, kb, line, ports, axi, k))
+      (pair
+         (pair (int_range 1 8) (oneofl [ 8; 16; 32 ]))
+         (pair
+            (pair (oneofl [ 4; 8 ]) (oneofl [ 1; 2; 4 ]))
+            (pair (int_range 1 4) (int_range 0 3)))))
+
+let key_params =
+  QCheck.make
+    ~print:(fun (cus, kb, line, ports, axi, k) ->
+      Printf.sprintf "cus=%d kb=%d line=%d ports=%d axi=%d kernel=%s" cus kb
+        line ports axi kernels.(k))
+    key_params_gen
+
+let config_of (cus, kb, line, ports, axi, _) =
+  {
+    (C.with_cus C.default cus) with
+    C.cache =
+      {
+        C.default.C.cache with
+        C.size_bytes = kb * 1024;
+        line_words = line;
+        ports;
+      };
+    axi = { C.default.C.axi with C.data_ports = axi };
+  }
+
+let key_of (_, _, _, _, _, k) config =
+  K.sim ~config ~kernel:kernels.(k) ~global_size:256 ~local_size:64
+
+let key_injective =
+  QCheck.Test.make ~count:500 ~name:"sim key injective on config"
+    (QCheck.pair key_params key_params)
+    (fun (a, b) ->
+      String.equal (key_of a (config_of a)) (key_of b (config_of b)) = (a = b))
+
+(* --- lru ----------------------------------------------------------------- *)
+
+let test_lru () =
+  let l = L.create ~capacity:2 in
+  Alcotest.(check int) "capacity" 2 (L.capacity l);
+  Alcotest.(check int) "evicts nothing below capacity" 0 (L.add l "a" 1);
+  Alcotest.(check int) "evicts nothing at capacity" 0 (L.add l "b" 2);
+  (* touch a so b becomes the LRU victim *)
+  Alcotest.(check (option int)) "find a" (Some 1) (L.find l "a");
+  Alcotest.(check int) "evicts one above capacity" 1 (L.add l "c" 3);
+  Alcotest.(check (option int)) "b evicted" None (L.find l "b");
+  Alcotest.(check (option int)) "a survived" (Some 1) (L.find l "a");
+  Alcotest.(check int) "length bounded" 2 (L.length l);
+  Alcotest.(check int) "replace does not evict" 0 (L.add l "a" 10);
+  Alcotest.(check (option int)) "replaced value" (Some 10) (L.find l "a");
+  Alcotest.(check bool) "mru first" true
+    (fst (List.hd (L.to_alist l)) = "a");
+  Alcotest.check_raises "capacity must be positive"
+    (Invalid_argument "Lru.create: capacity < 1") (fun () ->
+      ignore (L.create ~capacity:0))
+
+(* --- engine: byte-identity ----------------------------------------------- *)
+
+let done_result (r : P.response) =
+  (match r.P.status with
+  | P.Done -> ()
+  | P.Failed msg -> Alcotest.failf "request failed: %s" msg
+  | _ -> Alcotest.fail "request not Done");
+  r.P.result
+
+let test_cold_warm_identical () =
+  let engine = E.create () in
+  List.iter
+    (fun kind ->
+      let cold = E.process engine [ req ~id:1 kind ] in
+      let warm = E.process engine [ req ~id:2 kind ] in
+      match (cold, warm) with
+      | [ c ], [ w ] ->
+          Alcotest.(check bool) "cold is uncached" false c.P.cached;
+          Alcotest.(check bool) "warm is cached" true w.P.cached;
+          Alcotest.(check string)
+            "cache hit bytes == cold bytes" (done_result c) (done_result w);
+          Alcotest.(check string) "same key digest" c.P.key w.P.key;
+          Alcotest.(check bool) "payload non-empty" true
+            (String.length c.P.result > 0)
+      | _ -> Alcotest.fail "one response per request")
+    [
+      sim ~kernel:"copy" ~cus:2 ~size:256;
+      perf ~kernel:"copy" ~cus:2 ~size:256;
+      synth ~cus:1 ~freq_mhz:500;
+    ];
+  Alcotest.(check int) "three misses" 3 (counter engine "serve.cache.miss");
+  Alcotest.(check int) "three hits" 3 (counter engine "serve.cache.hit")
+
+let test_backends_identical () =
+  let engine_of backend =
+    E.create ~config:{ E.default_config with E.backend } ()
+  in
+  let thr = engine_of Ggpu_fgpu.Gpu.Threaded in
+  let int_ = engine_of Ggpu_fgpu.Gpu.Interp in
+  List.iter
+    (fun kind ->
+      let a = E.process thr [ req ~id:1 kind ] in
+      let b = E.process int_ [ req ~id:1 kind ] in
+      Alcotest.(check string)
+        "threaded and interp payload bytes identical"
+        (done_result (List.hd a))
+        (done_result (List.hd b)))
+    [
+      sim ~kernel:"vec_mul" ~cus:2 ~size:256;
+      sim ~kernel:"div_int" ~cus:1 ~size:256;
+      perf ~kernel:"copy" ~cus:2 ~size:256;
+    ]
+
+let test_pool_sizes_identical () =
+  let batch =
+    [
+      req ~id:1 (sim ~kernel:"copy" ~cus:1 ~size:256);
+      req ~id:2 (sim ~kernel:"vec_mul" ~cus:2 ~size:256);
+      req ~id:3 (synth ~cus:1 ~freq_mhz:500);
+      req ~id:4 (perf ~kernel:"fir" ~cus:2 ~size:256);
+      req ~id:5 (sim ~kernel:"copy" ~cus:1 ~size:256) (* dup of 1 *);
+    ]
+  in
+  let serial = E.process (E.create ()) batch in
+  let pool = Pool.create ~domains:3 () in
+  Fun.protect ~finally:(fun () -> Pool.shutdown pool) @@ fun () ->
+  let engine = E.create ~pool () in
+  Alcotest.(check int) "pool size visible" 3 (E.pool_size engine);
+  let parallel = E.process engine batch in
+  List.iter2
+    (fun (s : P.response) (p : P.response) ->
+      Alcotest.(check int) "responses in arrival order" s.P.id p.P.id;
+      Alcotest.(check string) "payload bytes identical" s.P.result p.P.result)
+    serial parallel;
+  Alcotest.(check int)
+    "duplicate coalesced, not recomputed" 1
+    (counter engine "serve.cache.coalesced");
+  Alcotest.(check bool) "coalesced reply marked cached" true
+    (List.nth parallel 4).P.cached
+
+let test_batch_shares_artifacts () =
+  let engine = E.create () in
+  let responses =
+    E.process engine
+      [
+        req ~id:1 (synth ~cus:1 ~freq_mhz:500);
+        req ~id:2 (synth ~cus:1 ~freq_mhz:590);
+        req ~id:3 (sim ~kernel:"copy" ~cus:1 ~size:256);
+        req ~id:4 (perf ~kernel:"copy" ~cus:1 ~size:256);
+      ]
+  in
+  List.iter (fun r -> ignore (done_result r)) responses;
+  (* one base netlist serves both synth targets; one compilation serves
+     sim and perf of the same kernel *)
+  Alcotest.(check int) "one base built" 1 (counter engine "serve.netlist.build");
+  Alcotest.(check int) "base reused" 1 (counter engine "serve.netlist.reuse");
+  Alcotest.(check int) "one kernel compiled" 1
+    (counter engine "serve.kernel.compile");
+  Alcotest.(check int) "compilation reused" 1
+    (counter engine "serve.kernel.reuse")
+
+(* --- engine: bounds and failure modes ------------------------------------ *)
+
+let test_eviction () =
+  let engine =
+    E.create
+      ~config:{ E.default_config with E.cache_capacity = 2; shards = 1 }
+      ()
+  in
+  let one id kernel = req ~id (sim ~kernel ~cus:1 ~size:256) in
+  ignore (E.process engine [ one 1 "copy" ]);
+  ignore (E.process engine [ one 2 "vec_mul" ]);
+  ignore (E.process engine [ one 3 "fir" ]);
+  Alcotest.(check int) "one eviction" 1 (counter engine "serve.cache.eviction");
+  (* copy was the LRU entry, so it is gone and misses again *)
+  let r = List.hd (E.process engine [ one 4 "copy" ]) in
+  Alcotest.(check bool) "evicted key misses" false r.P.cached;
+  Alcotest.(check int) "4 misses total" 4 (counter engine "serve.cache.miss")
+
+let test_backpressure () =
+  let engine =
+    E.create ~config:{ E.default_config with E.queue_capacity = 2 } ()
+  in
+  let r id = req ~id (sim ~kernel:"copy" ~cus:1 ~size:256) in
+  Alcotest.(check bool) "first queued" true (E.submit engine (r 1) = `Queued);
+  Alcotest.(check bool) "second queued" true (E.submit engine (r 2) = `Queued);
+  (match E.submit engine (r 3) with
+  | `Rejected ms -> Alcotest.(check bool) "retry hint positive" true (ms > 0)
+  | `Queued -> Alcotest.fail "third must be rejected");
+  Alcotest.(check int) "rejection counted" 1 (counter engine "serve.rejected");
+  Alcotest.(check int) "queue drained" 2 (List.length (E.step engine));
+  (* process synthesises the rejection inline, in input order *)
+  let responses = E.process engine [ r 1; r 2; r 3 ] in
+  match (List.nth responses 2).P.status with
+  | P.Rejected { retry_after_ms } ->
+      Alcotest.(check bool) "inline retry hint" true (retry_after_ms > 0)
+  | _ -> Alcotest.fail "third response must be Rejected"
+
+let test_deadline () =
+  let engine = E.create () in
+  let r =
+    req ~deadline_ms:0 ~id:1 (sim ~kernel:"copy" ~cus:1 ~size:256)
+  in
+  Alcotest.(check bool) "queued" true (E.submit engine r = `Queued);
+  Unix.sleepf 0.005;
+  (match (List.hd (E.step engine)).P.status with
+  | P.Expired -> ()
+  | _ -> Alcotest.fail "overdue request must expire");
+  Alcotest.(check int) "expiry counted" 1 (counter engine "serve.expired");
+  (* a generous deadline is not triggered *)
+  let ok =
+    E.process engine
+      [ req ~deadline_ms:60_000 ~id:2 (sim ~kernel:"copy" ~cus:1 ~size:256) ]
+  in
+  ignore (done_result (List.hd ok))
+
+let test_failures () =
+  let engine = E.create () in
+  let failed kind_or_tech r =
+    match (List.hd (E.process engine [ r ])).P.status with
+    | P.Failed msg ->
+        Alcotest.(check bool)
+          (kind_or_tech ^ " failure has a message")
+          true
+          (String.length msg > 0)
+    | _ -> Alcotest.failf "%s must fail" kind_or_tech
+  in
+  failed "unknown kernel" (req ~id:1 (sim ~kernel:"nope" ~cus:1 ~size:256));
+  failed "unknown tech"
+    (req ~tech:"7nm" ~id:2 (sim ~kernel:"copy" ~cus:1 ~size:256));
+  failed "out-of-range cus" (req ~id:3 (sim ~kernel:"copy" ~cus:99 ~size:256));
+  failed "unreachable frequency" (req ~id:4 (synth ~cus:1 ~freq_mhz:5000));
+  Alcotest.(check int) "failures counted" 4 (counter engine "serve.failed");
+  Alcotest.(check (option (float 0.)))
+    "failures never enter the hit rate" None (E.hit_rate engine)
+
+(* --- pool ---------------------------------------------------------------- *)
+
+let test_pool_semantics () =
+  let pool = Pool.create ~domains:3 () in
+  Alcotest.(check int) "size" 3 (Pool.size pool);
+  let xs = List.init 100 Fun.id in
+  let doubled = Pool.map pool (fun x -> 2 * x) xs in
+  Alcotest.(check (list int)) "order preserved" (List.map (fun x -> 2 * x) xs)
+    doubled;
+  (* same workers serve a second job *)
+  let strings = Pool.map pool string_of_int xs in
+  Alcotest.(check string) "reused pool works" "42" (List.nth strings 42);
+  (* first failure in input order, like sequential map *)
+  Alcotest.check_raises "first failure re-raised" (Failure "item 3") (fun () ->
+      ignore
+        (Pool.map pool
+           (fun x ->
+             if x >= 3 then failwith (Printf.sprintf "item %d" x) else x)
+           xs));
+  Pool.shutdown pool;
+  Pool.shutdown pool (* idempotent *);
+  Alcotest.check_raises "map after shutdown raises"
+    (Invalid_argument "Parallel.Pool.map: pool is shut down") (fun () ->
+      ignore (Pool.map pool Fun.id [ 1; 2 ]))
+
+(* --- workload + protocol ------------------------------------------------- *)
+
+let test_workload () =
+  let a = W.mix ~seed:7 ~n:200 () in
+  let b = W.mix ~seed:7 ~n:200 () in
+  Alcotest.(check bool) "same seed, same mix" true (a = b);
+  Alcotest.(check bool) "different seed, different mix" false
+    (a = W.mix ~seed:8 ~n:200 ());
+  Alcotest.(check (list int)) "ids are 1..n" (List.init 200 succ)
+    (List.map (fun (r : P.request) -> r.P.id) a);
+  let count pred = List.length (List.filter pred a) in
+  let sims = count (fun r -> match r.P.kind with P.Sim _ -> true | _ -> false) in
+  let synths =
+    count (fun r -> match r.P.kind with P.Synth _ -> true | _ -> false)
+  in
+  let perfs =
+    count (fun r -> match r.P.kind with P.Perf _ -> true | _ -> false)
+  in
+  Alcotest.(check bool) "all kinds present" true
+    (sims > 0 && synths > 0 && perfs > 0);
+  Alcotest.(check int) "kinds partition the mix" 200 (sims + synths + perfs);
+  Alcotest.(check bool) "mix stays within the key universe" true
+    (W.universe > 0);
+  (* every request in the mix resolves to a valid key *)
+  List.iter (fun r -> ignore (key_exn r)) a
+
+let test_proto_roundtrip () =
+  let reqs =
+    [
+      req ~id:1 (synth ~cus:2 ~freq_mhz:667);
+      req ~tech:"28nm" ~id:42 (sim ~kernel:"copy" ~cus:4 ~size:1024);
+      req ~deadline_ms:250 ~id:7 (perf ~kernel:"fir" ~cus:1 ~size:256);
+    ]
+  in
+  List.iter
+    (fun r ->
+      match P.incoming_of_line (P.request_to_line r) with
+      | Ok (P.Req r') ->
+          Alcotest.(check bool) "request round-trips" true (r = r')
+      | Ok (P.Control _) -> Alcotest.fail "parsed as control"
+      | Error msg -> Alcotest.failf "parse error: %s" msg)
+    reqs;
+  List.iter
+    (fun c ->
+      match P.incoming_of_line (P.control_to_line c) with
+      | Ok (P.Control c') ->
+          Alcotest.(check bool) "control round-trips" true (c = c')
+      | _ -> Alcotest.fail "control did not round-trip")
+    [ P.Ping; P.Stats; P.Shutdown ];
+  let payload =
+    Json.to_string
+      (Json.Obj [ ("kind", Json.String "sim"); ("cycles", Json.Int 123) ])
+  in
+  let resp =
+    { P.id = 9; status = P.Done; cached = true; key = "00ff00ff00ff00ff";
+      result = payload }
+  in
+  (match P.response_of_line (P.response_to_line resp) with
+  | Ok r' ->
+      Alcotest.(check bool) "response round-trips" true (resp = r');
+      Alcotest.(check string) "payload bytes preserved" payload r'.P.result
+  | Error msg -> Alcotest.failf "response parse error: %s" msg);
+  List.iter
+    (fun status ->
+      let resp = { P.id = 1; status; cached = false; key = ""; result = "" } in
+      match P.response_of_line (P.response_to_line resp) with
+      | Ok r' -> Alcotest.(check bool) "status round-trips" true (resp = r')
+      | Error msg -> Alcotest.failf "status parse error: %s" msg)
+    [ P.Rejected { retry_after_ms = 50 }; P.Expired; P.Failed "boom" ]
+
+(* the wire line of a cache hit is byte-identical to the cold one,
+   end to end through the response encoder *)
+let test_wire_bytes_identical () =
+  let engine = E.create () in
+  let kind = sim ~kernel:"copy" ~cus:1 ~size:256 in
+  let cold = List.hd (E.process engine [ req ~id:5 kind ]) in
+  let warm = List.hd (E.process engine [ req ~id:5 kind ]) in
+  Alcotest.(check string)
+    "only the cached flag differs on the wire"
+    (P.response_to_line { cold with P.cached = true })
+    (P.response_to_line warm)
+
+let qcheck = QCheck_alcotest.to_alcotest
+
+let suite =
+  [
+    ( "serve",
+      [
+        Alcotest.test_case "key perturbations" `Quick test_key_perturbations;
+        Alcotest.test_case "key cache config" `Quick test_key_cache_config;
+        Alcotest.test_case "key digest" `Quick test_key_digest;
+        qcheck key_injective;
+        Alcotest.test_case "lru" `Quick test_lru;
+        Alcotest.test_case "cold/warm byte-identical" `Quick
+          test_cold_warm_identical;
+        Alcotest.test_case "backends byte-identical" `Quick
+          test_backends_identical;
+        Alcotest.test_case "pool sizes byte-identical" `Quick
+          test_pool_sizes_identical;
+        Alcotest.test_case "batch shares artifacts" `Quick
+          test_batch_shares_artifacts;
+        Alcotest.test_case "lru eviction" `Quick test_eviction;
+        Alcotest.test_case "backpressure" `Quick test_backpressure;
+        Alcotest.test_case "deadline expiry" `Quick test_deadline;
+        Alcotest.test_case "failure statuses" `Quick test_failures;
+        Alcotest.test_case "pool semantics" `Quick test_pool_semantics;
+        Alcotest.test_case "workload mix" `Quick test_workload;
+        Alcotest.test_case "proto round-trips" `Quick test_proto_roundtrip;
+        Alcotest.test_case "wire bytes identical" `Quick
+          test_wire_bytes_identical;
+      ] );
+  ]
