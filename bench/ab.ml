@@ -1,6 +1,8 @@
 (* Scratch A/B harness: alternate backends in-process to separate real
-   engine differences from machine noise.  Usage:
-     dune exec bench/ab.exe -- [kernel] [size] [reps]            *)
+   engine differences from machine noise, and report simulated cycles
+   with and without the superopt peephole so the cycle delta rides
+   along with throughput.  Usage:
+     dune exec bench/ab.exe -- [kernel] [size] [reps] [t|i|both]    *)
 
 let () =
   let kernel = try Sys.argv.(1) with _ -> "parallel_sel" in
@@ -9,8 +11,11 @@ let () =
   let w = Ggpu_kernels.Suite.find kernel in
   let size = w.Ggpu_kernels.Suite.round_size size in
   let config = Ggpu_fgpu.Config.with_cus Ggpu_fgpu.Config.default 4 in
-  let compiled = Ggpu_kernels.Codegen_fgpu.compile w.Ggpu_kernels.Suite.kernel in
-  let run backend =
+  let compile superopt =
+    Ggpu_kernels.Codegen_fgpu.compile ~superopt w.Ggpu_kernels.Suite.kernel
+  in
+  let compiled = compile true in
+  let run ?(compiled = compiled) backend =
     let args = w.Ggpu_kernels.Suite.mk_args ~size in
     let t0 = Unix.gettimeofday () in
     let r =
@@ -20,8 +25,17 @@ let () =
         ()
     in
     let wall = Unix.gettimeofday () -. t0 in
-    (r.Ggpu_kernels.Run_fgpu.stats.Ggpu_fgpu.Stats.wf_instructions, wall)
+    (r.Ggpu_kernels.Run_fgpu.stats, wall)
   in
+  (* one-off simulated-cycle A/B: peephole on (the shipping default)
+     vs off — deterministic, so a single run of each suffices *)
+  let opt_stats, _ = run Ggpu_fgpu.Gpu.Threaded in
+  let base_stats, _ = run ~compiled:(compile false) Ggpu_fgpu.Gpu.Threaded in
+  let opt_cyc = opt_stats.Ggpu_fgpu.Stats.cycles in
+  let base_cyc = base_stats.Ggpu_fgpu.Stats.cycles in
+  Printf.printf "%s size=%d: %d cycles (no-superopt %d, delta -%.2f%%)\n%!"
+    kernel size opt_cyc base_cyc
+    (100.0 *. float_of_int (base_cyc - opt_cyc) /. float_of_int (max 1 base_cyc));
   let engines =
     match try Sys.argv.(4) with _ -> "both" with
     | "t" -> [ ("threaded", Ggpu_fgpu.Gpu.Threaded) ]
@@ -34,10 +48,12 @@ let () =
   for _ = 1 to reps do
     List.iter
       (fun (name, b) ->
-        let wf, wall = run b in
+        let stats, wall = run b in
+        let wf = stats.Ggpu_fgpu.Stats.wf_instructions in
         let prev = try Hashtbl.find best name with Not_found -> infinity in
         if wall < prev then Hashtbl.replace best name wall;
-        Printf.printf "%-9s %8.1f ms  %.3e wf/s\n%!" name (wall *. 1e3)
+        Printf.printf "%-9s %8.1f ms  %10d cyc  %.3e wf/s\n%!" name (wall *. 1e3)
+          stats.Ggpu_fgpu.Stats.cycles
           (float_of_int wf /. wall))
       engines
   done;

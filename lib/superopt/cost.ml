@@ -1,0 +1,31 @@
+(* Per-instruction cycle cost, derived from the simulator's timing
+   model ({!Ggpu_fgpu.Gpu.do_issue}): every issue occupies the vector
+   pipeline for [beats] cycles (wavefront_size / pes), a division or
+   remainder serialises the shared iterative divider for
+   [wavefront_size * div_latency] extra cycles, a multiply adds its
+   completion latency to the wavefront's critical path, a taken branch
+   pays the flush penalty, and memory operations pay at least the
+   cache hit latency.  The search ranks candidates with these costs,
+   so "cheapest representative" means cheapest in simulated cycles for
+   a full wavefront, not fewest instructions: removing one plain ALU
+   instruction saves [beats] cycles per wavefront execution, removing
+   a divide saves three orders of magnitude more. *)
+
+open Ggpu_isa
+
+let insn_cost (cfg : Ggpu_fgpu.Config.t) (i : Fgpu_isa.t) =
+  let base = Ggpu_fgpu.Config.beats cfg + cfg.issue_overhead in
+  let alu_extra op =
+    match op with
+    | Fgpu_isa.Div | Fgpu_isa.Rem -> cfg.wavefront_size * cfg.div_latency
+    | Fgpu_isa.Mul -> cfg.mul_latency
+    | _ -> 0
+  in
+  match i with
+  | Alu (op, _, _, _) | Alui (op, _, _, _) -> base + alu_extra op
+  | Lui _ | Li _ -> base
+  | Lw _ | Sw _ -> base + cfg.cache.hit_latency
+  | Branch _ | Jump _ -> base + cfg.branch_penalty (* taken, worst case *)
+  | Special _ | Barrier | Ret -> base
+
+let seq_cost cfg l = List.fold_left (fun acc i -> acc + insn_cost cfg i) 0 l

@@ -1,0 +1,7 @@
+(** Cycle cost of instructions under the simulator's per-op latency
+    model: [beats] per issue, divider serialisation for Div/Rem,
+    multiplier completion latency for Mul, branch penalty for control
+    flow, cache hit latency for memory. *)
+
+val insn_cost : Ggpu_fgpu.Config.t -> Ggpu_isa.Fgpu_isa.t -> int
+val seq_cost : Ggpu_fgpu.Config.t -> Ggpu_isa.Fgpu_isa.t list -> int

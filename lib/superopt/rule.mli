@@ -1,0 +1,45 @@
+(** Verified rewrite rules over canonical pattern registers.
+
+    Register ids appearing in [lhs]/[rhs] are pattern variables
+    (matched injectively against concrete registers, r0 excluded);
+    opcodes and immediates are literal.  The two sides leave every
+    register equal except those in [clobbers], which must be dead at
+    the end of a matched window.  Rules serialise one-per-line through
+    the ISA's 32-bit word encoding. *)
+
+type t = {
+  lhs : Ggpu_isa.Fgpu_isa.t list;
+  rhs : Ggpu_isa.Fgpu_isa.t list;
+  clobbers : int list;
+  saved : int;  (** cycles saved per application (Config.default) *)
+}
+
+exception Parse_error of string
+
+val seq_regs : Ggpu_isa.Fgpu_isa.t list -> int list
+(** Distinct non-zero registers mentioned, sorted. *)
+
+val writes : Ggpu_isa.Fgpu_isa.t list -> int list
+(** Distinct non-zero registers written, sorted. *)
+
+val vars : t -> int list
+(** All pattern variables of the rule. *)
+
+val normalise : t -> t
+(** Rename pattern registers to 1,2,3,... in first-occurrence order,
+    so renaming-equal rules serialise identically. *)
+
+val to_line : t -> string
+val of_line : string -> t
+(** @raise Parse_error on malformed input. *)
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string
+
+val match_window : t -> Ggpu_isa.Fgpu_isa.t list -> int array option
+(** Match the lhs against a same-length window of concrete
+    instructions; on success return the substitution (pattern reg ->
+    concrete reg). *)
+
+val instantiate : t -> int array -> Ggpu_isa.Fgpu_isa.t list
+(** Instantiate the rhs under a substitution from {!match_window}. *)

@@ -1,0 +1,12 @@
+(** The checked-in, machine-generated rule table (see
+    [gpuplanner superopt mine --update]) plus text-file IO.  File
+    format: one {!Rule.to_line} entry per line; blank lines and
+    [#] comments ignored. *)
+
+val builtin_lines : string list
+val default : unit -> Rule.t list
+
+val load_file : string -> Rule.t list
+(** @raise Rule.Parse_error on malformed entries. *)
+
+val save_file : string -> Rule.t list -> unit

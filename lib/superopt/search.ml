@@ -1,0 +1,477 @@
+(* STOKE-style enumeration and rule mining over short FGPU sequences.
+
+   Pipeline: enumerate straight-line candidates over a bounded
+   operand/immediate alphabet; fingerprint each on a fixed seeded
+   test-vector set (hash of the result register's final value, so
+   sequences computing the same function of the canonical registers
+   collide); bucket by fingerprint; inside each bucket, verify
+   equivalence pairwise on a much larger vector set that crosses every
+   arithmetic corner value (0, ±1, ±2, INT_MIN, INT_MAX, 0x8000, 31)
+   against every register — division corner cases and sign-extension
+   bugs live exactly there; prune to the cheapest representative under
+   the simulator's per-op latency model ({!Cost}); and emit
+   lhs => cheapest-equivalent rules ({!Rule}).
+
+   Equivalence is established on the verification vectors, not by
+   exhausting 2^96 input states: the vector set covers all corner
+   cross-products plus seeded randoms, and downstream the golden
+   output table and the differential property test re-check every
+   applied rewrite end-to-end (see DESIGN §7 for the full soundness
+   argument).
+
+   Registers the two sides leave in different states become the rule's
+   clobber set — the peephole pass may only fire the rule where those
+   registers are dead.  The result register (the first canonical
+   register) must always be preserved.
+
+   By default the miner only emits rules whose lhs ends in a register
+   move or materialises an immediate: those are the two redundancy
+   shapes a compiler actually produces (regalloc temp-then-move;
+   constant materialised into a scratch then consumed), and the filter
+   keeps the table compact where unrestricted mining would emit one
+   rule per junk sequence.  The enumeration itself is unrestricted so
+   every bucket still contains the cheapest representatives.
+
+   Enumeration and bucket mining both fan out over
+   {!Ggpu_par.Parallel} domains; results are deterministic for any
+   domain count because candidates are re-sorted before mining and
+   rules are deduplicated and ranked at the end. *)
+
+open Ggpu_isa
+
+type space = {
+  ops : Fgpu_isa.alu_op list;
+  imms : int32 list;
+  regs : int list; (* canonical pattern registers; head = result *)
+  max_len : int;
+}
+
+let default_space =
+  {
+    ops =
+      [
+        Fgpu_isa.Add; Fgpu_isa.Sub; Fgpu_isa.Mul; Fgpu_isa.Div; Fgpu_isa.Rem;
+        Fgpu_isa.And; Fgpu_isa.Or; Fgpu_isa.Xor; Fgpu_isa.Sll; Fgpu_isa.Srl;
+        Fgpu_isa.Sra; Fgpu_isa.Slt; Fgpu_isa.Sltu;
+      ];
+    imms = [ 0l; 1l; 2l; 4l; 8l; 16l; 31l ];
+    regs = [ 1; 2; 3 ];
+    max_len = 2;
+  }
+
+type stats = {
+  alphabet : int;
+  candidates : int;
+  buckets : int;
+  verified_pairs : int;
+  truncated : bool;
+}
+
+type result = { rules : Rule.t list; stats : stats }
+
+(* --- alphabet --------------------------------------------------------- *)
+
+type entry = {
+  insn : Fgpu_isa.t;
+  dpre : Fgpu_predecode.t;
+  cost : int;
+  wreg : int; (* destination register *)
+  rmask : int; (* bitmask of registers read *)
+}
+
+let bit r = if r = 0 then 0 else 1 lsl r
+
+let alui_imm_ok op imm =
+  match op with
+  | Fgpu_isa.And | Fgpu_isa.Or | Fgpu_isa.Xor -> imm >= 0l && imm <= 0xFFFFl
+  | Fgpu_isa.Sll | Fgpu_isa.Srl | Fgpu_isa.Sra -> imm >= 0l && imm < 32l
+  | _ -> imm >= -32768l && imm <= 32767l
+
+let build_alphabet cfg space =
+  let entries = ref [] in
+  let add insn rmask =
+    let wreg = match Fgpu_isa.writes_reg insn with Some r -> r | None -> 0 in
+    entries :=
+      {
+        insn;
+        dpre = Fgpu_predecode.of_insn insn;
+        cost = Cost.insn_cost cfg insn;
+        wreg;
+        rmask;
+      }
+      :: !entries
+  in
+  List.iter
+    (fun op ->
+      List.iter
+        (fun d ->
+          List.iter
+            (fun s1 ->
+              List.iter
+                (fun s2 -> add (Fgpu_isa.Alu (op, d, s1, s2)) (bit s1 lor bit s2))
+                space.regs)
+            space.regs)
+        space.regs)
+    space.ops;
+  List.iter
+    (fun op ->
+      List.iter
+        (fun d ->
+          List.iter
+            (fun s ->
+              List.iter
+                (fun imm ->
+                  if alui_imm_ok op imm then
+                    add (Fgpu_isa.Alui (op, d, s, imm)) (bit s))
+                space.imms)
+            space.regs)
+        space.regs)
+    space.ops;
+  List.iter
+    (fun d -> List.iter (fun imm -> add (Fgpu_isa.Li (d, imm)) 0) space.imms)
+    space.regs;
+  Array.of_list (List.rev !entries)
+
+(* --- test vectors ----------------------------------------------------- *)
+
+let corners =
+  [| 0; 1; 2; -1; -2; 0x7FFFFFFF; I32.min_i32; 0x8000; 31 |]
+
+(* Same multiplicative LCG family as the suite's input generator:
+   deterministic, seed-scrambled. *)
+let lcg seed =
+  let state = ref (((seed * 0x9E3779B1) lor 1) land I32.mask) in
+  fun () ->
+    state := ((!state * 1103515245) + 12345) land I32.mask;
+    I32.sx !state
+
+let fingerprint_vectors ~nregs ~seed ~n =
+  let next = lcg seed in
+  Array.init n (fun j ->
+      Array.init nregs (fun i ->
+          if j < Array.length corners then
+            corners.((j + (i * 3)) mod Array.length corners)
+          else next ()))
+
+(* Every cross-product of corner values over the canonical registers,
+   plus seeded randoms: the corner grid is what makes division,
+   shift-masking and sign bugs distinguishable. *)
+let verify_vectors ~nregs ~seed ~extra =
+  let nc = Array.length corners in
+  let total = int_of_float (float_of_int nc ** float_of_int nregs) in
+  let grid =
+    Array.init total (fun j ->
+        let v = Array.make nregs 0 in
+        let rec fill i j = if i < nregs then begin
+            v.(i) <- corners.(j mod nc);
+            fill (i + 1) (j / nc)
+          end
+        in
+        fill 0 j;
+        v)
+  in
+  let next = lcg (seed lxor 0x5EED) in
+  Array.append grid (Array.init extra (fun _ -> Array.init nregs (fun _ -> next ())))
+
+(* --- evaluation ------------------------------------------------------- *)
+
+(* Run [seq] (alphabet indices) from register state [vec]; leaves the
+   final state in [st].  Allocation-free. *)
+let run_seq st (alpha : entry array) (cregs : int array) (seq : int array)
+    (vec : int array) =
+  let regs = st.Exec.regs in
+  for i = 0 to Array.length cregs - 1 do
+    regs.(Array.unsafe_get cregs i) <- Array.unsafe_get vec i
+  done;
+  for k = 0 to Array.length seq - 1 do
+    ignore (Exec.step st (Array.unsafe_get alpha (Array.unsafe_get seq k)).dpre)
+  done
+
+let fingerprint st alpha cregs vectors seq =
+  let result = cregs.(0) in
+  let h = ref 17 in
+  for v = 0 to Array.length vectors - 1 do
+    run_seq st alpha cregs seq vectors.(v);
+    h := ((!h * 1000003) lxor st.Exec.regs.(result)) land max_int
+  done;
+  !h
+
+(* --- enumeration ------------------------------------------------------ *)
+
+(* Reject sequences with dead definitions: every instruction's result
+   must be read by a later instruction before being overwritten, or be
+   the final write to the result register.  Compilers do not emit dead
+   straight-line code (VIR DCE ran), so dead-lhs rules never fire, and
+   dead-rhs candidates are never cheapest. *)
+let dead_free (alpha : entry array) (seq : int array) ~result =
+  let n = Array.length seq in
+  let ok = ref true in
+  for i = 0 to n - 1 do
+    let d = alpha.(seq.(i)).wreg in
+    let live = ref false in
+    (try
+       for j = i + 1 to n - 1 do
+         let e = alpha.(seq.(j)) in
+         if e.rmask land bit d <> 0 then begin
+           live := true;
+           raise Exit
+         end;
+         if e.wreg = d then raise Exit (* overwritten unread *)
+       done;
+       (* reached the end unread: useful only as the final result value *)
+       if d = result then live := true
+     with Exit -> ());
+    if not !live then ok := false
+  done;
+  !ok
+
+(* Enumerate sequences of length 1..max_len whose first instruction
+   index lies in [firsts], calling [emit] on each dead-free candidate
+   whose last instruction writes the result register.  Stops after
+   [budget] emissions. *)
+let enumerate alpha ~max_len ~result ~firsts ~budget emit =
+  let n = Array.length alpha in
+  let count = ref 0 in
+  let truncated = ref false in
+  let seq = Array.make max_len 0 in
+  let consider len =
+    if !count >= budget then truncated := true
+    else if alpha.(seq.(len - 1)).wreg = result then begin
+      let cand = Array.sub seq 0 len in
+      if dead_free alpha cand ~result then begin
+        incr count;
+        emit cand
+      end
+    end
+  in
+  let rec extend pos len =
+    if not !truncated then
+      if pos = len then consider len
+      else
+        for i = 0 to n - 1 do
+          if not !truncated then begin
+            seq.(pos) <- i;
+            extend (pos + 1) len
+          end
+        done
+  in
+  Array.iter
+    (fun first ->
+      for len = 1 to max_len do
+        if not !truncated then begin
+          seq.(0) <- first;
+          extend 1 len
+        end
+      done)
+    firsts;
+  (!count, !truncated)
+
+(* --- mining ----------------------------------------------------------- *)
+
+let seq_cost_of alpha seq =
+  Array.fold_left (fun acc i -> acc + alpha.(i).cost) 0 seq
+
+let seq_insns alpha seq = Array.to_list (Array.map (fun i -> alpha.(i).insn) seq)
+
+let seq_mention_mask alpha seq =
+  Array.fold_left (fun acc i -> acc lor alpha.(i).rmask lor bit alpha.(i).wreg) 0 seq
+
+let is_mov = function
+  | Fgpu_isa.Alui (Fgpu_isa.Add, d, s, 0l) -> d <> s && s <> 0
+  | _ -> false
+
+let is_load_imm = function Fgpu_isa.Li _ | Fgpu_isa.Lui _ -> true | _ -> false
+
+(* Default lhs form filter: the redundancy shapes compilers emit. *)
+let compiler_shape (lhs : Fgpu_isa.t list) =
+  (match List.rev lhs with last :: _ :: _ -> is_mov last | _ -> false)
+  || (List.length lhs > 1 && List.exists is_load_imm lhs)
+
+(* Verify [a] against [b]; on success fill [preserved] (per canonical
+   register: equal on every vector) and return true.  The result
+   register must match everywhere or verification fails early. *)
+let verify st_a st_b alpha cregs vectors a b (preserved : bool array) =
+  Array.fill preserved 0 (Array.length preserved) true;
+  let result = cregs.(0) in
+  try
+    for v = 0 to Array.length vectors - 1 do
+      let vec = vectors.(v) in
+      run_seq st_a alpha cregs a vec;
+      run_seq st_b alpha cregs b vec;
+      if st_a.Exec.regs.(result) <> st_b.Exec.regs.(result) then raise Exit;
+      for i = 1 to Array.length cregs - 1 do
+        if st_a.Exec.regs.(cregs.(i)) <> st_b.Exec.regs.(cregs.(i)) then
+          preserved.(i) <- false
+      done
+    done;
+    true
+  with Exit -> false
+
+let compare_seq (a : int array) b =
+  let c = compare (Array.length a) (Array.length b) in
+  if c <> 0 then c else compare a b
+
+let mine ?(cfg = Ggpu_fgpu.Config.default) ?(space = default_space)
+    ?(budget = 500_000) ?(max_rules = 2048) ?domains
+    ?(lhs_filter = compiler_shape) ?(fp_vectors = 16) ?(verify_extra = 256)
+    ?(seed = 42) () =
+  let domains =
+    match domains with Some d -> d | None -> Ggpu_par.Parallel.default_domains ()
+  in
+  let alpha = build_alphabet cfg space in
+  let cregs = Array.of_list space.regs in
+  let nregs = Array.length cregs in
+  let fps = fingerprint_vectors ~nregs ~seed ~n:fp_vectors in
+  let vvs = verify_vectors ~nregs ~seed ~extra:verify_extra in
+  (* Phase 1: enumerate + fingerprint, fanned out on the first
+     instruction index. *)
+  let n = Array.length alpha in
+  let nchunks = max 1 (min (4 * domains) n) in
+  let chunks =
+    List.init nchunks (fun c ->
+        Array.of_list
+          (List.filter (fun i -> i mod nchunks = c) (List.init n Fun.id)))
+  in
+  let chunk_budget = 1 + (budget / nchunks) in
+  let results =
+    Ggpu_par.Parallel.map ~domains
+      (fun firsts ->
+        let st = Exec.create () in
+        let tbl : (int, int array list ref) Hashtbl.t = Hashtbl.create 4096 in
+        let emit cand =
+          let fp = fingerprint st alpha cregs fps cand in
+          match Hashtbl.find_opt tbl fp with
+          | Some l -> l := cand :: !l
+          | None -> Hashtbl.add tbl fp (ref [ cand ])
+        in
+        let count, truncated =
+          enumerate alpha ~max_len:space.max_len ~result:cregs.(0) ~firsts
+            ~budget:chunk_budget emit
+        in
+        (tbl, count, truncated))
+      chunks
+  in
+  let buckets : (int, int array list ref) Hashtbl.t = Hashtbl.create 65536 in
+  let candidates = ref 0 and truncated = ref false in
+  List.iter
+    (fun (tbl, count, trunc) ->
+      candidates := !candidates + count;
+      truncated := !truncated || trunc;
+      Hashtbl.iter
+        (fun fp l ->
+          match Hashtbl.find_opt buckets fp with
+          | Some acc -> acc := !l @ !acc
+          | None -> Hashtbl.add buckets fp (ref !l))
+        tbl)
+    results;
+  (* Phase 2: per-bucket verification and rule emission, fanned out
+     over bucket groups. *)
+  let bucket_list =
+    Hashtbl.fold (fun _ l acc -> !l :: acc) buckets []
+    |> List.filter (fun l -> match l with [] | [ _ ] -> false | _ -> true)
+  in
+  let ngroups = max 1 (min (4 * domains) (List.length bucket_list)) in
+  let groups = Array.make ngroups [] in
+  List.iteri (fun i b -> groups.(i mod ngroups) <- b :: groups.(i mod ngroups))
+    bucket_list;
+  let mined =
+    Ggpu_par.Parallel.map ~domains
+      (fun bucket_group ->
+        let st_a = Exec.create () and st_b = Exec.create () in
+        let preserved = Array.make nregs true in
+        let rules = ref [] and pairs = ref 0 in
+        List.iter
+          (fun members ->
+            let sorted =
+              List.sort
+                (fun a b ->
+                  let c = compare (seq_cost_of alpha a) (seq_cost_of alpha b) in
+                  if c <> 0 then c else compare_seq a b)
+                members
+            in
+            let arr = Array.of_list sorted in
+            let min_cost = seq_cost_of alpha arr.(0) in
+            Array.iter
+              (fun lhs ->
+                let lhs_cost = seq_cost_of alpha lhs in
+                if lhs_cost > min_cost then begin
+                  let lhs_insns = seq_insns alpha lhs in
+                  if lhs_filter lhs_insns then begin
+                    let lhs_mask = seq_mention_mask alpha lhs in
+                    try
+                      Array.iter
+                        (fun rep ->
+                          let rep_cost = seq_cost_of alpha rep in
+                          if rep_cost < lhs_cost
+                             && seq_mention_mask alpha rep land lnot lhs_mask = 0
+                          then begin
+                            incr pairs;
+                            if verify st_a st_b alpha cregs vvs lhs rep preserved
+                            then begin
+                              let clobbers =
+                                List.filteri
+                                  (fun i _ -> i > 0 && not preserved.(i))
+                                  (Array.to_list cregs)
+                              in
+                              let rule =
+                                Rule.normalise
+                                  {
+                                    Rule.lhs = lhs_insns;
+                                    rhs = seq_insns alpha rep;
+                                    clobbers;
+                                    saved = lhs_cost - rep_cost;
+                                  }
+                              in
+                              rules := rule :: !rules;
+                              raise Exit
+                            end
+                          end)
+                        arr
+                    with Exit -> ()
+                  end
+                end)
+              arr)
+          bucket_group;
+        (!rules, !pairs))
+      (Array.to_list groups)
+  in
+  let verified_pairs = List.fold_left (fun acc (_, p) -> acc + p) 0 mined in
+  let all_rules = List.concat_map fst mined in
+  (* Rank by savings then shorter lhs (deterministic tiebreak on the
+     serialised normal form), keep one rule per lhs — the peephole pass
+     applies the first match, so a second rhs for the same pattern is
+     dead weight — and cap the table. *)
+  let ranked =
+    List.sort
+      (fun (a : Rule.t) (b : Rule.t) ->
+        let c = compare b.saved a.saved in
+        if c <> 0 then c
+        else
+          let c = compare (List.length a.lhs) (List.length b.lhs) in
+          if c <> 0 then c else compare (Rule.to_line a) (Rule.to_line b))
+      all_rules
+  in
+  let seen_lhs = Hashtbl.create 1024 in
+  let deduped =
+    List.filter
+      (fun (r : Rule.t) ->
+        let key = List.map Fgpu_isa.encode r.lhs in
+        if Hashtbl.mem seen_lhs key then false
+        else begin
+          Hashtbl.add seen_lhs key ();
+          true
+        end)
+      ranked
+  in
+  let rules = List.filteri (fun i _ -> i < max_rules) deduped in
+  {
+    rules;
+    stats =
+      {
+        alphabet = n;
+        candidates = !candidates;
+        buckets = Hashtbl.length buckets;
+        verified_pairs;
+        truncated = !truncated;
+      };
+  }

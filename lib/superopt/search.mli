@@ -1,0 +1,43 @@
+(** STOKE-style enumeration and rule mining over short FGPU sequences:
+    enumerate candidates over a bounded alphabet, fingerprint on seeded
+    test vectors, bucket, verify equivalence on a corner-crossing
+    vector grid, prune to cheapest under the simulator's latency model,
+    and emit verified {!Rule.t} rewrites.  Fans out over
+    {!Ggpu_par.Parallel} domains; deterministic for any domain count. *)
+
+type space = {
+  ops : Ggpu_isa.Fgpu_isa.alu_op list;
+  imms : int32 list;
+  regs : int list;  (** canonical pattern registers; head = result *)
+  max_len : int;
+}
+
+val default_space : space
+
+type stats = {
+  alphabet : int;
+  candidates : int;
+  buckets : int;
+  verified_pairs : int;
+  truncated : bool;  (** enumeration hit the budget *)
+}
+
+type result = { rules : Rule.t list; stats : stats }
+
+val compiler_shape : Ggpu_isa.Fgpu_isa.t list -> bool
+(** Default lhs filter: sequences ending in a register move, or
+    containing a load-immediate — the redundancy shapes the FGPU
+    codegen actually emits. *)
+
+val mine :
+  ?cfg:Ggpu_fgpu.Config.t ->
+  ?space:space ->
+  ?budget:int ->
+  ?max_rules:int ->
+  ?domains:int ->
+  ?lhs_filter:(Ggpu_isa.Fgpu_isa.t list -> bool) ->
+  ?fp_vectors:int ->
+  ?verify_extra:int ->
+  ?seed:int ->
+  unit ->
+  result

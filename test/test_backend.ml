@@ -174,6 +174,33 @@ let prop_backends_and_domains_agree =
         (fun (backend, domains) -> observe c ~backend ~domains = reference)
         [ (Gpu.Threaded, 1); (Gpu.Threaded, 3); (Gpu.Threaded, 4); (Gpu.Interp, 2) ])
 
+(* --- superopt peephole differential ------------------------------------ *)
+
+(* The peephole pass is allowed to change timing observables (cycles,
+   instruction counts, vu_busy, divergent issue counts) but nothing
+   else: output buffers must be bit-identical, and so must every
+   memory/synchronisation counter, since the pass never rewrites a
+   load, store or barrier. *)
+let semantic_keys = [ "loads"; "stores"; "barriers"; "workgroups" ]
+
+let observe_superopt c ~superopt =
+  let config = Config.with_cus Config.default c.cus in
+  let compiled = Codegen_fgpu.compile ~superopt c.kernel in
+  let r =
+    Run_fgpu.run ~config compiled ~args:(mk_args c) ~global_size:c.gsize
+      ~local_size:c.lsize ()
+  in
+  let semantic =
+    List.filter (fun (k, _) -> List.mem k semantic_keys)
+      (Stats.to_assoc r.Run_fgpu.stats)
+  in
+  (semantic, r.Run_fgpu.buffers)
+
+let prop_superopt_preserves_semantics =
+  QCheck.Test.make ~name:"superopt peephole differential" ~count:30 arb_case
+    (fun c ->
+      observe_superopt c ~superopt:true = observe_superopt c ~superopt:false)
+
 (* --- fixed cross-wavefront barrier case -------------------------------- *)
 
 (* Two wavefronts per workgroup; after the barrier every item reads a
@@ -275,6 +302,7 @@ let suite =
     ( "backend",
       [
         QCheck_alcotest.to_alcotest prop_backends_and_domains_agree;
+        QCheck_alcotest.to_alcotest prop_superopt_preserves_semantics;
         Alcotest.test_case "split barrier cross-wavefront" `Quick
           test_split_barrier_cross_wavefront;
         Alcotest.test_case "suite.failures registered at zero" `Quick
