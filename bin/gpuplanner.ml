@@ -27,7 +27,7 @@ let tech_term =
       $ arg))
 
 let cus_term =
-  let doc = "Number of compute units (1..8)." in
+  let doc = "Number of compute units (1..8, 16, 32 or 64)." in
   Arg.(value & opt int 1 & info [ "cus" ] ~doc ~docv:"N")
 
 let freq_term =
@@ -77,6 +77,59 @@ let sim_domains_alias_term =
      value; 1 disables the split."
   in
   Arg.(value & opt int 1 & info [ "domains"; "sim-domains" ] ~doc ~docv:"D")
+
+(* STA engine selection, shared by synth/dse/versions.  Both engines
+   are bit-identical in every observable; the flag exists for A/B
+   benchmarking of the CSR levelized sweep against the hashtable
+   walker it replaced. *)
+let sta_conv =
+  let parse = function
+    | "csr" -> Ok Ggpu_synth.Timing.Csr
+    | "legacy" -> Ok Ggpu_synth.Timing.Legacy
+    | other ->
+        Error (`Msg (Printf.sprintf "unknown STA engine %S (csr | legacy)" other))
+  in
+  let print fmt i =
+    Format.pp_print_string fmt
+      (match i with Ggpu_synth.Timing.Csr -> "csr" | Ggpu_synth.Timing.Legacy -> "legacy")
+  in
+  Arg.conv (parse, print)
+
+let sta_term =
+  let doc =
+    "Static-timing engine: $(b,csr) (levelized CSR sweep, the default) \
+     or $(b,legacy) (hashtable worklist). Reports are bit-identical \
+     either way."
+  in
+  Arg.(value & opt sta_conv Ggpu_synth.Timing.Csr & info [ "sta" ] ~doc ~docv:"ENGINE")
+
+let placer_conv =
+  let parse = function
+    | "columns" -> Ok Flow.Columns
+    | "analytic" -> Ok Flow.Analytic
+    | other ->
+        Error (`Msg (Printf.sprintf "unknown placer %S (columns | analytic)" other))
+  in
+  let print fmt p =
+    Format.pp_print_string fmt
+      (match p with Flow.Columns -> "columns" | Flow.Analytic -> "analytic")
+  in
+  Arg.conv (parse, print)
+
+let place_term =
+  let doc =
+    "Floorplan engine: $(b,columns) (the estimator's stacked columns, \
+     the default) or $(b,analytic) (eplace-style analytical global \
+     placement)."
+  in
+  Arg.(value & opt placer_conv Flow.Columns & info [ "place" ] ~doc ~docv:"ENGINE")
+
+let place_domains_term =
+  let doc =
+    "Domain fan-out for the analytical placer's gradient evaluation. \
+     The placement is bit-identical for any value."
+  in
+  Arg.(value & opt int 1 & info [ "place-domains" ] ~doc ~docv:"D")
 
 let area_term =
   let doc = "Optional area budget in mm2." in
@@ -144,13 +197,13 @@ let with_obs obs f =
 
 (* --- synth ------------------------------------------------------------- *)
 
-let synth_run obs tech cus freq area power =
+let synth_run obs tech cus freq area power sta =
   match spec_of ~cus ~freq ~area ~power with
   | Error e -> Error e
   | Ok spec ->
       handle_dse_errors (fun () ->
           with_obs obs @@ fun () ->
-          let syn = Flow.synthesise_timed ~tech spec in
+          let syn = Flow.synthesise_timed ~tech ~sta spec in
           print_endline Ggpu_synth.Report.header;
           print_endline (Ggpu_synth.Report.row_to_string syn.Flow.syn_report);
           Printf.printf "(%d divisions, %d pipelines; see 'map' for detail)\n"
@@ -163,7 +216,7 @@ let synth_term =
   Term.(
     term_result ~usage:false
       (const synth_run $ obs_term $ tech_term $ cus_term $ freq_term
-     $ area_term $ power_term))
+     $ area_term $ power_term $ sta_term))
 
 let synth_cmd =
   Cmd.v (Cmd.info "synth" ~doc:"Logic synthesis of one G-GPU version") synth_term
@@ -210,30 +263,73 @@ let map_cmd =
 (* --- layout ------------------------------------------------------------ *)
 
 let layout_cmd =
-  let run obs tech cus freq area power =
+  let check_determinism_term =
+    let doc =
+      "Re-run the analytical placer at 1, 2 and --place-domains domains \
+       and exit 1 unless all floorplans are identical (requires --place \
+       analytic). Used by CI."
+    in
+    Arg.(value & flag & info [ "check-determinism" ] ~doc)
+  in
+  let run obs tech cus freq area power sta place place_domains check_det =
     match spec_of ~cus ~freq ~area ~power with
     | Error e -> Error e
     | Ok spec ->
-        handle_dse_errors (fun () ->
-            with_obs obs @@ fun () ->
-            let impl = Flow.implement ~tech spec in
-            Format.printf "%a" Flow.pp_implementation impl;
-            print_string (Ggpu_layout.Render.render impl.Flow.floorplan);
-            Format.printf "%a@." Ggpu_layout.Timing_post.pp impl.Flow.post_timing;
-            Printf.printf "wirelength per layer (um):\n";
-            Format.printf "%a" Ggpu_layout.Route.pp impl.Flow.route;
-            Printf.printf "phases:";
-            List.iter
-              (fun (name, s) -> Printf.printf " %s=%.3fs" name s)
-              impl.Flow.phases;
-            Format.printf "@.perf: %a@." Dse.pp_perf impl.Flow.dse_perf;
-            Ok ())
+        if check_det && place <> Flow.Analytic then
+          Error (`Msg "--check-determinism requires --place analytic")
+        else
+          handle_dse_errors (fun () ->
+              with_obs obs @@ fun () ->
+              let impl = Flow.implement ~tech ~sta ~place ~place_domains spec in
+              Format.printf "%a" Flow.pp_implementation impl;
+              print_string (Ggpu_layout.Render.render impl.Flow.floorplan);
+              Format.printf "%a@." Ggpu_layout.Timing_post.pp
+                impl.Flow.post_timing;
+              Printf.printf "wirelength per layer (um):\n";
+              Format.printf "%a" Ggpu_layout.Route.pp impl.Flow.route;
+              Printf.printf "phases:";
+              List.iter
+                (fun (name, s) -> Printf.printf " %s=%.3fs" name s)
+                impl.Flow.phases;
+              Format.printf "@.perf: %a@." Dse.pp_perf impl.Flow.dse_perf;
+              if check_det then begin
+                (* the flow placed at [place_domains]; replaying the
+                   placement on the explored netlist at other pool sizes
+                   must reproduce that floorplan bit for bit *)
+                let replay domains =
+                  (Ggpu_layout.Place.place ~domains tech impl.Flow.netlist
+                     ~num_cus:spec.Spec.num_cus)
+                    .Ggpu_layout.Place.floorplan
+                in
+                let domains_checked =
+                  List.sort_uniq Int.compare [ 1; 2; max 1 place_domains ]
+                in
+                let mismatches =
+                  List.filter
+                    (fun d -> replay d <> impl.Flow.floorplan)
+                    domains_checked
+                in
+                if mismatches = [] then
+                  Printf.printf
+                    "placer determinism: floorplan identical at %s domain(s)\n"
+                    (String.concat ", "
+                       (List.map string_of_int domains_checked))
+                else begin
+                  Printf.eprintf
+                    "placer NOT deterministic: floorplan differs at %s \
+                     domain(s)\n"
+                    (String.concat ", " (List.map string_of_int mismatches));
+                  exit 1
+                end
+              end;
+              Ok ())
   in
   let term =
     Term.(
       term_result ~usage:false
         (const run $ obs_term $ tech_term $ cus_term $ freq_term $ area_term
-       $ power_term))
+       $ power_term $ sta_term $ place_term $ place_domains_term
+       $ check_determinism_term))
   in
   Cmd.v
     (Cmd.info "layout" ~doc:"Full RTL-to-layout implementation of one version")
@@ -267,6 +363,73 @@ let table1_cmd =
     (Cmd.info "table1" ~doc:"Regenerate the paper's Table I (12 versions)")
     term
 
+(* --- versions ----------------------------------------------------------- *)
+
+(* The scaling study: full implementations over an explicit CU grid.
+   Unsupported counts fail up front with the generator's accepted list;
+   nothing is clamped to the paper grid. *)
+let versions_cmd =
+  let cus_list_term =
+    let doc =
+      "Comma-separated CU counts to implement (each 1..8, 16, 32 or 64)."
+    in
+    Arg.(
+      value
+      & opt (list int) Versions.scaling_cu_counts
+      & info [ "cus" ] ~doc ~docv:"N,..")
+  in
+  let freq_term =
+    let doc = "Target frequency in MHz for every version." in
+    Arg.(value & opt int 667 & info [ "freq" ] ~doc ~docv:"MHZ")
+  in
+  let sequential_term =
+    let doc =
+      "Run versions one at a time with full STA recomputation instead \
+       of the parallel incremental flow."
+    in
+    Arg.(value & flag & info [ "sequential" ] ~doc)
+  in
+  let run obs tech cus_list freq sequential sta place place_domains =
+    with_obs obs @@ fun () ->
+    let parallel = not sequential and incremental = not sequential in
+    match
+      handle_dse_errors (fun () ->
+          Versions.scaling ~tech ~parallel ~incremental ~sta ~place
+            ~place_domains ~freq_mhz:freq ~cu_counts:cus_list ())
+    with
+    | exception Invalid_argument msg -> Error (`Msg msg)
+    | exception Spec.Invalid_spec msg -> Error (`Msg msg)
+    | impls ->
+        Printf.printf "%4s %7s %9s %7s %10s %12s %s\n" "cus" "target"
+          "achieved" "derate" "area_mm2" "wire_mm" "check";
+        List.iter
+          (fun (impl : Flow.implementation) ->
+            Printf.printf "%4d %7d %9.0f %7.3f %10.2f %12.0f %s\n"
+              impl.Flow.spec.Spec.num_cus impl.Flow.spec.Spec.freq_mhz
+              impl.Flow.achieved_mhz impl.Flow.contention_derate
+              impl.Flow.logic_report.Ggpu_synth.Report.total_area_mm2
+              (impl.Flow.route.Ggpu_layout.Route.total_um /. 1000.0)
+              (match impl.Flow.spec_check with
+              | Ok () -> "meets spec"
+              | Error vs ->
+                  String.concat "; "
+                    (List.map Spec.violation_to_string vs)))
+          impls;
+        Ok ()
+  in
+  let term =
+    Term.(
+      term_result ~usage:false
+        (const run $ obs_term $ tech_term $ cus_list_term $ freq_term
+       $ sequential_term $ sta_term $ place_term $ place_domains_term))
+  in
+  Cmd.v
+    (Cmd.info "versions"
+       ~doc:
+         "Implement a CU-count grid end to end (the >8-CU scaling study: \
+          contention derate, floorplan engine selection)")
+    term
+
 (* --- compare ----------------------------------------------------------- *)
 
 let kernel_term =
@@ -281,7 +444,16 @@ let superopt_term =
   Term.(const not $ Arg.(value & flag & info [ "no-superopt" ] ~doc))
 
 let compare_cmd =
-  let run obs tech kernel backend sim_domains superopt =
+  let cus_list_term =
+    let doc =
+      "Comma-separated CU counts to compare (each 1..8, 16, 32 or 64)."
+    in
+    Arg.(
+      value
+      & opt (list int) Compare.cu_counts
+      & info [ "cus" ] ~doc ~docv:"N,..")
+  in
+  let run obs tech kernel cus_list backend sim_domains superopt =
     with_obs obs @@ fun () ->
     let workloads =
       match kernel with
@@ -292,20 +464,23 @@ let compare_cmd =
             prerr_endline msg;
             exit 1)
     in
-    let rows =
-      Compare.table3 ~workloads ~backend ~domains:sim_domains ~superopt ()
-    in
-    Format.printf "%a@." Compare.pp_table3 rows;
-    let speedups = Compare.speedups ~tech rows in
-    Format.printf "%a@." (Compare.pp_speedups ~label:"raw") speedups;
-    Format.printf "%a@." (Compare.pp_speedups ~label:"derated") speedups;
-    Ok ()
+    match
+      Compare.table3 ~workloads ~backend ~domains:sim_domains ~superopt
+        ~cu_counts:cus_list ()
+    with
+    | exception Invalid_argument msg -> Error (`Msg msg)
+    | rows ->
+        Format.printf "%a@." Compare.pp_table3 rows;
+        let speedups = Compare.speedups ~tech rows in
+        Format.printf "%a@." (Compare.pp_speedups ~label:"raw") speedups;
+        Format.printf "%a@." (Compare.pp_speedups ~label:"derated") speedups;
+        Ok ()
   in
   let term =
     Term.(
       term_result ~usage:false
-        (const run $ obs_term $ tech_term $ kernel_term $ backend_term
-       $ sim_domains_alias_term $ superopt_term))
+        (const run $ obs_term $ tech_term $ kernel_term $ cus_list_term
+       $ backend_term $ sim_domains_alias_term $ superopt_term))
   in
   Cmd.v
     (Cmd.info "compare"
@@ -1369,7 +1544,8 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [
-            synth_cmd; dse_cmd; map_cmd; layout_cmd; table1_cmd; compare_cmd;
+            synth_cmd; dse_cmd; map_cmd; layout_cmd; table1_cmd; versions_cmd;
+            compare_cmd;
             run_cmd; bench_cmd; perf_report_cmd; fi_cmd; profile_cmd;
             trace_check_cmd; verilog_cmd; serve_cmd; client_cmd; superopt_cmd;
           ]))

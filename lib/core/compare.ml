@@ -30,6 +30,18 @@ type speedups = {
 
 let cu_counts = [ 1; 2; 4; 8 ]
 
+(* Extended CU lists (16/32/64) are legal anywhere the paper grid was;
+   anything else fails loudly instead of being clamped to the grid. *)
+let check_cu_counts cus =
+  if cus = [] then invalid_arg "empty CU-count list";
+  List.iter
+    (fun c ->
+      if not (Ggpu_rtlgen.Arch_params.cu_count_supported c) then
+        invalid_arg
+          (Printf.sprintf "num_cus %d unsupported (the generator accepts %s)"
+             c Ggpu_rtlgen.Arch_params.supported_cu_counts_doc))
+    cus
+
 (* Area of the CV32E40P-class baseline with its 32 kB data SRAM, using
    the same technology models as the G-GPU (the paper reports the 1-CU
    G-GPU as 6.5x this). *)
@@ -73,7 +85,9 @@ let run_ggpu ?backend ?domains ?superopt (w : Suite.t) ~num_cus =
   result.Run_fgpu.stats.Ggpu_fgpu.Stats.cycles
 
 (* Table III: input sizes and measured cycle counts. *)
-let table3 ?(workloads = Suite.all) ?backend ?domains ?superopt () =
+let table3 ?(workloads = Suite.all) ?backend ?domains ?superopt
+    ?(cu_counts = cu_counts) () =
+  check_cu_counts cu_counts;
   List.map
     (fun w ->
       {
@@ -93,7 +107,8 @@ let table3 ?(workloads = Suite.all) ?backend ?domains ?superopt () =
 
 (* G-GPU total area per CU count at the paper's 667 MHz comparison
    point. *)
-let ggpu_areas_mm2 ?tech () =
+let ggpu_areas_mm2 ?tech ?(cu_counts = cu_counts) () =
+  check_cu_counts cu_counts;
   List.map
     (fun num_cus ->
       let spec = Spec.make ~num_cus ~freq_mhz:667 () in
@@ -101,9 +116,17 @@ let ggpu_areas_mm2 ?tech () =
       (num_cus, report.Ggpu_synth.Report.total_area_mm2))
     cu_counts
 
-(* Figs. 5 and 6 from a Table III measurement. *)
+(* The CU columns a measurement actually carries, in measurement
+   order: Table III rows all share one grid, so the first row is it. *)
+let row_cu_counts (rows : row list) =
+  match rows with [] -> [] | r :: _ -> List.map fst r.ggpu_kcycles
+
+(* Figs. 5 and 6 from a Table III measurement.  The CU grid is read off
+   the rows, so an extended measurement derates all its columns. *)
 let speedups ?(tech = Ggpu_tech.Tech.default_65nm) (rows : row list) =
-  let areas = ggpu_areas_mm2 ~tech () in
+  if rows = [] then []
+  else
+  let areas = ggpu_areas_mm2 ~tech ~cu_counts:(row_cu_counts rows) () in
   let rv_area = riscv_area_mm2 tech in
   List.map
     (fun r ->
@@ -124,8 +147,12 @@ let speedups ?(tech = Ggpu_tech.Tech.default_65nm) (rows : row list) =
     rows
 
 let pp_table3 fmt (rows : row list) =
-  Format.fprintf fmt "%-13s %8s %8s %10s %10s %10s %10s %10s@." "Kernel"
-    "RISC-V" "G-GPU" "RISC-V kc" "1CU kc" "2CU kc" "4CU kc" "8CU kc";
+  Format.fprintf fmt "%-13s %8s %8s %10s" "Kernel" "RISC-V" "G-GPU"
+    "RISC-V kc";
+  List.iter
+    (fun cus -> Format.fprintf fmt " %10s" (Printf.sprintf "%dCU kc" cus))
+    (row_cu_counts rows);
+  Format.fprintf fmt "@.";
   List.iter
     (fun (r : row) ->
       Format.fprintf fmt "%-13s %8d %8d %10.0f" r.kernel r.riscv_size
@@ -137,8 +164,14 @@ let pp_table3 fmt (rows : row list) =
     rows
 
 let pp_speedups fmt ~label (rows : speedups list) =
-  Format.fprintf fmt "%-13s %10s %10s %10s %10s   (%s)@." "Kernel" "1CU" "2CU"
-    "4CU" "8CU" label;
+  Format.fprintf fmt "%-13s" "Kernel";
+  (match rows with
+  | [] -> ()
+  | s :: _ ->
+      List.iter
+        (fun (cus, _) -> Format.fprintf fmt " %10s" (Printf.sprintf "%dCU" cus))
+        s.raw);
+  Format.fprintf fmt "   (%s)@." label;
   List.iter
     (fun s ->
       let values =

@@ -18,6 +18,13 @@ type speedups = {
 }
 
 val cu_counts : int list
+(** The paper's comparison grid, [1; 2; 4; 8]. *)
+
+val check_cu_counts : int list -> unit
+(** Validate an explicit CU grid against the generator's supported
+    counts (the paper grid plus 16/32/64).
+    @raise Invalid_argument naming the offending count — nothing is
+    silently clamped. *)
 
 val riscv_area_mm2 : Ggpu_tech.Tech.t -> float
 (** Area of the CV32E40P-class baseline plus its 32 kB SRAM under the
@@ -43,9 +50,21 @@ val table3 :
   ?backend:Ggpu_fgpu.Gpu.backend ->
   ?domains:int ->
   ?superopt:bool ->
+  ?cu_counts:int list ->
   unit ->
   row list
-val ggpu_areas_mm2 : ?tech:Ggpu_tech.Tech.t -> unit -> (int * float) list
+(** Measure Table III over [cu_counts] (default {!cu_counts}; extended
+    grids may include 16/32/64 — see {!check_cu_counts}). *)
+
+val ggpu_areas_mm2 :
+  ?tech:Ggpu_tech.Tech.t -> ?cu_counts:int list -> unit -> (int * float) list
+
 val speedups : ?tech:Ggpu_tech.Tech.t -> row list -> speedups list
+(** Figs. 5/6 values; the CU grid is read off the rows, so extended
+    Table III measurements derate all their columns. *)
+
 val pp_table3 : Format.formatter -> row list -> unit
+(** Headers follow the rows' CU grid. *)
+
 val pp_speedups : Format.formatter -> label:string -> speedups list -> unit
+(** Headers follow the rows' CU grid. *)

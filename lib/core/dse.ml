@@ -164,7 +164,7 @@ let edit_kind = function
   | Map.Pipeline _ -> "pipeline"
 
 let explore ?(max_iterations = 400) ?(strategy = Full) ?(incremental = true)
-    tech netlist ~num_cus ~period_ns =
+    ?(sta = Timing.Csr) tech netlist ~num_cus ~period_ns =
   Ggpu_obs.Trace.with_span "dse.explore"
     ~args:
       [
@@ -180,7 +180,7 @@ let explore ?(max_iterations = 400) ?(strategy = Full) ?(incremental = true)
   let timed c f = Ggpu_obs.Metrics.time_counter c f in
   let engine =
     if incremental then
-      Some (timed sta_ns (fun () -> Timing.make_engine tech netlist))
+      Some (timed sta_ns (fun () -> Timing.make_engine ~impl:sta tech netlist))
     else None
   in
   let analyse () =

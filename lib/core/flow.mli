@@ -10,6 +10,9 @@ type implementation = {
   floorplan : Ggpu_layout.Floorplan.t;
   route : Ggpu_layout.Route.t;  (** Table II data *)
   post_timing : Ggpu_layout.Timing_post.t;
+  contention_derate : float;
+      (** {!Spec.contention_derate}: 1.0 through 8 CUs, < 1 beyond —
+          already folded into [achieved_mhz] *)
   achieved_mhz : float;  (** min of target and post-route achievable *)
   spec_check : (unit, Spec.violation list) result;
   dse_perf : Dse.perf;  (** STA-call counters of the exploration *)
@@ -30,13 +33,15 @@ type synthesis = {
 val synthesise_timed :
   ?tech:Ggpu_tech.Tech.t ->
   ?incremental:bool ->
+  ?sta:Ggpu_synth.Timing.impl ->
   ?base:Ggpu_hw.Netlist.t ->
   Spec.t ->
   synthesis
 (** Logic synthesis only: generate, explore, report, with wall-clock
-    phase breakdown.  [incremental] is forwarded to {!Dse.explore}.
-    [base] supplies a pre-elaborated netlist for the spec's CU count; it
-    is copied, never mutated, so one base serves several targets.
+    phase breakdown.  [incremental] and [sta] are forwarded to
+    {!Dse.explore}.  [base] supplies a pre-elaborated netlist for the
+    spec's CU count; it is copied, never mutated, so one base serves
+    several targets.
     @raise Dse.Cannot_meet if the frequency is unreachable. *)
 
 val synthesise :
@@ -48,12 +53,23 @@ val synthesise :
 val base_macro_count : num_cus:int -> int
 (** Macro count of the non-optimised design (51 + 42 per extra CU). *)
 
+type placer =
+  | Columns  (** the estimator's stacked-columns floorplan (default) *)
+  | Analytic  (** {!Ggpu_layout.Place} analytical global placement *)
+
 val implement :
   ?tech:Ggpu_tech.Tech.t ->
   ?incremental:bool ->
+  ?sta:Ggpu_synth.Timing.impl ->
   ?base:Ggpu_hw.Netlist.t ->
+  ?place:placer ->
+  ?place_domains:int ->
   Spec.t ->
   implementation
-(** The full RTL-to-layout flow.  [base] as in {!synthesise_timed}. *)
+(** The full RTL-to-layout flow.  [sta]/[base] as in
+    {!synthesise_timed}; [place] selects the floorplan engine (the
+    analytical placer is deterministic at any [place_domains]).  Beyond
+    8 CUs the achieved frequency carries the {!Spec.contention_derate}
+    for the shared L2/AXI interconnect. *)
 
 val pp_implementation : Format.formatter -> implementation -> unit

@@ -3,7 +3,7 @@
    of the paper's Fig. 2 flow). *)
 
 type t = {
-  num_cus : int; (* 1..8 *)
+  num_cus : int; (* a member of Arch_params.supported_cu_counts *)
   freq_mhz : int; (* target operating frequency *)
   max_area_mm2 : float option;
   max_power_w : float option;
@@ -12,14 +12,26 @@ type t = {
 exception Invalid_spec of string
 
 let make ?(max_area_mm2 = None) ?(max_power_w = None) ~num_cus ~freq_mhz () =
-  if num_cus < 1 || num_cus > 8 then
+  if not (Ggpu_rtlgen.Arch_params.cu_count_supported num_cus) then
     raise
       (Invalid_spec
-         (Printf.sprintf "num_cus %d outside the generator's 1..8 range" num_cus));
+         (Printf.sprintf "num_cus %d unsupported (the generator accepts %s)"
+            num_cus Ggpu_rtlgen.Arch_params.supported_cu_counts_doc));
   if freq_mhz < 1 then raise (Invalid_spec "freq_mhz must be positive");
   { num_cus; freq_mhz; max_area_mm2; max_power_w }
 
 let period_ns t = 1000.0 /. float_of_int t.freq_mhz
+
+(* Shared L2/AXI contention derate for beyond-paper grids.  Up to 8 CUs
+   the four AXI data ports keep up (the paper's largest design); past
+   that, each doubling adds a fixed share of queueing at the shared
+   interconnect, so the achievable frequency derates logarithmically:
+   16 CUs ~0.89x, 32 ~0.81x, 64 ~0.74x. *)
+let contention_derate t =
+  if t.num_cus <= 8 then 1.0
+  else
+    let doublings = log (float_of_int t.num_cus /. 8.0) /. log 2.0 in
+    1.0 /. (1.0 +. (0.12 *. doublings))
 
 type violation =
   | Area_exceeded of { limit : float; actual : float }

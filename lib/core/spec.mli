@@ -17,10 +17,16 @@ val make :
   freq_mhz:int ->
   unit ->
   t
-(** @raise Invalid_spec if [num_cus] is outside the generator's 1..8
-    range or the frequency is not positive. *)
+(** @raise Invalid_spec if [num_cus] is not in
+    {!Ggpu_rtlgen.Arch_params.supported_cu_counts} (1..8 plus the
+    16/32/64 scaling grid) or the frequency is not positive. *)
 
 val period_ns : t -> float
+
+val contention_derate : t -> float
+(** Shared L2/AXI contention derate applied after physical synthesis:
+    [1.0] for the paper's 1..8-CU range, then [1 / (1 + 0.12 lg(n/8))]
+    per doubling beyond 8 (16 CUs ~0.89, 32 ~0.81, 64 ~0.74). *)
 
 type violation =
   | Area_exceeded of { limit : float; actual : float }

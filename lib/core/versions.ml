@@ -10,6 +10,10 @@
 let cu_counts = [ 1; 2; 4; 8 ]
 let frequencies_mhz = [ 500; 590; 667 ]
 
+(* The beyond-paper grid: 8 CUs anchors the comparison to the published
+   extreme, then each doubling exercises the L2/AXI contention derate. *)
+let scaling_cu_counts = [ 8; 16; 32; 64 ]
+
 let table1_specs () =
   List.concat_map
     (fun freq_mhz ->
@@ -25,6 +29,10 @@ let physical_specs () =
     Spec.make ~num_cus:8 ~freq_mhz:500 ();
     Spec.make ~num_cus:8 ~freq_mhz:667 ();
   ]
+
+let scaling_specs ?(freq_mhz = 667) ?(cu_counts = scaling_cu_counts) () =
+  Compare.check_cu_counts cu_counts;
+  List.map (fun num_cus -> Spec.make ~num_cus ~freq_mhz ()) cu_counts
 
 let domains_of ~parallel = if parallel then None else Some 1
 
@@ -53,18 +61,28 @@ let map_specs ?(parallel = true) ?(incremental = true) ~f specs =
   end
 
 (* Table I, regenerated, with per-version counters. *)
-let table1_syntheses ?tech ?parallel ?incremental () =
+let table1_syntheses ?tech ?parallel ?incremental ?sta () =
   map_specs ?parallel ?incremental
-    ~f:(fun ?base spec -> Flow.synthesise_timed ?tech ?incremental ?base spec)
+    ~f:(fun ?base spec ->
+      Flow.synthesise_timed ?tech ?incremental ?sta ?base spec)
     (table1_specs ())
 
-let table1 ?tech ?parallel ?incremental () =
+let table1 ?tech ?parallel ?incremental ?sta () =
   List.map
     (fun s -> s.Flow.syn_report)
-    (table1_syntheses ?tech ?parallel ?incremental ())
+    (table1_syntheses ?tech ?parallel ?incremental ?sta ())
 
 (* The four physical implementations behind Table II and Figs. 3/4. *)
-let physical ?tech ?parallel ?incremental () =
+let physical ?tech ?parallel ?incremental ?sta () =
   map_specs ?parallel ?incremental
-    ~f:(fun ?base spec -> Flow.implement ?tech ?incremental ?base spec)
+    ~f:(fun ?base spec -> Flow.implement ?tech ?incremental ?sta ?base spec)
     (physical_specs ())
+
+(* The scaling study: full implementations at 8/16/32/64 CUs, one
+   frequency target, shared bases per CU count as everywhere else. *)
+let scaling ?tech ?parallel ?incremental ?sta ?place ?place_domains ?freq_mhz
+    ?cu_counts () =
+  map_specs ?parallel ?incremental
+    ~f:(fun ?base spec ->
+      Flow.implement ?tech ?incremental ?sta ?base ?place ?place_domains spec)
+    (scaling_specs ?freq_mhz ?cu_counts ())

@@ -8,23 +8,35 @@ val cu_counts : int list
 val frequencies_mhz : int list
 (** [500; 590; 667] *)
 
+val scaling_cu_counts : int list
+(** [8; 16; 32; 64] — the beyond-paper grid behind the scaling study. *)
+
 val table1_specs : unit -> Spec.t list
 val physical_specs : unit -> Spec.t list
+
+val scaling_specs : ?freq_mhz:int -> ?cu_counts:int list -> unit -> Spec.t list
+(** One spec per [cu_counts] entry (default {!scaling_cu_counts}) at
+    [freq_mhz] (default 667).  The list is validated up front via
+    {!Compare.check_cu_counts} — unsupported counts raise instead of
+    being clamped. *)
 
 val table1_syntheses :
   ?tech:Ggpu_tech.Tech.t ->
   ?parallel:bool ->
   ?incremental:bool ->
+  ?sta:Ggpu_synth.Timing.impl ->
   unit ->
   Flow.synthesis list
 (** The 12 Table-I syntheses with their performance counters.
     [parallel] (default [true]) spreads versions across a {!Parallel}
-    domain pool; [incremental] is forwarded to {!Dse.explore}. *)
+    domain pool; [incremental] and [sta] are forwarded to
+    {!Dse.explore}. *)
 
 val table1 :
   ?tech:Ggpu_tech.Tech.t ->
   ?parallel:bool ->
   ?incremental:bool ->
+  ?sta:Ggpu_synth.Timing.impl ->
   unit ->
   Ggpu_synth.Report.row list
 (** Regenerate Table I (frequency-major order, as published). *)
@@ -33,7 +45,24 @@ val physical :
   ?tech:Ggpu_tech.Tech.t ->
   ?parallel:bool ->
   ?incremental:bool ->
+  ?sta:Ggpu_synth.Timing.impl ->
   unit ->
   Flow.implementation list
 (** Implement 1CU@500, 1CU@667, 8CU@500 and 8CU@667; the last derates
     after routing, as in the paper. *)
+
+val scaling :
+  ?tech:Ggpu_tech.Tech.t ->
+  ?parallel:bool ->
+  ?incremental:bool ->
+  ?sta:Ggpu_synth.Timing.impl ->
+  ?place:Flow.placer ->
+  ?place_domains:int ->
+  ?freq_mhz:int ->
+  ?cu_counts:int list ->
+  unit ->
+  Flow.implementation list
+(** Implement the {!scaling_specs} grid (default 667 MHz at 8/16/32/64
+    CUs) with the selected floorplan engine.  Beyond 8 CUs each
+    implementation's [achieved_mhz] carries the
+    {!Spec.contention_derate}. *)

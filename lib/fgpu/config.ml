@@ -41,8 +41,15 @@ exception Bad_config of string
 
 let validate t =
   let fail fmt = Printf.ksprintf (fun s -> raise (Bad_config s)) fmt in
-  if t.num_cus < 1 || t.num_cus > 8 then
-    fail "num_cus %d outside 1..8 (as generated by GPUPlanner)" t.num_cus;
+  (* the generator's 1..8 range plus the 16/32/64 scaling grid
+     (Ggpu_rtlgen.Arch_params.supported_cu_counts; duplicated here
+     because ggpu_fgpu sits below ggpu_rtlgen in the library graph) *)
+  if
+    not (t.num_cus >= 1 && t.num_cus <= 8)
+    && not (List.mem t.num_cus [ 16; 32; 64 ])
+  then
+    fail "num_cus %d unsupported (GPUPlanner generates 1..8, 16, 32 or 64)"
+      t.num_cus;
   if t.pes_per_cu < 1 then fail "pes_per_cu < 1";
   if t.wavefront_size mod t.pes_per_cu <> 0 then
     fail "wavefront size %d not a multiple of PE count %d" t.wavefront_size

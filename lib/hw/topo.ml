@@ -53,7 +53,9 @@ let distinct_comb_readers netlist cell =
     (Cell.outputs cell)
 
 let order netlist =
-  let indegree = Hashtbl.create 256 in
+  (* sized from the live cell population so large netlists do not rehash
+     their way through the indegree pass *)
+  let indegree = Hashtbl.create (max 256 (Netlist.cell_count netlist)) in
   let comb_ids = ref [] in
   Netlist.iter_cells netlist (fun cell ->
       if Cell.is_comb cell then begin

@@ -53,8 +53,11 @@ let setup_of tech cell =
 let analyse tech netlist (fp : Floorplan.t) =
   Ggpu_obs.Trace.with_span "layout.post_sta" @@ fun () ->
   Ggpu_obs.Metrics.count "layout.post_sta.calls" 1;
-  let pre = Timing.analyse tech netlist in
-  let arrivals = Timing.compute_arrivals tech netlist in
+  (* one engine serves both the worst-path report and the arrival table
+     (the old code ran two independent full computations) *)
+  let engine = Timing.make_engine tech netlist in
+  let pre = Timing.engine_analyse engine in
+  let arrivals = Timing.engine_arrivals engine in
   let worst_cross = ref None in
   Netlist.iter_nets netlist (fun net ->
       match Netlist.driver_of netlist net with
@@ -107,7 +110,8 @@ let analyse tech netlist (fp : Floorplan.t) =
 
 (* The paper reports achieved frequencies rounded to marketable steps
    (600 MHz for the derated 8-CU design). *)
-let quantised_mhz t = float_of_int (int_of_float (t.achieved_mhz /. 10.0)) *. 10.0
+let quantise mhz = float_of_int (int_of_float (mhz /. 10.0)) *. 10.0
+let quantised_mhz t = quantise t.achieved_mhz
 
 let pp fmt t =
   Format.fprintf fmt "post-route: internal=%.3fns" t.internal_ns;

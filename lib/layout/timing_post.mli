@@ -25,8 +25,11 @@ val cross_detour : float
 val unbuffered_rc_ns : Ggpu_tech.Tech.t -> length_mm:float -> float
 val analyse : Ggpu_tech.Tech.t -> Ggpu_hw.Netlist.t -> Floorplan.t -> t
 
+val quantise : float -> float
+(** Round a frequency down to 10 MHz steps, as the paper reports
+    ("600 MHz"). *)
+
 val quantised_mhz : t -> float
-(** Achieved frequency rounded down to 10 MHz steps, as the paper
-    reports ("600 MHz"). *)
+(** [quantise t.achieved_mhz]. *)
 
 val pp : Format.formatter -> t -> unit

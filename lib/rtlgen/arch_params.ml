@@ -69,9 +69,21 @@ let mem ?(mux_after = 0) mem_name words bits instances read_levels =
 
 let regs reg_name width count levels = { reg_name; width; count; levels }
 
+(* The paper's generator covers 1..8 CUs; the scaling study extends the
+   grid with power-of-two counts behind a shared L2/AXI contention
+   model.  Every CU-count validation in the tree defers to this list so
+   "supported" means one thing. *)
+let supported_cu_counts = [ 1; 2; 3; 4; 5; 6; 7; 8; 16; 32; 64 ]
+let cu_count_supported num_cus = List.mem num_cus supported_cu_counts
+
+let supported_cu_counts_doc = "1..8, 16, 32 or 64"
+
 let default ~num_cus =
-  if num_cus < 1 || num_cus > 8 then
-    raise (Bad_params (Printf.sprintf "num_cus %d outside 1..8" num_cus));
+  if not (cu_count_supported num_cus) then
+    raise
+      (Bad_params
+         (Printf.sprintf "num_cus %d unsupported (expected %s)" num_cus
+            supported_cu_counts_doc));
   {
     num_cus;
     cu_memories =

@@ -49,6 +49,16 @@ type t = {
 
 exception Bad_params of string
 
+val supported_cu_counts : int list
+(** [1..8] (the paper's generator range) plus the 16/32/64 scaling-study
+    grid.  Every CU-count validation in the tree defers to this list. *)
+
+val cu_count_supported : int -> bool
+
+val supported_cu_counts_doc : string
+(** Human-readable rendering of {!supported_cu_counts} for error
+    messages ("1..8, 16, 32 or 64"). *)
+
 val mem :
   ?mux_after:int -> string -> int -> int -> int -> int -> memory_component
 

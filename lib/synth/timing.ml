@@ -9,7 +9,28 @@
    Launch and setup numbers come from the technology: flip-flops from
    the standard-cell model, macros from the memory-compiler model (which
    is how macro geometry ends up on the critical path - the pivot of the
-   paper's whole design-space exploration). *)
+   paper's whole design-space exploration).
+
+   Two interchangeable engines implement the propagation:
+
+   - the legacy hashtable engine (the original implementation, kept as
+     the differential-testing reference and the PR 1 perf baseline):
+     arrival tables are [(int, float) Hashtbl.t] and the incremental
+     path is a FIFO worklist over the dirty fan-out cone;
+   - the CSR engine (the default): cells and nets are numbered densely
+     by their already-dense ids, arrivals live in unboxed [float array]s,
+     the combinational graph is levelized once per build, the full sweep
+     walks cells in level order over flat compressed-sparse-row
+     adjacency (parallelizable across independent cones, which never
+     share a net), and the incremental path re-sweeps dirty cones
+     through a level-bucket queue so every dirty cell is relaxed at most
+     once per sync instead of once per worklist visit.
+
+   Arrival times are the unique fixpoint of max-plus propagation on the
+   DAG, and every tie-break below mirrors the legacy code exactly
+   (first-max over input pins, ascending-id endpoint scans, strictly
+   greater replacement), so the two engines are bit-identical - enforced
+   by the differential qcheck properties in [test/test_csr.ml]. *)
 
 open Ggpu_hw
 open Ggpu_tech
@@ -89,11 +110,15 @@ let eval_cell tech arrivals cell =
   (in_time +. cell_delay tech cell, in_net, launch)
 
 let compute_arrivals tech netlist =
+  (* sized from the netlist's live net count (the same population
+     {!Ggpu_hw.Netlist.stats} enumerates) so large designs do not rehash
+     their way through the sweep *)
+  let size = max 64 (Netlist.net_count netlist) in
   let arrivals =
     {
-      net_arrival = Hashtbl.create 1024;
-      net_pred = Hashtbl.create 1024;
-      net_launch = Hashtbl.create 1024;
+      net_arrival = Hashtbl.create size;
+      net_pred = Hashtbl.create size;
+      net_launch = Hashtbl.create size;
     }
   in
   (* seed: sequential outputs *)
@@ -210,7 +235,696 @@ let analyse tech netlist =
   Ggpu_obs.Metrics.count "sta.full_analyses" 1;
   report_of_arrivals tech netlist (compute_arrivals tech netlist)
 
-(* --- Incremental engine ---------------------------------------------- *)
+(* --- CSR levelized engine --------------------------------------------- *)
+
+(* Net and cell ids are handed out by dense monotonic counters, so raw
+   ids index flat arrays directly (removed ids leave small holes).  The
+   persistent state is the per-net arrival/predecessor/launch arrays and
+   the per-cell levelization; CSR adjacency exists during full sweeps
+   and is dropped afterwards — the incremental path reads pin lists
+   straight off the (small) dirty cones. *)
+type csr_engine = {
+  k_tech : Tech.t;
+  k_netlist : Netlist.t;
+  k_domains : int; (* cone-parallel fan-out of full sweeps *)
+  mutable k_revision : int;
+  (* per-net, indexed by raw net id *)
+  mutable k_arr : float array; (* worst arrival; 0.0 when absent *)
+  mutable k_driven : Bytes.t; (* '\001' iff the net has an arrival entry *)
+  mutable k_pred_cell : int array; (* driving comb cell id; -1 = none *)
+  mutable k_pred_net : int array; (* worst input net id; -1 = none *)
+  mutable k_launch : int array; (* launching sequential cell id; -1 *)
+  (* per-cell, indexed by raw cell id *)
+  mutable k_level : int array; (* comb level; -1 for non-comb/absent *)
+  mutable k_queued : Bytes.t; (* level-bucket queue membership *)
+  mutable k_max_level : int;
+  mutable k_seq : int list; (* sequential cell ids, ascending *)
+  mutable k_report : (int * report) option;
+  mutable k_full : int;
+  mutable k_incremental : int;
+  mutable k_relaxed : int;
+}
+
+let grow_int_array a n ~default =
+  let b = Array.make n default in
+  Array.blit a 0 b 0 (Array.length a);
+  b
+
+let grow_float_array a n =
+  let b = Array.make n 0.0 in
+  Array.blit a 0 b 0 (Array.length a);
+  b
+
+let grow_bytes a n =
+  let b = Bytes.make n '\000' in
+  Bytes.blit a 0 b 0 (Bytes.length a);
+  b
+
+let ensure_net_capacity k id =
+  if id >= Array.length k.k_arr then begin
+    let n = max (id + 1) (2 * Array.length k.k_arr) in
+    k.k_arr <- grow_float_array k.k_arr n;
+    k.k_driven <- grow_bytes k.k_driven n;
+    k.k_pred_cell <- grow_int_array k.k_pred_cell n ~default:(-1);
+    k.k_pred_net <- grow_int_array k.k_pred_net n ~default:(-1);
+    k.k_launch <- grow_int_array k.k_launch n ~default:(-1)
+  end
+
+let ensure_cell_capacity k id =
+  if id >= Array.length k.k_level then begin
+    let n = max (id + 1) (2 * Array.length k.k_level) in
+    k.k_level <- grow_int_array k.k_level n ~default:(-1);
+    k.k_queued <- grow_bytes k.k_queued n
+  end
+
+(* Rebuild the CSR structure from scratch and run the levelized full
+   sweep.  Cell-to-cell edges are deduplicated once per (driver, reader)
+   pair — however many pins or nets connect them — and the indegrees and
+   the successor CSR both derive from the same edge list, so the two
+   sides can never diverge (the counting property {!Topo} documents). *)
+let csr_rebuild k =
+  let nl = k.k_netlist and tech = k.k_tech in
+  let net_bound =
+    Netlist.fold_nets nl ~init:1 ~f:(fun m n -> max m (Net.id n + 1))
+  in
+  let cell_bound =
+    Netlist.fold_cells nl ~init:1 ~f:(fun m c -> max m (Cell.id c + 1))
+  in
+  k.k_arr <- Array.make net_bound 0.0;
+  k.k_driven <- Bytes.make net_bound '\000';
+  k.k_pred_cell <- Array.make net_bound (-1);
+  k.k_pred_net <- Array.make net_bound (-1);
+  k.k_launch <- Array.make net_bound (-1);
+  k.k_level <- Array.make cell_bound (-1);
+  k.k_queued <- Bytes.make cell_bound '\000';
+  k.k_seq <- seq_ids nl;
+  (* dense comb numbering, ascending cell id *)
+  let comb_rev =
+    Netlist.fold_cells nl ~init:[] ~f:(fun acc c ->
+        if Cell.is_comb c then Cell.id c :: acc else acc)
+  in
+  let comb_ids = Array.of_list (List.sort Int.compare comb_rev) in
+  let n_comb = Array.length comb_ids in
+  let cells = Array.map (Netlist.find_cell nl) comb_ids in
+  (* input pins (net ids, pin order) and per-cell delay *)
+  let in_off = Array.make (n_comb + 1) 0 in
+  for c = 0 to n_comb - 1 do
+    in_off.(c + 1) <- in_off.(c) + List.length (Cell.inputs cells.(c))
+  done;
+  let in_net = Array.make (max 1 in_off.(n_comb)) 0 in
+  let delay = Array.make (max 1 n_comb) 0.0 in
+  for c = 0 to n_comb - 1 do
+    let pos = ref in_off.(c) in
+    List.iter
+      (fun net ->
+        in_net.(!pos) <- Net.id net;
+        incr pos)
+      (Cell.inputs cells.(c));
+    delay.(c) <- cell_delay tech cells.(c)
+  done;
+  (* output pins *)
+  let out_off = Array.make (n_comb + 1) 0 in
+  for c = 0 to n_comb - 1 do
+    out_off.(c + 1) <- out_off.(c) + List.length (Cell.outputs cells.(c))
+  done;
+  let out_net = Array.make (max 1 out_off.(n_comb)) 0 in
+  for c = 0 to n_comb - 1 do
+    let pos = ref out_off.(c) in
+    List.iter
+      (fun net ->
+        out_net.(!pos) <- Net.id net;
+        incr pos)
+      (Cell.outputs cells.(c))
+  done;
+  (* net -> dense driving comb cell (a net has at most one driver) *)
+  let net_comb_driver = Array.make net_bound (-1) in
+  for c = 0 to n_comb - 1 do
+    for p = out_off.(c) to out_off.(c + 1) - 1 do
+      net_comb_driver.(out_net.(p)) <- c
+    done
+  done;
+  (* deduplicated (driver, reader) edges over dense indices *)
+  let edge_from = ref (Array.make (max 16 n_comb) 0) in
+  let edge_to = ref (Array.make (max 16 n_comb) 0) in
+  let n_edges = ref 0 in
+  let push_edge d c =
+    if !n_edges = Array.length !edge_from then begin
+      edge_from := grow_int_array !edge_from (2 * !n_edges) ~default:0;
+      edge_to := grow_int_array !edge_to (2 * !n_edges) ~default:0
+    end;
+    !edge_from.(!n_edges) <- d;
+    !edge_to.(!n_edges) <- c;
+    incr n_edges
+  in
+  let seen = Array.make (max 1 n_comb) (-1) in
+  (* dedup marker: last reader that saw this driver *)
+  for c = 0 to n_comb - 1 do
+    for p = in_off.(c) to in_off.(c + 1) - 1 do
+      let d = net_comb_driver.(in_net.(p)) in
+      if d >= 0 && seen.(d) <> c then begin
+        seen.(d) <- c;
+        push_edge d c
+      end
+    done
+  done;
+  (* indegrees and successor CSR from the same edge list *)
+  let indeg = Array.make (max 1 n_comb) 0 in
+  let succ_off = Array.make (n_comb + 1) 0 in
+  for e = 0 to !n_edges - 1 do
+    indeg.(!edge_to.(e)) <- indeg.(!edge_to.(e)) + 1;
+    succ_off.(!edge_from.(e) + 1) <- succ_off.(!edge_from.(e) + 1) + 1
+  done;
+  for c = 0 to n_comb - 1 do
+    succ_off.(c + 1) <- succ_off.(c + 1) + succ_off.(c)
+  done;
+  let succ = Array.make (max 1 !n_edges) 0 in
+  let fill = Array.copy succ_off in
+  for e = 0 to !n_edges - 1 do
+    let d = !edge_from.(e) in
+    succ.(fill.(d)) <- !edge_to.(e);
+    fill.(d) <- fill.(d) + 1
+  done;
+  (* levelization by Kahn relaxation: level = longest comb-driver chain *)
+  let lvl = Array.make (max 1 n_comb) 0 in
+  let stack = Array.make (max 1 n_comb) 0 in
+  let sp = ref 0 in
+  for c = 0 to n_comb - 1 do
+    if indeg.(c) = 0 then begin
+      stack.(!sp) <- c;
+      incr sp
+    end
+  done;
+  let emitted = ref 0 in
+  while !sp > 0 do
+    decr sp;
+    let c = stack.(!sp) in
+    incr emitted;
+    for p = succ_off.(c) to succ_off.(c + 1) - 1 do
+      let s = succ.(p) in
+      if lvl.(c) + 1 > lvl.(s) then lvl.(s) <- lvl.(c) + 1;
+      indeg.(s) <- indeg.(s) - 1;
+      if indeg.(s) = 0 then begin
+        stack.(!sp) <- s;
+        incr sp
+      end
+    done
+  done;
+  if !emitted <> n_comb then begin
+    let stuck = ref [] in
+    for c = 0 to n_comb - 1 do
+      if indeg.(c) > 0 then stuck := Cell.name cells.(c) :: !stuck
+    done;
+    raise (Topo.Combinational_loop (List.sort String.compare !stuck))
+  end;
+  k.k_max_level <- Array.fold_left max 0 lvl;
+  for c = 0 to n_comb - 1 do
+    k.k_level.(comb_ids.(c)) <- lvl.(c)
+  done;
+  (* seed sequential outputs before sweeping *)
+  Netlist.iter_cells nl (fun cell ->
+      if Cell.is_sequential cell then begin
+        let t = launch_delay tech cell in
+        List.iter
+          (fun net ->
+            let nid = Net.id net in
+            k.k_arr.(nid) <- t;
+            Bytes.set k.k_driven nid '\001';
+            k.k_launch.(nid) <- Cell.id cell)
+          (Cell.outputs cell)
+      end);
+  (* one dense relaxation of a comb cell over the flat arrays; mirrors
+     [eval_cell]'s first-max tie-break exactly (strictly-greater keeps
+     the earliest pin) *)
+  let relax c =
+    let lo = in_off.(c) and hi = in_off.(c + 1) in
+    let in_time, best_net =
+      if lo = hi then (0.0, -1)
+      else begin
+        let best = ref k.k_arr.(in_net.(lo)) and bn = ref in_net.(lo) in
+        for p = lo + 1 to hi - 1 do
+          let t = k.k_arr.(in_net.(p)) in
+          if t > !best then begin
+            best := t;
+            bn := in_net.(p)
+          end
+        done;
+        (!best, !bn)
+      end
+    in
+    let launch = if best_net >= 0 then k.k_launch.(best_net) else -1 in
+    let out_time = in_time +. delay.(c) in
+    let id = comb_ids.(c) in
+    for p = out_off.(c) to out_off.(c + 1) - 1 do
+      let nid = out_net.(p) in
+      k.k_arr.(nid) <- out_time;
+      Bytes.set k.k_driven nid '\001';
+      k.k_pred_cell.(nid) <- id;
+      k.k_pred_net.(nid) <- best_net;
+      k.k_launch.(nid) <- launch
+    done
+  in
+  (* sweep order: (level, dense index); [comb_ids] ascends by cell id
+     and the sort is stable, so ties break on ascending id *)
+  let order = Array.init n_comb (fun c -> c) in
+  let cmp a b =
+    let d = compare lvl.(a) lvl.(b) in
+    if d <> 0 then d else compare a b
+  in
+  Array.sort cmp order;
+  let domains = min k.k_domains n_comb in
+  if domains <= 1 then Array.iter relax order
+  else begin
+    (* independent cones: weakly-connected components of the comb graph.
+       Cones never share a net (each net has a unique driver and every
+       edge of a cell stays inside its component), so sweeping cones
+       from separate domains touches disjoint array slots and the result
+       is bit-identical at any domain count. *)
+    let parent = Array.init n_comb (fun c -> c) in
+    let rec find x = if parent.(x) = x then x else find parent.(x) in
+    let union a b =
+      let ra = find a and rb = find b in
+      if ra <> rb then
+        if ra < rb then parent.(rb) <- ra else parent.(ra) <- rb
+    in
+    for e = 0 to !n_edges - 1 do
+      union !edge_from.(e) !edge_to.(e)
+    done;
+    let comp_size = Array.make n_comb 0 in
+    for c = 0 to n_comb - 1 do
+      let r = find c in
+      comp_size.(r) <- comp_size.(r) + 1
+    done;
+    (* greedily pack components (ascending root) into [domains] chunks *)
+    let chunk_of_root = Array.make n_comb (-1) in
+    let target = (n_comb + domains - 1) / domains in
+    let chunk = ref 0 and filled = ref 0 in
+    for c = 0 to n_comb - 1 do
+      if find c = c then begin
+        if !filled >= target && !chunk < domains - 1 then begin
+          incr chunk;
+          filled := 0
+        end;
+        chunk_of_root.(c) <- !chunk;
+        filled := !filled + comp_size.(c)
+      end
+    done;
+    let buckets = Array.make domains [] in
+    (* walk the sweep order backwards so each bucket ends up forward *)
+    for i = n_comb - 1 downto 0 do
+      let c = order.(i) in
+      let b = chunk_of_root.(find c) in
+      buckets.(b) <- c :: buckets.(b)
+    done;
+    let chunks =
+      Array.to_list (Array.map Array.of_list buckets)
+      |> List.filter (fun a -> Array.length a > 0)
+    in
+    ignore
+      (Ggpu_par.Parallel.map ~domains
+         (fun chunk -> Array.iter relax chunk)
+         chunks)
+  end
+
+(* Incremental sync, phase A: restore the level fixpoint over the dirty
+   region.  level(c) = 1 + max level of distinct comb drivers (0 with
+   none); chaotic iteration over a FIFO converges because the graph is
+   acyclic and every change re-enqueues the readers. *)
+let csr_fix_levels k ~cells ~nets =
+  let nl = k.k_netlist in
+  let queue = Queue.create () in
+  let queued = Hashtbl.create 64 in
+  let enqueue id =
+    if not (Hashtbl.mem queued id) then begin
+      Hashtbl.add queued id ();
+      Queue.add id queue
+    end
+  in
+  List.iter
+    (fun id ->
+      ensure_cell_capacity k id;
+      if Netlist.mem_cell nl id then begin
+        let cell = Netlist.find_cell nl id in
+        if Cell.is_comb cell then enqueue id else k.k_level.(id) <- -1
+      end
+      else k.k_level.(id) <- -1)
+    cells;
+  List.iter
+    (fun nid ->
+      ensure_net_capacity k nid;
+      let net = Netlist.find_net nl nid in
+      List.iter
+        (fun reader ->
+          if Cell.is_comb reader then begin
+            ensure_cell_capacity k (Cell.id reader);
+            enqueue (Cell.id reader)
+          end)
+        (Netlist.readers_of nl net))
+    nets;
+  while not (Queue.is_empty queue) do
+    let id = Queue.pop queue in
+    Hashtbl.remove queued id;
+    if Netlist.mem_cell nl id then begin
+      let cell = Netlist.find_cell nl id in
+      if Cell.is_comb cell then begin
+        let lvl =
+          List.fold_left
+            (fun acc net ->
+              match Netlist.driver_of nl net with
+              | Some d when Cell.is_comb d ->
+                  let did = Cell.id d in
+                  ensure_cell_capacity k did;
+                  max acc (k.k_level.(did) + 1)
+              | Some _ | None -> acc)
+            0 (Cell.inputs cell)
+        in
+        if lvl <> k.k_level.(id) then begin
+          k.k_level.(id) <- lvl;
+          if lvl > k.k_max_level then k.k_max_level <- lvl;
+          List.iter
+            (fun net ->
+              List.iter
+                (fun reader ->
+                  if Cell.is_comb reader then begin
+                    ensure_cell_capacity k (Cell.id reader);
+                    enqueue (Cell.id reader)
+                  end)
+                (Netlist.readers_of nl net))
+            (Cell.outputs cell)
+        end
+      end
+    end
+  done
+
+(* Incremental sync, phase B: level-bounded re-sweep of the dirty cones.
+   Dirty comb cells sit in per-level buckets; processing levels in
+   ascending order relaxes every dirty cell exactly once, after all its
+   dirty predecessors (a reader's level strictly exceeds its comb
+   driver's, restored by phase A).  Seeding and change detection mirror
+   the legacy worklist byte for byte. *)
+let csr_resweep k ~cells ~nets =
+  let nl = k.k_netlist and tech = k.k_tech in
+  let buckets = ref (Array.make (k.k_max_level + 1) []) in
+  let ensure_bucket l =
+    if l >= Array.length !buckets then begin
+      let b = Array.make (max (l + 1) (2 * Array.length !buckets)) [] in
+      Array.blit !buckets 0 b 0 (Array.length !buckets);
+      buckets := b
+    end
+  in
+  let enqueue cell =
+    if Cell.is_comb cell then begin
+      let id = Cell.id cell in
+      ensure_cell_capacity k id;
+      if Bytes.get k.k_queued id = '\000' then begin
+        Bytes.set k.k_queued id '\001';
+        let l = max 0 k.k_level.(id) in
+        ensure_bucket l;
+        !buckets.(l) <- id :: !buckets.(l)
+      end
+    end
+  in
+  let enqueue_readers net = List.iter enqueue (Netlist.readers_of nl net) in
+  (* a sequential driver re-seeds its output nets with clk-to-q *)
+  let reseed_seq_output cell net =
+    let nid = Net.id net in
+    ensure_net_capacity k nid;
+    let t = launch_delay tech cell in
+    let same_launch = k.k_launch.(nid) = Cell.id cell in
+    if
+      Bytes.get k.k_driven nid = '\000'
+      || k.k_arr.(nid) <> t
+      || k.k_pred_cell.(nid) >= 0
+      || not same_launch
+    then begin
+      k.k_arr.(nid) <- t;
+      Bytes.set k.k_driven nid '\001';
+      k.k_pred_cell.(nid) <- -1;
+      k.k_pred_net.(nid) <- -1;
+      k.k_launch.(nid) <- Cell.id cell;
+      enqueue_readers net
+    end
+  in
+  let touch_net nid =
+    ensure_net_capacity k nid;
+    let net = Netlist.find_net nl nid in
+    match Netlist.driver_of nl net with
+    | None ->
+        (* driver removed and not replaced: the net reverts to the
+           primary-input default (no table entry) *)
+        if
+          Bytes.get k.k_driven nid = '\001'
+          || k.k_pred_cell.(nid) >= 0
+          || k.k_launch.(nid) >= 0
+        then begin
+          k.k_arr.(nid) <- 0.0;
+          Bytes.set k.k_driven nid '\000';
+          k.k_pred_cell.(nid) <- -1;
+          k.k_pred_net.(nid) <- -1;
+          k.k_launch.(nid) <- -1;
+          enqueue_readers net
+        end
+    | Some driver when Cell.is_sequential driver -> reseed_seq_output driver net
+    | Some driver -> enqueue driver
+  in
+  List.iter touch_net nets;
+  List.iter
+    (fun id ->
+      if Netlist.mem_cell nl id then begin
+        let cell = Netlist.find_cell nl id in
+        if Cell.is_comb cell then enqueue cell
+        else List.iter (reseed_seq_output cell) (Cell.outputs cell)
+      end
+      (* removed cells: their output nets are in [nets] *))
+    cells;
+  (* relaxation of one dirty cell: same first-max fold as [eval_cell],
+     reading the flat arrays *)
+  let relax cell =
+    k.k_relaxed <- k.k_relaxed + 1;
+    let worst_in =
+      List.fold_left
+        (fun acc net ->
+          let nid = Net.id net in
+          ensure_net_capacity k nid;
+          let t = k.k_arr.(nid) in
+          match acc with
+          | Some (best, _) when best >= t -> acc
+          | _ -> Some (t, nid))
+        None (Cell.inputs cell)
+    in
+    let in_time, in_net =
+      match worst_in with Some (t, nid) -> (t, nid) | None -> (0.0, -1)
+    in
+    let launch = if in_net >= 0 then k.k_launch.(in_net) else -1 in
+    let out_time = in_time +. cell_delay tech cell in
+    let id = Cell.id cell in
+    List.iter
+      (fun net ->
+        let nid = Net.id net in
+        ensure_net_capacity k nid;
+        let same_arrival =
+          Bytes.get k.k_driven nid = '\001' && k.k_arr.(nid) = out_time
+        in
+        let same_pred =
+          k.k_pred_cell.(nid) = id && k.k_pred_net.(nid) = in_net
+        in
+        let same_launch = k.k_launch.(nid) = launch in
+        k.k_arr.(nid) <- out_time;
+        Bytes.set k.k_driven nid '\001';
+        k.k_pred_cell.(nid) <- id;
+        k.k_pred_net.(nid) <- in_net;
+        k.k_launch.(nid) <- launch;
+        if not (same_arrival && same_pred && same_launch) then
+          enqueue_readers net)
+      (Cell.outputs cell)
+  in
+  let l = ref 0 in
+  while !l < Array.length !buckets do
+    (* readers enqueued while draining level [l] always land strictly
+       above it; only the seed pass fills the current level *)
+    let rec drain () =
+      match !buckets.(!l) with
+      | [] -> ()
+      | ids ->
+          !buckets.(!l) <- [];
+          List.iter
+            (fun id ->
+              Bytes.set k.k_queued id '\000';
+              if Netlist.mem_cell nl id then begin
+                let cell = Netlist.find_cell nl id in
+                if Cell.is_comb cell then relax cell
+              end)
+            (List.rev ids);
+          drain ()
+    in
+    drain ();
+    incr l
+  done
+
+(* Materialize the legacy hashtable view of the CSR arrays (for
+   {!engine_arrivals} consumers and the differential tests). *)
+let csr_arrivals k =
+  let nl = k.k_netlist in
+  let size = max 64 (Netlist.net_count nl) in
+  let arrivals =
+    {
+      net_arrival = Hashtbl.create size;
+      net_pred = Hashtbl.create size;
+      net_launch = Hashtbl.create size;
+    }
+  in
+  Netlist.iter_nets nl (fun net ->
+      let nid = Net.id net in
+      if nid < Array.length k.k_arr then begin
+        if Bytes.get k.k_driven nid = '\001' then
+          Hashtbl.replace arrivals.net_arrival nid k.k_arr.(nid);
+        if k.k_pred_cell.(nid) >= 0 then begin
+          let cell = Netlist.find_cell nl k.k_pred_cell.(nid) in
+          let prev =
+            if k.k_pred_net.(nid) >= 0 then
+              Some (Netlist.find_net nl k.k_pred_net.(nid))
+            else None
+          in
+          Hashtbl.replace arrivals.net_pred nid (cell, prev)
+        end;
+        if k.k_launch.(nid) >= 0 then
+          Hashtbl.replace arrivals.net_launch nid
+            (Netlist.find_cell nl k.k_launch.(nid))
+      end);
+  arrivals
+
+(* Worst path over the CSR arrays; scan order and tie-breaks replicate
+   [report_over_ids] exactly. *)
+let csr_report k =
+  let nl = k.k_netlist and tech = k.k_tech in
+  let worst = ref None in
+  let endpoints = ref 0 in
+  let skew = tech.Tech.stdcell.Stdcell.clock_skew_ns in
+  List.iter
+    (fun id ->
+      let cell = Netlist.find_cell nl id in
+      let setup = lazy (setup_time tech cell) in
+      List.iter
+        (fun net ->
+          let nid = Net.id net in
+          if nid < Array.length k.k_launch && k.k_launch.(nid) >= 0 then begin
+            incr endpoints;
+            let arrival = k.k_arr.(nid) in
+            let delay_ns = arrival +. Lazy.force setup +. skew in
+            match !worst with
+            | Some (best, _, _) when best >= delay_ns -> ()
+            | Some _ | None -> worst := Some (delay_ns, nid, cell)
+          end)
+        (Cell.inputs cell))
+    k.k_seq;
+  match !worst with
+  | None -> raise No_paths
+  | Some (_, endpoint_nid, capture) -> (
+      let rec walk nid acc =
+        if nid < Array.length k.k_pred_cell && k.k_pred_cell.(nid) >= 0 then begin
+          let cell = Netlist.find_cell nl k.k_pred_cell.(nid) in
+          let prev = k.k_pred_net.(nid) in
+          if prev >= 0 then walk prev (cell :: acc)
+          else (cell :: acc, None)
+        end
+        else (acc, Netlist.driver_of nl (Netlist.find_net nl nid))
+      in
+      let through, launch_opt = walk endpoint_nid [] in
+      let launch =
+        match launch_opt with
+        | Some cell when Cell.is_sequential cell -> Some cell
+        | Some _ | None -> None
+      in
+      match launch with
+      | None -> raise No_paths (* cannot happen: endpoint has a launch *)
+      | Some launch ->
+          let arrival = k.k_arr.(endpoint_nid) in
+          let delay_ns =
+            arrival +. setup_time tech capture
+            +. tech.Tech.stdcell.Stdcell.clock_skew_ns
+          in
+          let worst = { launch; capture; through; delay_ns } in
+          {
+            worst;
+            max_delay_ns = worst.delay_ns;
+            fmax_mhz = 1000.0 /. worst.delay_ns;
+            endpoint_count = !endpoints;
+          })
+
+(* Keep the cached sequential-id list equal to [seq_ids netlist]:
+   every added, removed or rewired cell id appears in the journal, so
+   dropping the touched ids and re-inserting the ones that are (still)
+   sequential restores the invariant. *)
+let merge_seq_ids nl seq touched =
+  match touched with
+  | [] -> seq
+  | touched ->
+      let touched = List.sort_uniq Int.compare touched in
+      let keep = List.filter (fun id -> not (List.mem id touched)) seq in
+      let add =
+        List.filter
+          (fun id ->
+            Netlist.mem_cell nl id
+            && Cell.is_sequential (Netlist.find_cell nl id))
+          touched
+      in
+      List.merge Int.compare keep add
+
+let csr_make ~domains tech netlist =
+  let k =
+    {
+      k_tech = tech;
+      k_netlist = netlist;
+      k_domains = max 1 domains;
+      k_revision = Netlist.revision netlist;
+      k_arr = [||];
+      k_driven = Bytes.empty;
+      k_pred_cell = [||];
+      k_pred_net = [||];
+      k_launch = [||];
+      k_level = [||];
+      k_queued = Bytes.empty;
+      k_max_level = 0;
+      k_seq = [];
+      k_report = None;
+      k_full = 1;
+      k_incremental = 0;
+      k_relaxed = 0;
+    }
+  in
+  csr_rebuild k;
+  k
+
+let csr_sync k =
+  let rev = Netlist.revision k.k_netlist in
+  if rev <> k.k_revision then begin
+    (match Netlist.changes_since k.k_netlist k.k_revision with
+    | Some { Netlist.cells = []; nets = [] } -> ()
+    | Some { Netlist.cells; nets } ->
+        let before = k.k_relaxed in
+        Ggpu_obs.Trace.with_span "sta.incremental" (fun () ->
+            csr_fix_levels k ~cells ~nets;
+            csr_resweep k ~cells ~nets);
+        k.k_seq <- merge_seq_ids k.k_netlist k.k_seq cells;
+        k.k_incremental <- k.k_incremental + 1;
+        Ggpu_obs.Metrics.count "sta.incremental_updates" 1;
+        Ggpu_obs.Metrics.observe_named "sta.cone_cells" (k.k_relaxed - before)
+    | None ->
+        (* journal truncated: too far behind, rebuild from scratch *)
+        Ggpu_obs.Trace.with_span "sta.full" (fun () -> csr_rebuild k);
+        k.k_full <- k.k_full + 1;
+        Ggpu_obs.Metrics.count "sta.full_recomputes" 1);
+    k.k_revision <- rev;
+    k.k_report <- None
+  end
+
+(* Standalone levelized analysis over a throwaway CSR build; [domains]
+   fans the full sweep over independent cones. *)
+let analyse_csr ?(domains = 1) tech netlist =
+  Ggpu_obs.Trace.with_span "sta.full_csr" @@ fun () ->
+  Ggpu_obs.Metrics.count "sta.full_analyses" 1;
+  csr_report (csr_make ~domains tech netlist)
+
+(* --- Legacy incremental engine ---------------------------------------- *)
 
 (* Caches the arrival tables across analyses of the same (mutating)
    netlist.  On each analysis the engine reads the netlist's change
@@ -218,7 +932,7 @@ let analyse tech netlist =
    worklist, instead of re-walking the whole graph.  Arrival times are a
    unique fixpoint of the max-plus propagation on the DAG, so the result
    is bit-identical to a full recomputation. *)
-type engine = {
+type legacy_engine = {
   e_tech : Tech.t;
   e_netlist : Netlist.t;
   mutable e_revision : int; (* netlist revision the tables reflect *)
@@ -230,14 +944,17 @@ type engine = {
   mutable e_relaxed : int;
 }
 
+type engine = Legacy_engine of legacy_engine | Csr_engine of csr_engine
+
+type impl = Legacy | Csr
+
 type engine_stats = {
   full_recomputes : int;
   incremental_updates : int;
   cells_relaxed : int; (* comb cells relaxed by incremental updates *)
 }
 
-let make_engine tech netlist =
-  Ggpu_obs.Trace.with_span "sta.engine_init" @@ fun () ->
+let make_legacy_engine tech netlist =
   {
     e_tech = tech;
     e_netlist = netlist;
@@ -250,12 +967,27 @@ let make_engine tech netlist =
     e_relaxed = 0;
   }
 
-let engine_stats e =
-  {
-    full_recomputes = e.e_full;
-    incremental_updates = e.e_incremental;
-    cells_relaxed = e.e_relaxed;
-  }
+let make_engine ?(impl = Csr) ?(domains = 1) tech netlist =
+  Ggpu_obs.Trace.with_span "sta.engine_init" @@ fun () ->
+  match impl with
+  | Legacy -> Legacy_engine (make_legacy_engine tech netlist)
+  | Csr -> Csr_engine (csr_make ~domains tech netlist)
+
+let engine_impl = function Legacy_engine _ -> Legacy | Csr_engine _ -> Csr
+
+let engine_stats = function
+  | Legacy_engine e ->
+      {
+        full_recomputes = e.e_full;
+        incremental_updates = e.e_incremental;
+        cells_relaxed = e.e_relaxed;
+      }
+  | Csr_engine k ->
+      {
+        full_recomputes = k.k_full;
+        incremental_updates = k.k_incremental;
+        cells_relaxed = k.k_relaxed;
+      }
 
 let incremental_update engine ~cells ~nets =
   let tech = engine.e_tech and nl = engine.e_netlist in
@@ -361,29 +1093,10 @@ let incremental_update engine ~cells ~nets =
     end
   done
 
-(* Keep the cached sequential-id list equal to [seq_ids e_netlist]:
-   every added, removed or rewired cell id appears in the journal, so
-   dropping the touched ids and re-inserting the ones that are (still)
-   sequential restores the invariant. *)
 let update_seq_ids engine touched =
-  match touched with
-  | [] -> ()
-  | touched ->
-      let nl = engine.e_netlist in
-      let touched = List.sort_uniq Int.compare touched in
-      let keep =
-        List.filter (fun id -> not (List.mem id touched)) engine.e_seq
-      in
-      let add =
-        List.filter
-          (fun id ->
-            Netlist.mem_cell nl id
-            && Cell.is_sequential (Netlist.find_cell nl id))
-          touched
-      in
-      engine.e_seq <- List.merge Int.compare keep add
+  engine.e_seq <- merge_seq_ids engine.e_netlist engine.e_seq touched
 
-let sync engine =
+let legacy_sync engine =
   let rev = Netlist.revision engine.e_netlist in
   if rev <> engine.e_revision then begin
     (match Netlist.changes_since engine.e_netlist engine.e_revision with
@@ -408,21 +1121,34 @@ let sync engine =
     engine.e_report <- None
   end
 
-let engine_arrivals engine =
-  sync engine;
-  engine.e_arrivals
+let engine_arrivals = function
+  | Legacy_engine e ->
+      legacy_sync e;
+      e.e_arrivals
+  | Csr_engine k ->
+      csr_sync k;
+      csr_arrivals k
 
-let engine_analyse engine =
-  sync engine;
-  match engine.e_report with
-  | Some (rev, report) when rev = engine.e_revision -> report
-  | Some _ | None ->
-      let report =
-        report_over_ids engine.e_tech engine.e_netlist engine.e_arrivals
-          engine.e_seq
-      in
-      engine.e_report <- Some (engine.e_revision, report);
-      report
+let engine_analyse = function
+  | Legacy_engine engine -> (
+      legacy_sync engine;
+      match engine.e_report with
+      | Some (rev, report) when rev = engine.e_revision -> report
+      | Some _ | None ->
+          let report =
+            report_over_ids engine.e_tech engine.e_netlist engine.e_arrivals
+              engine.e_seq
+          in
+          engine.e_report <- Some (engine.e_revision, report);
+          report)
+  | Csr_engine k -> (
+      csr_sync k;
+      match k.k_report with
+      | Some (rev, report) when rev = k.k_revision -> report
+      | Some _ | None ->
+          let report = csr_report k in
+          k.k_report <- Some (k.k_revision, report);
+          report)
 
 let slack_ns report ~period_ns = period_ns -. report.max_delay_ns
 let meets report ~period_ns = slack_ns report ~period_ns >= 0.0

@@ -45,6 +45,12 @@ val analyse : Ggpu_tech.Tech.t -> Ggpu_hw.Netlist.t -> report
     @raise No_paths if the netlist has no register-to-register path.
     @raise Ggpu_hw.Topo.Combinational_loop on a combinational cycle. *)
 
+val analyse_csr : ?domains:int -> Ggpu_tech.Tech.t -> Ggpu_hw.Netlist.t -> report
+(** Full analysis through a throwaway CSR levelized build.  Bit-identical
+    to {!analyse} at any [domains]; [domains > 1] fans the forward sweep
+    over independent combinational cones via [Ggpu_par].
+    @raise No_paths / @raise Ggpu_hw.Topo.Combinational_loop as {!analyse}. *)
+
 (** {1 Incremental engine}
 
     Caches topological/arrival state across repeated analyses of the
@@ -55,14 +61,25 @@ val analyse : Ggpu_tech.Tech.t -> Ggpu_hw.Netlist.t -> report
 
 type engine
 
+type impl =
+  | Legacy  (** original hashtable tables + FIFO worklist *)
+  | Csr  (** int-indexed CSR arrays + levelized sweeps (default) *)
+
 type engine_stats = {
   full_recomputes : int;  (** whole-graph recomputations (>= 1) *)
   incremental_updates : int;  (** journal-driven cone updates *)
   cells_relaxed : int;  (** comb cells relaxed incrementally *)
 }
 
-val make_engine : Ggpu_tech.Tech.t -> Ggpu_hw.Netlist.t -> engine
-(** Performs the initial full computation. *)
+val make_engine :
+  ?impl:impl -> ?domains:int -> Ggpu_tech.Tech.t -> Ggpu_hw.Netlist.t -> engine
+(** Performs the initial full computation.  [impl] selects the engine
+    (default {!Csr}; the two are bit-identical — {!Legacy} survives as
+    the differential-testing reference).  [domains] (default 1) fans
+    full CSR sweeps over independent combinational cones; it does not
+    affect results, only wall-clock. *)
+
+val engine_impl : engine -> impl
 
 val engine_analyse : engine -> report
 (** Synchronise with the netlist's current revision and report.

@@ -1,0 +1,257 @@
+(* Tests for the analytical global placer: legality of the placed
+   floorplan, bit-identical results at any domain count, the 8-CU
+   wirelength win over the estimator floorplan, and the spec/CU-count
+   validation behind the extended 16/32/64 grids. *)
+
+open Ggpu_tech
+open Ggpu_layout
+open Ggpu_core
+
+let tech = Tech.default_65nm
+
+let contains ~sub s =
+  let n = String.length sub and m = String.length s in
+  let rec go i = i + n <= m && (String.sub s i n = sub || go (i + 1)) in
+  n = 0 || go 0
+
+let netlist_for cus =
+  let nl = Ggpu_rtlgen.Generate.generate_cus ~num_cus:cus in
+  ignore (Dse.explore tech nl ~num_cus:cus ~period_ns:(1000.0 /. 667.0));
+  nl
+
+(* --- legality ------------------------------------------------------------ *)
+
+let overlap_area (a : Floorplan.rect) (b : Floorplan.rect) =
+  let ox =
+    Float.min (a.Floorplan.x +. a.Floorplan.w) (b.Floorplan.x +. b.Floorplan.w)
+    -. Float.max a.Floorplan.x b.Floorplan.x
+  and oy =
+    Float.min (a.Floorplan.y +. a.Floorplan.h) (b.Floorplan.y +. b.Floorplan.h)
+    -. Float.max a.Floorplan.y b.Floorplan.y
+  in
+  if ox > 0.0 && oy > 0.0 then ox *. oy else 0.0
+
+let check_legal msg (fp : Floorplan.t) =
+  let eps = 1e-6 in
+  List.iter
+    (fun (p : Floorplan.partition) ->
+      let r = p.Floorplan.rect in
+      Alcotest.(check bool)
+        (Printf.sprintf "%s: %s inside die" msg p.Floorplan.part_name)
+        true
+        (r.Floorplan.x >= fp.Floorplan.die.Floorplan.x -. eps
+        && r.Floorplan.y >= fp.Floorplan.die.Floorplan.y -. eps
+        && r.Floorplan.x +. r.Floorplan.w
+           <= fp.Floorplan.die.Floorplan.x +. fp.Floorplan.die.Floorplan.w
+              +. eps
+        && r.Floorplan.y +. r.Floorplan.h
+           <= fp.Floorplan.die.Floorplan.y +. fp.Floorplan.die.Floorplan.h
+              +. eps))
+    fp.Floorplan.partitions;
+  let rec pairs = function
+    | [] -> ()
+    | (p : Floorplan.partition) :: rest ->
+        List.iter
+          (fun (q : Floorplan.partition) ->
+            Alcotest.(check bool)
+              (Printf.sprintf "%s: %s and %s disjoint" msg
+                 p.Floorplan.part_name q.Floorplan.part_name)
+              true
+              (overlap_area p.Floorplan.rect q.Floorplan.rect <= eps))
+          rest;
+        pairs rest
+  in
+  pairs fp.Floorplan.partitions
+
+let test_placed_floorplan_legal () =
+  List.iter
+    (fun cus ->
+      let nl = netlist_for cus in
+      let placed = Place.place tech nl ~num_cus:cus in
+      let fp = placed.Place.floorplan in
+      check_legal (Printf.sprintf "%d CU" cus) fp;
+      (* same partition inventory as the estimator floorplan, areas
+         preserved — the placer moves partitions, never reshapes their
+         contents *)
+      let est = Floorplan.build tech nl ~num_cus:cus in
+      let names (f : Floorplan.t) =
+        List.sort compare
+          (List.map (fun p -> p.Floorplan.part_name) f.Floorplan.partitions)
+      in
+      Alcotest.(check (list string))
+        (Printf.sprintf "%d CU: partition inventory" cus)
+        (names est) (names fp);
+      (* every placed rect holds its partition's cells at the same
+         density budget the estimator uses (the estimator additionally
+         pads rects out to full column height, so equality is with the
+         density footprint, not the estimator rect) *)
+      List.iter
+        (fun (p : Floorplan.partition) ->
+          let density =
+            if p.Floorplan.part_name = "top" then Floorplan.top_density
+            else Floorplan.cu_density
+          in
+          let footprint =
+            (p.Floorplan.area.Ggpu_synth.Area.logic_mm2 /. density)
+            +. p.Floorplan.area.Ggpu_synth.Area.memory_mm2
+          in
+          Alcotest.(check (float 1e-6))
+            (Printf.sprintf "%d CU: %s area" cus p.Floorplan.part_name)
+            footprint
+            (p.Floorplan.rect.Floorplan.w *. p.Floorplan.rect.Floorplan.h))
+        fp.Floorplan.partitions)
+    [ 1; 2 ]
+
+(* --- determinism --------------------------------------------------------- *)
+
+let test_deterministic_across_domains () =
+  let nl = netlist_for 2 in
+  let base = Place.place ~domains:1 tech nl ~num_cus:2 in
+  List.iter
+    (fun domains ->
+      let p = Place.place ~domains tech nl ~num_cus:2 in
+      Alcotest.(check bool)
+        (Printf.sprintf "floorplan identical at %d domains" domains)
+        true
+        (p.Place.floorplan = base.Place.floorplan);
+      Alcotest.(check (float 0.0))
+        (Printf.sprintf "wirelength identical at %d domains" domains)
+        base.Place.wirelength_mm p.Place.wirelength_mm)
+    [ 2; 3; 4 ]
+
+let test_repeated_runs_identical () =
+  let nl = netlist_for 1 in
+  let a = Place.place tech nl ~num_cus:1 in
+  let b = Place.place tech nl ~num_cus:1 in
+  Alcotest.(check bool) "two runs, one floorplan" true
+    (a.Place.floorplan = b.Place.floorplan)
+
+(* --- the 8-CU wirelength win --------------------------------------------- *)
+
+let test_8cu_beats_estimator_wirelength () =
+  let cus = 8 in
+  let spec = Spec.make ~num_cus:cus ~freq_mhz:667 () in
+  let impl = Flow.implement ~tech spec in
+  let nl = impl.Flow.netlist in
+  let period_ns = 1000.0 /. impl.Flow.achieved_mhz in
+  let base_macros = Flow.base_macro_count ~num_cus:cus in
+  let placed = Place.place tech nl ~num_cus:cus in
+  let placed_route =
+    Route.estimate tech nl placed.Place.floorplan ~period_ns ~base_macros
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "placed %.0f um < estimator %.0f um"
+       placed_route.Route.total_um impl.Flow.route.Route.total_um)
+    true
+    (placed_route.Route.total_um < impl.Flow.route.Route.total_um)
+
+(* The flow's Analytic engine is the same placement. *)
+let test_flow_analytic_placer () =
+  let spec = Spec.make ~num_cus:2 ~freq_mhz:500 () in
+  let impl = Flow.implement ~tech ~place:Flow.Analytic ~place_domains:2 spec in
+  let placed = Place.place tech impl.Flow.netlist ~num_cus:2 in
+  Alcotest.(check bool) "flow floorplan is the placer's" true
+    (impl.Flow.floorplan = placed.Place.floorplan)
+
+(* --- extended CU grids --------------------------------------------------- *)
+
+let test_spec_accepts_extended_cus () =
+  List.iter
+    (fun num_cus ->
+      let spec = Spec.make ~num_cus ~freq_mhz:667 () in
+      Alcotest.(check int) "cus kept" num_cus spec.Spec.num_cus)
+    [ 1; 8; 16; 32; 64 ]
+
+let test_spec_rejects_unsupported_cus () =
+  List.iter
+    (fun num_cus ->
+      match Spec.make ~num_cus ~freq_mhz:667 () with
+      | _ -> Alcotest.failf "num_cus %d accepted" num_cus
+      | exception Spec.Invalid_spec msg ->
+          Alcotest.(check bool)
+            (Printf.sprintf "error names the count (%s)" msg)
+            true
+            (contains ~sub:(string_of_int num_cus) msg))
+    [ 0; 9; 12; 24; 48; 100 ]
+
+let test_contention_derate () =
+  let derate cus =
+    Spec.contention_derate (Spec.make ~num_cus:cus ~freq_mhz:667 ())
+  in
+  (* identity through the paper grid, monotone decline beyond it *)
+  List.iter
+    (fun cus ->
+      Alcotest.(check (float 0.0))
+        (Printf.sprintf "%d CU underated" cus)
+        1.0 (derate cus))
+    [ 1; 4; 8 ];
+  Alcotest.(check bool) "16 < 8" true (derate 16 < 1.0);
+  Alcotest.(check bool) "32 < 16" true (derate 32 < derate 16);
+  Alcotest.(check bool) "64 < 32" true (derate 64 < derate 32)
+
+let test_check_cu_counts () =
+  Compare.check_cu_counts [ 1; 2; 4; 8; 16; 32; 64 ];
+  (match Compare.check_cu_counts [ 8; 12 ] with
+  | () -> Alcotest.fail "12 accepted"
+  | exception Invalid_argument msg ->
+      Alcotest.(check bool)
+        (Printf.sprintf "names the offender (%s)" msg)
+        true
+        (contains ~sub:"12" msg));
+  match Compare.check_cu_counts [] with
+  | () -> Alcotest.fail "empty list accepted"
+  | exception Invalid_argument _ -> ()
+
+let test_scaling_specs_validate () =
+  Alcotest.(check int) "default grid" 4
+    (List.length (Versions.scaling_specs ()));
+  Alcotest.(check (list int))
+    "explicit grid kept"
+    [ 16; 64 ]
+    (List.map
+       (fun s -> s.Spec.num_cus)
+       (Versions.scaling_specs ~cu_counts:[ 16; 64 ] ()));
+  match Versions.scaling_specs ~cu_counts:[ 8; 13 ] () with
+  | _ -> Alcotest.fail "13 accepted"
+  | exception Invalid_argument _ -> ()
+
+let test_fgpu_config_extended_cus () =
+  List.iter
+    (fun cus ->
+      let c = Ggpu_fgpu.Config.with_cus Ggpu_fgpu.Config.default cus in
+      Alcotest.(check int) "cus kept" cus c.Ggpu_fgpu.Config.num_cus)
+    [ 16; 32; 64 ];
+  match Ggpu_fgpu.Config.with_cus Ggpu_fgpu.Config.default 12 with
+  | _ -> Alcotest.fail "12 accepted"
+  | exception Ggpu_fgpu.Config.Bad_config _ -> ()
+
+let suite =
+  [
+    ( "place",
+      [
+        Alcotest.test_case "placed floorplan is legal" `Quick
+          test_placed_floorplan_legal;
+        Alcotest.test_case "bit-identical across domains" `Quick
+          test_deterministic_across_domains;
+        Alcotest.test_case "repeated runs identical" `Quick
+          test_repeated_runs_identical;
+        Alcotest.test_case "8-CU wirelength beats estimator" `Slow
+          test_8cu_beats_estimator_wirelength;
+        Alcotest.test_case "flow analytic engine dispatch" `Quick
+          test_flow_analytic_placer;
+      ] );
+    ( "scaling-grid",
+      [
+        Alcotest.test_case "spec accepts 16/32/64" `Quick
+          test_spec_accepts_extended_cus;
+        Alcotest.test_case "spec rejects unsupported counts" `Quick
+          test_spec_rejects_unsupported_cus;
+        Alcotest.test_case "contention derate shape" `Quick
+          test_contention_derate;
+        Alcotest.test_case "check_cu_counts" `Quick test_check_cu_counts;
+        Alcotest.test_case "scaling_specs validates" `Quick
+          test_scaling_specs_validate;
+        Alcotest.test_case "fgpu config accepts 16/32/64" `Quick
+          test_fgpu_config_extended_cus;
+      ] );
+  ]
