@@ -1089,6 +1089,57 @@ let run_serve () =
     (counter "serve.netlist.build" + counter "serve.netlist.reuse")
     (counter "serve.kernel.compile")
     (counter "serve.kernel.compile" + counter "serve.kernel.reuse");
+  (* Per-kind submit-to-response percentiles from the engine's own
+     histograms — cell-exact, so `serve stats` over the same traffic
+     derives the same numbers.  Captured from [snap], i.e. before the
+     overhead reruns below add warm-hit observations. *)
+  let latency_kinds = [ "sim"; "synth"; "perf" ] in
+  let latency_hist kind =
+    Ggpu_obs.Metrics.find_histogram snap ("serve.latency." ^ kind)
+  in
+  List.iter
+    (fun kind ->
+      match latency_hist kind with
+      | Some h when Ggpu_obs.Metrics.hist_total h > 0 ->
+          let p q = Ggpu_obs.Metrics.hist_percentile h q in
+          Printf.printf
+            "  latency %-5s p50<=%dus p99<=%dus p999<=%dus (n=%d)\n" kind
+            (p 0.50) (p 0.99) (p 0.999)
+            (Ggpu_obs.Metrics.hist_total h)
+      | _ -> ())
+    latency_kinds;
+  (* Tracing-overhead ceiling: replay the (now fully warm) mix with the
+     tracer off and on — span groups are built either way, so this
+     isolates the cost of mirroring into the global buffers — and gate
+     the relative slowdown.  Min of 5 reps each to shed scheduler
+     noise. *)
+  let replay_wall () =
+    let t0 = Unix.gettimeofday () in
+    let rec go = function
+      | [] -> ()
+      | reqs ->
+          let chunk, rest = take batch reqs in
+          ignore (Ggpu_serve.Engine.process engine chunk);
+          go rest
+    in
+    go reqs;
+    Unix.gettimeofday () -. t0
+  in
+  let min_of_reps k f =
+    let rec go best k = if k = 0 then best else go (Float.min best (f ())) (k - 1) in
+    go (f ()) (k - 1)
+  in
+  let base_s = min_of_reps 5 replay_wall in
+  Ggpu_obs.Trace.enable ();
+  let traced_s = min_of_reps 5 replay_wall in
+  Ggpu_obs.Trace.disable ();
+  Ggpu_obs.Trace.reset ();
+  let trace_overhead_pct =
+    if base_s > 0.0 then 100.0 *. (traced_s -. base_s) /. base_s else 0.0
+  in
+  Printf.printf
+    "  tracing overhead: %.2f%% (warm replay %.4fs untraced, %.4fs traced)\n"
+    trace_overhead_pct base_s traced_s;
   let open Ggpu_obs.Json in
   let doc =
     Obj
@@ -1104,6 +1155,25 @@ let run_serve () =
         ("p50_us", Float (percentile 0.50));
         ("p99_us", Float (percentile 0.99));
         ("mean_us", Float mean_us);
+        ( "latency",
+          Obj
+            (List.map
+               (fun kind ->
+                 ( kind,
+                   match latency_hist kind with
+                   | None -> Null
+                   | Some h ->
+                       let p q = Ggpu_obs.Metrics.hist_percentile h q in
+                       Obj
+                         [
+                           ("count", Int (Ggpu_obs.Metrics.hist_total h));
+                           ("sum_us", Int h.Ggpu_obs.Metrics.sum);
+                           ("p50_us", Int (p 0.50));
+                           ("p99_us", Int (p 0.99));
+                           ("p999_us", Int (p 0.999));
+                         ] ))
+               latency_kinds) );
+        ("trace_overhead_pct", Float trace_overhead_pct);
         ( "cache",
           Obj
             [
@@ -1138,10 +1208,19 @@ let run_serve () =
   end;
   (* CI gate: the replay must actually exercise the cache.  Expressed in
      percent, like the other env-tunable thresholds. *)
-  match Sys.getenv_opt "SERVE_MIN_HIT_RATE" with
+  (match Sys.getenv_opt "SERVE_MIN_HIT_RATE" with
   | Some threshold when 100.0 *. hit_rate < float_of_string threshold ->
       Printf.eprintf "serve: hit rate %.1f%% below required %s%%\n"
         (100.0 *. hit_rate) threshold;
+      exit 1
+  | _ -> ());
+  (* CI gate: enabling the tracer must stay close to free — the spans
+     are pre-built either way, so only the buffer mirroring can cost. *)
+  match Sys.getenv_opt "SERVE_MAX_TRACE_OVERHEAD_PCT" with
+  | Some threshold when trace_overhead_pct > float_of_string threshold ->
+      Printf.eprintf
+        "serve: tracing overhead %.2f%% above allowed %s%%\n"
+        trace_overhead_pct threshold;
       exit 1
   | _ -> ()
 

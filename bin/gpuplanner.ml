@@ -1132,7 +1132,22 @@ let serve_cmd =
       & opt int Ggpu_serve.Engine.default_config.Ggpu_serve.Engine.queue_capacity
       & info [ "queue-capacity" ] ~doc ~docv:"N")
   in
-  let run obs socket domains cache_capacity queue_capacity backend =
+  let recorder_term =
+    let doc =
+      "Flight-recorder capacity: span groups of the last N requests kept \
+       for the dump control."
+    in
+    Arg.(value & opt int 256 & info [ "recorder" ] ~doc ~docv:"N")
+  in
+  let slow_ms_term =
+    let doc =
+      "Slow-request threshold in milliseconds: slower requests are logged \
+       and pinned in the slow ring of the flight recorder."
+    in
+    Arg.(value & opt int 500 & info [ "slow-ms" ] ~doc ~docv:"MS")
+  in
+  let run obs socket domains cache_capacity queue_capacity recorder_capacity
+      slow_ms backend =
     with_obs obs @@ fun () ->
     let engine_config =
       {
@@ -1142,15 +1157,15 @@ let serve_cmd =
         backend;
       }
     in
-    Ggpu_serve.Daemon.run ~engine_config ?domains ~log:prerr_endline ~socket
-      ();
+    Ggpu_serve.Daemon.run ~engine_config ?domains ~recorder_capacity ~slow_ms
+      ~log:prerr_endline ~socket ();
     Ok ()
   in
   let term =
     Term.(
       term_result ~usage:false
         (const run $ obs_term $ socket_term $ domains_term $ cache_term
-       $ queue_term $ backend_term))
+       $ queue_term $ recorder_term $ slow_ms_term $ backend_term))
   in
   Cmd.v
     (Cmd.info "serve"
@@ -1159,6 +1174,53 @@ let serve_cmd =
           scheduler over a persistent domain pool, speaking \
           newline-delimited JSON on a Unix socket")
     term
+
+(* Rebuild a histogram snapshot from a stats reply, so the CLI derives
+   its latency percentiles with the same cell-exact [hist_percentile]
+   every other consumer of the registry uses. *)
+let latency_hist_of_stats j kind =
+  let module Json = Ggpu_obs.Json in
+  let ints = function
+    | Some (Json.List l) ->
+        Some
+          (List.filter_map
+             (function Json.Int i -> Some i | _ -> None)
+             l)
+    | _ -> None
+  in
+  let int j m =
+    match Json.member m j with Some (Json.Int i) -> i | _ -> 0
+  in
+  match
+    Option.bind (Json.member "metrics" j) (Json.member "histograms")
+    |> Fun.flip Option.bind (Json.member ("serve.latency." ^ kind))
+  with
+  | None -> None
+  | Some h -> (
+      match (ints (Json.member "bounds" h), ints (Json.member "counts" h)) with
+      | Some bounds, Some counts ->
+          Some
+            {
+              Ggpu_obs.Metrics.bounds;
+              counts;
+              sum = int h "sum";
+              min_v = int h "min";
+              max_v = int h "max";
+            }
+      | _ -> None)
+
+let print_stats_latency j =
+  List.iter
+    (fun kind ->
+      match latency_hist_of_stats j kind with
+      | Some h when Ggpu_obs.Metrics.hist_total h > 0 ->
+          let p q = Ggpu_obs.Metrics.hist_percentile h q in
+          Printf.printf
+            "latency %-5s p50<=%dus p99<=%dus p999<=%dus (n=%d)\n" kind
+            (p 0.50) (p 0.99) (p 0.999)
+            (Ggpu_obs.Metrics.hist_total h)
+      | _ -> ())
+    [ "sim"; "synth"; "perf" ]
 
 let client_cmd =
   let ping_term =
@@ -1213,8 +1275,21 @@ let client_cmd =
     Arg.(
       value & opt (some int) None & info [ "deadline-ms" ] ~doc ~docv:"MS")
   in
-  let run socket ping stats shutdown replay seed batch min_hits kind cus freq
-      kernel size tech deadline_ms =
+  let action_term =
+    let doc =
+      "Optional action: $(b,dump) fetches the daemon's flight-recorder \
+       trace (written to --out), $(b,scrape) prints its metrics registry \
+       in text exposition format."
+    in
+    Arg.(value & pos 0 (some string) None & info [] ~doc ~docv:"ACTION")
+  in
+  let out_term =
+    let doc = "Output file for the $(b,dump) action." in
+    Arg.(value & opt string "trace.json" & info [ "out" ] ~doc ~docv:"FILE")
+  in
+  let run obs socket action out ping stats shutdown replay seed batch
+      min_hits kind cus freq kernel size tech deadline_ms =
+    with_obs obs @@ fun () ->
     let c =
       try Ggpu_serve.Client.connect ~socket
       with Unix.Unix_error (err, _, _) ->
@@ -1269,9 +1344,43 @@ let client_cmd =
         | Error msg ->
             prerr_endline msg;
             failed := true));
+    (match action with
+    | None -> ()
+    | Some "scrape" -> (
+        match Ggpu_serve.Client.scrape c with
+        | Ok text -> print_string text
+        | Error msg ->
+            prerr_endline msg;
+            failed := true)
+    | Some "dump" -> (
+        match Ggpu_serve.Client.dump c with
+        | Ok j -> (
+            match Ggpu_obs.Json.member "trace" j with
+            | Some doc ->
+                let oc = open_out out in
+                output_string oc (Ggpu_obs.Json.to_string doc);
+                output_char oc '\n';
+                close_out oc;
+                let kept =
+                  match Ggpu_obs.Json.member "kept" j with
+                  | Some (Ggpu_obs.Json.Int n) -> n
+                  | _ -> 0
+                in
+                Printf.printf "wrote %s (%d span groups)\n" out kept
+            | None ->
+                prerr_endline "dump reply carried no trace";
+                failed := true)
+        | Error msg ->
+            prerr_endline msg;
+            failed := true)
+    | Some other ->
+        Printf.eprintf "unknown action %s (dump|scrape)\n" other;
+        exit 1);
     if stats then (
       match Ggpu_serve.Client.stats c with
-      | Ok j -> print_endline (Ggpu_obs.Json.to_string j)
+      | Ok j ->
+          print_endline (Ggpu_obs.Json.to_string j);
+          print_stats_latency j
       | Error msg ->
           prerr_endline msg;
           failed := true);
@@ -1287,16 +1396,17 @@ let client_cmd =
   let term =
     Term.(
       term_result ~usage:false
-        (const run $ socket_term $ ping_term $ stats_term $ shutdown_term
-       $ replay_term $ seed_term $ batch_term $ min_hits_term $ kind_term
-       $ cus_term $ freq_term $ kernel_term $ size_term $ tech_name_term
-       $ deadline_term))
+        (const run $ obs_term $ socket_term $ action_term $ out_term
+       $ ping_term $ stats_term $ shutdown_term $ replay_term $ seed_term
+       $ batch_term $ min_hits_term $ kind_term $ cus_term $ freq_term
+       $ kernel_term $ size_term $ tech_name_term $ deadline_term))
   in
   Cmd.v
     (Cmd.info "client"
        ~doc:
          "Talk to a running planning daemon: ping, replay a seeded \
-          workload, send one request, print stats, or shut it down")
+          workload, send one request, dump its flight-recorder trace, \
+          scrape its metrics, print stats, or shut it down")
     term
 
 (* --- superopt ----------------------------------------------------------- *)

@@ -194,6 +194,28 @@ let merge a b =
 let merge_all = List.fold_left merge empty_snapshot
 let equal_snapshot (a : snapshot) b = a = b
 let hist_total h = List.fold_left ( + ) 0 h.counts
+
+(* Percentiles from cells: the smallest bucket whose cumulative count
+   covers the requested rank.  Integer-exact given the cells, so every
+   consumer of one snapshot (bench serve, serve stats, the CLI
+   renderer) derives the same number — the property PR 7's ad-hoc
+   windowed sampling lacked. *)
+let hist_percentile h q =
+  let total = hist_total h in
+  if total = 0 then 0
+  else begin
+    let q = Float.max 0.0 (Float.min 1.0 q) in
+    let rank = max 1 (min total (int_of_float (ceil (q *. float_of_int total)))) in
+    let observed_max = if h.max_v = min_int then 0 else h.max_v in
+    let rec go cum bounds counts =
+      match (bounds, counts) with
+      (* overflow cell (or exhausted): all we know is the observed max *)
+      | [], _ | _, [] -> observed_max
+      | b :: bs, c :: cs ->
+          if cum + c >= rank then min b observed_max else go (cum + c) bs cs
+    in
+    go 0 h.bounds h.counts
+  end
 let find_counter s name = List.assoc_opt name s.counters
 let find_gauge s name = List.assoc_opt name s.gauges
 let find_histogram s name = List.assoc_opt name s.histograms
@@ -217,6 +239,37 @@ let snapshot_to_json s =
       ( "histograms",
         Json.Obj (List.map (fun (k, h) -> (k, hist_json h)) s.histograms) );
     ]
+
+(* Text exposition: one line per value, sorted by the snapshot's own
+   name ordering, cumulative bucket counts — a stable format scrapers
+   can diff byte-for-byte.  Layout:
+
+     counter <name> <value>
+     gauge <name> <value>
+     histogram <name> count <n> sum <s> min <lo> max <hi>
+     bucket <name> le <bound> <cumulative>
+     bucket <name> le inf <total>                                       *)
+let expose s =
+  let buf = Buffer.create 1024 in
+  let line fmt = Printf.ksprintf (fun l -> Buffer.add_string buf (l ^ "\n")) fmt in
+  List.iter (fun (name, v) -> line "counter %s %d" name v) s.counters;
+  List.iter (fun (name, v) -> line "gauge %s %d" name v) s.gauges;
+  List.iter
+    (fun (name, h) ->
+      let total = hist_total h in
+      line "histogram %s count %d sum %d min %d max %d" name total h.sum
+        (if h.min_v = max_int then 0 else h.min_v)
+        (if h.max_v = min_int then 0 else h.max_v);
+      let cum = ref 0 in
+      List.iteri
+        (fun i c ->
+          cum := !cum + c;
+          match List.nth_opt h.bounds i with
+          | Some b -> line "bucket %s le %d %d" name b !cum
+          | None -> line "bucket %s le inf %d" name !cum)
+        h.counts)
+    s.histograms;
+  Buffer.contents buf
 
 let pp_snapshot fmt s =
   let open Format in

@@ -95,10 +95,28 @@ val merge_all : snapshot list -> snapshot
 val equal_snapshot : snapshot -> snapshot -> bool
 val hist_total : hist_snapshot -> int
 
+val hist_percentile : hist_snapshot -> float -> int
+(** [hist_percentile h q] (with [q] in [[0, 1]]) is the upper bound of
+    the smallest bucket whose cumulative count covers rank
+    [ceil (q * total)], capped at the observed maximum; the overflow
+    cell reports the observed maximum.  [0] on an empty histogram.
+    Integer-exact on the cells, so every consumer of one snapshot
+    derives identical p50/p99/p999 values. *)
+
 val find_counter : snapshot -> string -> int option
 val find_gauge : snapshot -> string -> int option
 val find_histogram : snapshot -> string -> hist_snapshot option
 val snapshot_to_json : snapshot -> Json.t
+
+val expose : snapshot -> string
+(** Stable text exposition of a snapshot: [counter <name> <v>] /
+    [gauge <name> <v>] lines, then per histogram a
+    [histogram <name> count .. sum .. min .. max ..] header followed by
+    cumulative [bucket <name> le <bound> <cum>] lines (the overflow
+    bucket prints [le inf]).  Names appear in the snapshot's sorted
+    order, so equal snapshots expose byte-identical text — the format
+    the daemon's [Telemetry] control serves to scrapers. *)
+
 val pp_snapshot : Format.formatter -> snapshot -> unit
 
 (** {1 Ambient per-domain registries} *)

@@ -91,11 +91,35 @@ let counter ?ts_ns ?tid name values =
 let complete ?(args = []) ?tid ~ts_ns ~dur_ns name =
   if enabled () then record ~ts_ns ~dur_ns ?tid Complete name args
 
+let emit e = if enabled () then (my_buf ()).evs <- e :: (my_buf ()).evs
+
 let reset () =
   with_lock (fun () ->
       Atomic.incr current_epoch;
       List.iter (fun b -> b.evs <- []) !buffers;
       buffers := [])
+
+(* --- Trace context ----------------------------------------------------- *)
+
+(* Ids stitch a request's spans across processes: the client mints a
+   trace id, the wire carries it, and every daemon-side span tags itself
+   with it.  Uniqueness only has to hold among concurrently live
+   requests of the machines sharing one trace file, so pid + a process
+   counter is enough — no randomness, which keeps dumps reproducible
+   under test. *)
+
+let id_counter = Atomic.make 0
+
+let new_trace_id () =
+  Printf.sprintf "t%04x.%06x"
+    (Unix.getpid () land 0xffff)
+    (Atomic.fetch_and_add id_counter 1 land 0xffffff)
+
+let new_span_id () =
+  Printf.sprintf "s%06x" (Atomic.fetch_and_add id_counter 1 land 0xffffff)
+
+let ctx_args ~trace_id ~span_id =
+  [ ("trace_id", trace_id); ("span_id", span_id) ]
 
 let events () =
   let bufs = with_lock (fun () -> !buffers) in
@@ -142,12 +166,14 @@ let event_to_json e =
   in
   Json.Obj (base @ dur @ scope @ args)
 
-let to_json () =
+let events_to_json evs =
   Json.Obj
     [
-      ("traceEvents", Json.List (List.map event_to_json (events ())));
+      ("traceEvents", Json.List (List.map event_to_json evs));
       ("displayTimeUnit", Json.String "ms");
     ]
+
+let to_json () = events_to_json (events ())
 
 let export ~path =
   let oc = open_out path in
@@ -236,7 +262,15 @@ let validate_json doc =
               Ok ()
             end)
     | "X" -> (
+        (* a negative duration renders as a zero-width slice in the
+           viewer but marks a broken emitter (end before start) *)
         match Json.member "dur" obj with
+        | Some (Json.Int d) when d < 0 ->
+            Error
+              (Printf.sprintf "event %d: complete event with negative dur" i)
+        | Some (Json.Float d) when d < 0.0 ->
+            Error
+              (Printf.sprintf "event %d: complete event with negative dur" i)
         | Some (Json.Int _ | Json.Float _) -> Ok ()
         | _ -> Error (Printf.sprintf "event %d: complete event without dur" i))
     | "C" -> (

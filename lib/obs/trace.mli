@@ -63,9 +63,34 @@ val complete :
     e.g. a wavefront's dispatch-to-retire lifetime in simulated cycles.
     No-op when disabled. *)
 
+val emit : event -> unit
+(** Append a pre-built event to the calling domain's buffer (no-op when
+    disabled).  Lets code that assembles events for its own purposes —
+    the serve flight recorder builds span groups whether or not tracing
+    is armed — mirror them into the global trace without re-measuring. *)
+
 val events : unit -> event list
 (** All buffered events, stably sorted by timestamp (per-domain record
     order is preserved for equal timestamps). *)
+
+(** {1 Trace context}
+
+    Cross-process stitching: a client mints a trace id, the serve wire
+    carries it, and every server-side span records it as a [trace_id]
+    arg, so one Perfetto search follows a request end to end.  Ids are
+    pid-and-counter based — unique among live requests, deterministic
+    in tests, no randomness. *)
+
+val new_trace_id : unit -> string
+val new_span_id : unit -> string
+
+val ctx_args : trace_id:string -> span_id:string -> (string * string) list
+(** The two id args every span of a traced request carries. *)
+
+val events_to_json : event list -> Json.t
+(** Render an explicit event list as a complete Chrome trace document
+    (used by the flight-recorder dump, which owns its own events rather
+    than the global buffers). *)
 
 val to_json : unit -> Json.t
 
@@ -90,8 +115,10 @@ val validate_json : Json.t -> (summary, string) result
 (** Check a parsed document: a top-level [traceEvents] array (or bare
     array) whose elements carry [name]/[ph]/[ts]/[pid]/[tid], with
     begin/end events properly nested (LIFO, matching names) per
-    (pid, tid), complete events carrying a numeric [dur], and counter
-    events carrying at least one numeric series in [args]. *)
+    (pid, tid), complete events carrying a non-negative numeric [dur],
+    and counter events carrying at least one numeric series in [args].
+    Counter and complete events are legal anywhere — they never enter
+    the begin/end nesting. *)
 
 val validate_file : string -> (summary, string) result
 val pp_summary : Format.formatter -> summary -> unit

@@ -10,6 +10,23 @@
 
 let default_domains () = Domain.recommended_domain_count ()
 
+(* Worker-side span capture: which domain ran an item, when, for how
+   long.  Captured inside the application itself — the only place that
+   knows the stealing outcome — so the serve engine can turn each
+   fan-out item into an execution span on the worker's own timeline. *)
+type timing = { t_start_ns : int; t_dur_ns : int; t_domain : int }
+
+let timed_apply f x =
+  let t0 = Ggpu_obs.Metrics.now_ns () in
+  let v = f x in
+  let t1 = Ggpu_obs.Metrics.now_ns () in
+  ( v,
+    {
+      t_start_ns = t0;
+      t_dur_ns = max 0 (t1 - t0);
+      t_domain = (Domain.self () :> int);
+    } )
+
 (* One fan-out: [n] items pulled off [next] by whoever gets there
    first; each completed item bumps [completed], and whoever completes
    the last one broadcasts the owner's condition variable. *)
@@ -142,6 +159,8 @@ module Pool = struct
       List.iter Domain.join t.workers;
       t.workers <- []
     end
+
+  let map_timed t f xs = map t (timed_apply f) xs
 
   (* map_collect defined below, after the snapshot-merging helper *)
   let map_collect_with map_fn f xs =

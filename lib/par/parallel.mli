@@ -5,6 +5,21 @@
 val default_domains : unit -> int
 (** [Domain.recommended_domain_count ()]. *)
 
+type timing = {
+  t_start_ns : int;  (** wall clock at application start *)
+  t_dur_ns : int;  (** elapsed, clamped non-negative *)
+  t_domain : int;  (** the worker domain that ran the item *)
+}
+(** Per-item execution capture for {!Pool.map_timed}: since work
+    stealing makes item placement a race, only the application itself
+    can say which domain ran it and when — the serve engine renders
+    these as per-worker execution spans. *)
+
+val timed_apply : ('a -> 'b) -> 'a -> 'b * timing
+(** Apply [f] on the calling domain, capturing its {!timing} — the
+    sequential counterpart of {!Pool.map_timed}, so a poolless engine
+    produces the same execution spans. *)
+
 val map : ?domains:int -> ('a -> 'b) -> 'a list -> 'b list
 (** Order-preserving parallel map over a work-stealing domain pool of
     [min domains (length xs)] domains (default
@@ -48,6 +63,11 @@ module Pool : sig
       so all [size t] domains work the job.  Not reentrant: one [map]
       at a time per pool.
       @raise Invalid_argument after {!shutdown}. *)
+
+  val map_timed : t -> ('a -> 'b) -> 'a list -> ('b * timing) list
+  (** As {!map}, additionally capturing each item's wall-clock window
+      and worker domain.  Results (and failure semantics) are identical
+      to {!map}; only the {!timing} rides along. *)
 
   val map_collect :
     t ->

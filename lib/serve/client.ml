@@ -1,6 +1,33 @@
 module Json = Ggpu_obs.Json
+module Trace = Ggpu_obs.Trace
+module Metrics = Ggpu_obs.Metrics
 
 type t = { fd : Unix.file_descr; ic : in_channel; oc : out_channel }
+
+(* The client is the trace originator: every request leaves with a
+   trace context (unless the caller minted one), so the daemon's spans
+   can be stitched to the client-side round-trip span by id. *)
+let with_trace (req : Proto.request) =
+  match req.Proto.trace with
+  | Some _ -> req
+  | None ->
+      {
+        req with
+        Proto.trace =
+          Some
+            {
+              Proto.trace_id = Trace.new_trace_id ();
+              span_id = Trace.new_span_id ();
+            };
+      }
+
+let root_span (req : Proto.request) ~ts_ns ~dur_ns =
+  match req.Proto.trace with
+  | None -> ()
+  | Some { Proto.trace_id; span_id } ->
+      Trace.complete
+        ~args:(Trace.ctx_args ~trace_id ~span_id)
+        ~ts_ns ~dur_ns:(max 0 dur_ns) "client.request"
 
 let connect ~socket =
   let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
@@ -23,8 +50,12 @@ let recv_line t =
   | exception End_of_file -> Error "connection closed by daemon"
 
 let call t req =
+  let req = with_trace req in
+  let t0 = Metrics.now_ns () in
   send_line t (Proto.request_to_line req);
-  Result.bind (recv_line t) Proto.response_of_line
+  let r = Result.bind (recv_line t) Proto.response_of_line in
+  root_span req ~ts_ns:t0 ~dur_ns:(Metrics.now_ns () - t0);
+  r
 
 let control t c =
   send_line t (Proto.control_to_line c);
@@ -41,6 +72,22 @@ let shutdown t =
   match control t Proto.Shutdown with
   | Ok j -> Json.member "ok" j = Some (Json.Bool true)
   | Error _ -> false
+
+let dump t =
+  match control t Proto.Dump with
+  | Error _ as e -> e
+  | Ok j ->
+      if Json.member "trace" j = None then
+        Error "dump reply carried no trace document"
+      else Ok j
+
+let scrape t =
+  match control t Proto.Telemetry with
+  | Error _ as e -> e
+  | Ok j -> (
+      match Json.member "exposition" j with
+      | Some (Json.String s) -> Ok s
+      | _ -> Error "telemetry reply carried no exposition text")
 
 type replay_summary = {
   sent : int;
@@ -77,13 +124,15 @@ let replay ?(batch = 64) t reqs =
           | rest -> ([], rest)
         in
         let chunk, rest = take batch reqs in
+        let chunk = List.map with_trace chunk in
         (* pipeline: write the whole window, then collect its replies;
            latency is measured from the window's send to each reply *)
         let sent_at = Unix.gettimeofday () in
+        let sent_at_ns = Metrics.now_ns () in
         List.iter (fun r -> send_line t (Proto.request_to_line r)) chunk;
-        incr_sent chunk sent_at;
+        incr_sent chunk sent_at sent_at_ns;
         window rest
-  and incr_sent chunk sent_at =
+  and incr_sent chunk sent_at sent_at_ns =
     List.iter
       (fun (req : Proto.request) ->
         incr sent;
@@ -94,6 +143,8 @@ let replay ?(batch = 64) t reqs =
               failwith
                 (Printf.sprintf "replay: response %d for request %d"
                    resp.Proto.id req.Proto.id);
+            root_span req ~ts_ns:sent_at_ns
+              ~dur_ns:(Metrics.now_ns () - sent_at_ns);
             lat_us :=
               ((Unix.gettimeofday () -. sent_at) *. 1e6) :: !lat_us;
             (match resp.Proto.status with

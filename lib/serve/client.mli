@@ -8,15 +8,32 @@ val connect : socket:string -> t
 
 val close : t -> unit
 
+val with_trace : Proto.request -> Proto.request
+(** Attach a freshly minted trace context ({!Ggpu_obs.Trace.new_trace_id})
+    unless the request already carries one.  {!call} and {!replay} apply
+    this to every request they send — the client is the trace
+    originator. *)
+
 val call : t -> Proto.request -> (Proto.response, string) result
 (** One request, one response (responses arrive in request order per
-    connection). *)
+    connection).  The request leaves with a trace context, and the
+    round trip is recorded as a [client.request] span (carrying the
+    same [trace_id]) when the process tracer is enabled. *)
 
 val ping : t -> bool
 val stats : t -> (Ggpu_obs.Json.t, string) result
 
 val shutdown : t -> bool
 (** Ask the daemon to drain and exit; [true] once it acknowledges. *)
+
+val dump : t -> (Ggpu_obs.Json.t, string) result
+(** The daemon's flight-recorder dump: an object whose ["trace"] member
+    is a complete Chrome-trace document of the retained span groups
+    (plus [recorded]/[kept]/[dropped] counts and a [slow] summary). *)
+
+val scrape : t -> (string, string) result
+(** The daemon's metrics registry in text exposition format (one
+    [counter]/[gauge]/[histogram]/[bucket] line each). *)
 
 type replay_summary = {
   sent : int;

@@ -2,9 +2,21 @@
    [Engine.step]'s pool fan-out.  Connections are independent NDJSON
    streams: requests keep their caller-chosen ids on the wire, and are
    renumbered onto a private sequence internally so concurrent clients
-   cannot collide inside the engine. *)
+   cannot collide inside the engine.
+
+   Observability: every request leaves one span group — the daemon's
+   socket-read and reply spans wrapped around the engine's
+   queue/probe/batch/execute spans — kept in an always-on bounded
+   flight recorder (plus a separate ring for slow requests), so a
+   [dump] control can reconstruct a Perfetto-loadable trace of the
+   recent past without the daemon having been started with tracing
+   armed.  All of it is observer-only: payload bytes and responses are
+   untouched. *)
 
 module Json = Ggpu_obs.Json
+module Metrics = Ggpu_obs.Metrics
+module Trace = Ggpu_obs.Trace
+module Ring = Ggpu_obs.Ring
 module Pool = Ggpu_par.Parallel.Pool
 
 type conn = {
@@ -13,16 +25,41 @@ type conn = {
   mutable alive : bool;
 }
 
+(* Where a renumbered request came from, plus what the recorder needs
+   to close its group: when it was read off the socket, how long the
+   parse-and-submit took, and its wire trace context. *)
+type route = {
+  r_conn : conn;
+  r_orig : int;  (* caller-chosen id *)
+  r_read_ts : int;
+  r_read_dur : int;
+  r_trace : Proto.trace_ctx option;
+}
+
+(* One flight-recorder entry: a request's full span group with enough
+   summary to render the slow log without replaying the events. *)
+type group = {
+  g_id : int;  (* caller-chosen id *)
+  g_trace : Proto.trace_ctx option;
+  g_latency_us : int;  (* socket read to reply flushed *)
+  g_slow : bool;
+  g_events : Trace.event list;
+}
+
 type state = {
   engine : Engine.t;
   pool : Pool.t;
   listen_fd : Unix.file_descr;
   mutable conns : conn list;
-  (* engine-side sequence id -> (connection, caller id) *)
-  routes : (int, conn * int) Hashtbl.t;
+  (* engine-side sequence id -> route *)
+  routes : (int, route) Hashtbl.t;
   mutable seq : int;
   mutable stopping : bool;
   log : string -> unit;
+  started_ns : int;
+  slow_threshold_us : int;
+  recorder : group Ring.t;
+  slow : group Ring.t;
 }
 
 let write_line conn s =
@@ -45,22 +82,99 @@ let write_line conn s =
 let unkeyed id status =
   { Proto.id; status; cached = false; key = ""; result = "" }
 
+let mk_span ?(args = []) ~trace ~ts_ns ~dur_ns name =
+  let targs =
+    match trace with
+    | Some { Proto.trace_id; span_id } -> Trace.ctx_args ~trace_id ~span_id
+    | None -> []
+  in
+  {
+    Trace.ph = Trace.Complete;
+    name;
+    ts_ns;
+    dur_ns = max 0 dur_ns;
+    tid = (Domain.self () :> int);
+    args = targs @ args;
+    values = [];
+  }
+
 let stats_line st =
+  let now = Metrics.now_ns () in
   Json.to_string
     (Json.Obj
        [
          ("control", Json.String "stats");
          ("pool_domains", Json.Int (Engine.pool_size st.engine));
          ("pending", Json.Int (Engine.pending st.engine));
+         ("queue_depth", Json.Int (Engine.pending st.engine));
+         ( "uptime_s",
+           Json.Float (float_of_int (now - st.started_ns) /. 1e9) );
          ( "hit_rate",
            match Engine.hit_rate st.engine with
            | Some r -> Json.Float r
            | None -> Json.Null );
+         ( "recorder",
+           Json.Obj
+             [
+               ("capacity", Json.Int (Ring.capacity st.recorder));
+               ("recorded", Json.Int (Ring.total st.recorder));
+               ("kept", Json.Int (Ring.length st.recorder));
+               ("slow", Json.Int (Ring.total st.slow));
+               ("slow_threshold_us", Json.Int st.slow_threshold_us);
+             ] );
          ( "metrics",
            Ggpu_obs.Metrics.snapshot_to_json (Engine.metrics st.engine) );
        ])
 
-let handle_line st conn line =
+(* The dump document: every event of every retained group (the main
+   ring plus slow-log survivors that aged out of it), deduplicated —
+   batch/execute spans are shared across a batch's groups — and
+   time-ordered.  Rendering is a pure function of the retained groups,
+   so two dumps with no traffic in between are byte-identical. *)
+let dump_doc groups =
+  let events =
+    List.concat_map (fun g -> g.g_events) groups
+    |> List.sort_uniq compare
+    |> List.stable_sort (fun (a : Trace.event) b ->
+           Int.compare a.Trace.ts_ns b.Trace.ts_ns)
+  in
+  Trace.events_to_json events
+
+let dump_line st =
+  let groups = Ring.to_list st.slow @ Ring.to_list st.recorder in
+  let slow_summary =
+    Ring.to_list st.slow
+    |> List.map (fun g ->
+           Json.Obj
+             ([ ("id", Json.Int g.g_id) ]
+             @ (match g.g_trace with
+               | Some { Proto.trace_id; _ } ->
+                   [ ("trace_id", Json.String trace_id) ]
+               | None -> [])
+             @ [ ("latency_us", Json.Int g.g_latency_us) ]))
+  in
+  Json.to_string
+    (Json.Obj
+       [
+         ("control", Json.String "dump");
+         ("recorded", Json.Int (Ring.total st.recorder));
+         ("kept", Json.Int (Ring.length st.recorder));
+         ( "dropped",
+           Json.Int (Ring.total st.recorder - Ring.length st.recorder) );
+         ("slow", Json.List slow_summary);
+         ("trace", dump_doc groups);
+       ])
+
+let telemetry_line st =
+  Json.to_string
+    (Json.Obj
+       [
+         ("control", Json.String "telemetry");
+         ( "exposition",
+           Json.String (Metrics.expose (Engine.metrics st.engine)) );
+       ])
+
+let handle_line st conn ~read_ts line =
   match Proto.incoming_of_line line with
   | Error msg ->
       write_line conn (Proto.response_to_line (unkeyed 0 (Proto.Failed msg)))
@@ -70,6 +184,8 @@ let handle_line st conn line =
            (Json.Obj
               [ ("control", Json.String "ping"); ("ok", Json.Bool true) ]))
   | Ok (Proto.Control Proto.Stats) -> write_line conn (stats_line st)
+  | Ok (Proto.Control Proto.Dump) -> write_line conn (dump_line st)
+  | Ok (Proto.Control Proto.Telemetry) -> write_line conn (telemetry_line st)
   | Ok (Proto.Control Proto.Shutdown) ->
       st.stopping <- true;
       write_line conn
@@ -80,25 +196,71 @@ let handle_line st conn line =
       st.seq <- st.seq + 1;
       let seq = st.seq in
       match Engine.submit st.engine { req with Proto.id = seq } with
-      | `Queued -> Hashtbl.replace st.routes seq (conn, req.Proto.id)
+      | `Queued ->
+          Hashtbl.replace st.routes seq
+            {
+              r_conn = conn;
+              r_orig = req.Proto.id;
+              r_read_ts = read_ts;
+              r_read_dur = Metrics.now_ns () - read_ts;
+              r_trace = req.Proto.trace;
+            }
       | `Rejected retry_after_ms ->
           write_line conn
             (Proto.response_to_line
                (unkeyed req.Proto.id (Proto.Rejected { retry_after_ms }))))
 
 (* One engine batch; replies routed back to whichever connection each
-   request came in on, with its original id restored. *)
+   request came in on, with its original id restored, and each
+   request's span group — read + engine stages + reply — pushed into
+   the flight recorder. *)
 let pump st =
   if Engine.pending st.engine > 0 then
     List.iter
-      (fun (resp : Proto.response) ->
+      (fun { Engine.resp; spans } ->
         match Hashtbl.find_opt st.routes resp.Proto.id with
         | None -> ()
-        | Some (conn, orig_id) ->
+        | Some { r_conn; r_orig; r_read_ts; r_read_dur; r_trace } ->
             Hashtbl.remove st.routes resp.Proto.id;
-            write_line conn
-              (Proto.response_to_line { resp with Proto.id = orig_id }))
-      (Engine.step st.engine)
+            let read_ev =
+              mk_span ~trace:r_trace ~ts_ns:r_read_ts ~dur_ns:r_read_dur
+                "serve.read"
+            in
+            let reply_start = Metrics.now_ns () in
+            write_line r_conn
+              (Proto.response_to_line { resp with Proto.id = r_orig });
+            let reply_end = Metrics.now_ns () in
+            let reply_ev =
+              mk_span ~trace:r_trace ~ts_ns:reply_start
+                ~dur_ns:(reply_end - reply_start) "serve.reply"
+            in
+            if Trace.enabled () then begin
+              Trace.emit read_ev;
+              Trace.emit reply_ev
+            end;
+            let latency_us = max 0 ((reply_end - r_read_ts) / 1000) in
+            let slow = latency_us > st.slow_threshold_us in
+            let g =
+              {
+                g_id = r_orig;
+                g_trace = r_trace;
+                g_latency_us = latency_us;
+                g_slow = slow;
+                g_events = (read_ev :: spans) @ [ reply_ev ];
+              }
+            in
+            Ring.push st.recorder g;
+            if slow then begin
+              Ring.push st.slow g;
+              st.log
+                (Printf.sprintf "slow request id=%d%s: %d us (threshold %d)"
+                   r_orig
+                   (match r_trace with
+                   | Some { Proto.trace_id; _ } -> " trace=" ^ trace_id
+                   | None -> "")
+                   latency_us st.slow_threshold_us)
+            end)
+      (Engine.step_traced st.engine)
 
 let drop_conn st conn =
   conn.alive <- false;
@@ -107,6 +269,7 @@ let drop_conn st conn =
 
 let read_ready st conn =
   let chunk = Bytes.create 4096 in
+  let read_ts = Metrics.now_ns () in
   match Unix.read conn.fd chunk 0 (Bytes.length chunk) with
   | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
   | exception Unix.Unix_error ((Unix.ECONNRESET | Unix.EPIPE), _, _) ->
@@ -118,7 +281,7 @@ let read_ready st conn =
         if c = '\n' then begin
           let line = Buffer.contents conn.buf in
           Buffer.clear conn.buf;
-          if String.trim line <> "" then handle_line st conn line
+          if String.trim line <> "" then handle_line st conn ~read_ts line
         end
         else Buffer.add_char conn.buf c
       done
@@ -130,7 +293,8 @@ let accept_ready st =
       st.conns <- { fd; buf = Buffer.create 256; alive = true } :: st.conns
 
 let run ?(engine_config = Engine.default_config) ?domains
-    ?(log = fun _ -> ()) ~socket () =
+    ?(recorder_capacity = 256) ?(slow_ms = 500) ?(log = fun _ -> ()) ~socket
+    () =
   (* broken client connections must surface as EPIPE, not kill us *)
   (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ());
   let pool = Pool.create ?domains () in
@@ -149,6 +313,10 @@ let run ?(engine_config = Engine.default_config) ?domains
       seq = 0;
       stopping = false;
       log;
+      started_ns = Metrics.now_ns ();
+      slow_threshold_us = max 1 slow_ms * 1000;
+      recorder = Ring.create ~capacity:(max 1 recorder_capacity);
+      slow = Ring.create ~capacity:(max 1 (recorder_capacity / 4));
     }
   in
   let request_stop _ = st.stopping <- true in

@@ -8,6 +8,15 @@
     requests that arrive together are batched together, sharing base
     netlists and kernel compilations.
 
+    Every request leaves a span group (the daemon's [serve.read] and
+    [serve.reply] spans around the engine's per-stage spans, see
+    {!Engine.step_traced}) in an always-on bounded flight recorder;
+    requests slower than the slow threshold additionally land in a
+    separate slow ring and the log.  A [dump] control returns the
+    retained groups as one Chrome-trace document, and a [telemetry]
+    control returns the engine registry in text exposition format —
+    both without the daemon having been started with tracing armed.
+
     Shutdown (a [shutdown] control line, SIGTERM or SIGINT) is graceful:
     the listener closes, queued work drains through the engine, replies
     flush, and the socket path is unlinked. *)
@@ -15,11 +24,16 @@
 val run :
   ?engine_config:Engine.config ->
   ?domains:int ->
+  ?recorder_capacity:int ->
+  ?slow_ms:int ->
   ?log:(string -> unit) ->
   socket:string ->
   unit ->
   unit
 (** Serve on [socket] (an existing path is replaced) until asked to shut
     down.  [domains] sizes the shared pool (default
-    {!Ggpu_par.Parallel.default_domains}); [log] receives one-line
-    lifecycle messages (default: silent). *)
+    {!Ggpu_par.Parallel.default_domains}); [recorder_capacity] bounds
+    the flight recorder (default 256 span groups; the slow ring keeps a
+    quarter of that); [slow_ms] is the slow-request threshold (default
+    500 ms); [log] receives one-line lifecycle and slow-request
+    messages (default: silent). *)

@@ -9,6 +9,7 @@
 open Ggpu_core
 module Json = Ggpu_obs.Json
 module Metrics = Ggpu_obs.Metrics
+module Trace = Ggpu_obs.Trace
 
 type config = {
   cache_capacity : int;
@@ -53,7 +54,15 @@ type t = {
   c_expired : Metrics.counter;
   c_failed : Metrics.counter;
   g_high_water : Metrics.gauge;
+  h_sim : Metrics.histogram;
+  h_synth : Metrics.histogram;
+  h_perf : Metrics.histogram;
 }
+
+(* Log-spaced integer microseconds, 1 µs to ~16.8 s, overflow above.
+   Powers of two keep the cells integral and identical in every
+   registry, so snapshots merge bit-identically at any pool size. *)
+let latency_buckets = List.init 25 (fun i -> 1 lsl i)
 
 let tech_of_name = function
   | "65nm" -> Some Ggpu_tech.Tech.default_65nm
@@ -96,6 +105,11 @@ let create ?(config = default_config) ?pool () =
       c_expired = Metrics.counter reg "serve.expired";
       c_failed = Metrics.counter reg "serve.failed";
       g_high_water = Metrics.gauge reg "serve.queue.high_water";
+      h_sim = Metrics.histogram ~buckets:latency_buckets reg "serve.latency.sim";
+      h_synth =
+        Metrics.histogram ~buckets:latency_buckets reg "serve.latency.synth";
+      h_perf =
+        Metrics.histogram ~buckets:latency_buckets reg "serve.latency.perf";
     }
   in
   Metrics.gauge_max
@@ -351,7 +365,40 @@ type slot =
   | S_first of { key : string; plan : plan }  (* computes its key *)
   | S_dup of { key : string }  (* coalesces onto the first *)
 
-let step t =
+(* --- span capture -------------------------------------------------------- *)
+
+(* Each stepped request leaves with its span group: pre-measured
+   Complete events for its queue wait, cache probe, (de)duplication,
+   batch formation and execution.  The group is built whether or not
+   the global tracer is armed — the daemon's flight recorder keeps the
+   last N groups for post-mortem dumps — and mirrored into the tracer
+   via [Trace.emit] when it is.  Pure observer: a handful of clock
+   reads per request, nothing fed back into planning or payloads. *)
+type telemetry = { resp : Proto.response; spans : Trace.event list }
+
+let trace_args (req : Proto.request) =
+  match req.Proto.trace with
+  | Some { Proto.trace_id; span_id } -> Trace.ctx_args ~trace_id ~span_id
+  | None -> []
+
+let span ?tid ?(args = []) ~ts_ns ~dur_ns name req =
+  {
+    Trace.ph = Trace.Complete;
+    name;
+    ts_ns;
+    dur_ns = max 0 dur_ns;
+    tid = (match tid with Some t -> t | None -> (Domain.self () :> int));
+    args = trace_args req @ args;
+    values = [];
+  }
+
+let hist_for t (req : Proto.request) =
+  match req.Proto.kind with
+  | Proto.Sim _ -> t.h_sim
+  | Proto.Synth _ -> t.h_synth
+  | Proto.Perf _ -> t.h_perf
+
+let step_traced t =
   if Queue.is_empty t.queue then []
   else begin
     Metrics.incr t.c_batches;
@@ -360,14 +407,15 @@ let step t =
     let now = Metrics.now_ns () in
     let seen = Hashtbl.create 16 in
     let classify { req; arrival_ns } =
+      let probe_start = Metrics.now_ns () in
       let expired =
         match req.Proto.deadline_ms with
         | Some d -> now - arrival_ns > d * 1_000_000
         | None -> false
       in
-      if expired then begin
-        Metrics.incr t.c_expired;
-        ( req,
+      let slot =
+        if expired then begin
+          Metrics.incr t.c_expired;
           S_ready
             {
               Proto.id = req.Proto.id;
@@ -375,13 +423,12 @@ let step t =
               cached = false;
               key = "";
               result = "";
-            } )
-      end
-      else
-        match plan_of_request req with
-        | Error msg ->
-            Metrics.incr t.c_failed;
-            ( req,
+            }
+        end
+        else
+          match plan_of_request req with
+          | Error msg ->
+              Metrics.incr t.c_failed;
               S_ready
                 {
                   Proto.id = req.Proto.id;
@@ -389,14 +436,13 @@ let step t =
                   cached = false;
                   key = "";
                   result = "";
-                } )
-        | Ok plan -> (
-            let key = key_of_plan ~stride:t.cfg.pmu_stride plan in
-            let shard = t.results.(Key.shard ~shards:t.cfg.shards key) in
-            match Lru.find shard key with
-            | Some payload ->
-                Metrics.incr t.c_hit;
-                ( req,
+                }
+          | Ok plan -> (
+              let key = key_of_plan ~stride:t.cfg.pmu_stride plan in
+              let shard = t.results.(Key.shard ~shards:t.cfg.shards key) in
+              match Lru.find shard key with
+              | Some payload ->
+                  Metrics.incr t.c_hit;
                   S_ready
                     {
                       Proto.id = req.Proto.id;
@@ -404,16 +450,19 @@ let step t =
                       cached = true;
                       key = Key.hash_hex key;
                       result = payload;
-                    } )
-            | None ->
-                if Hashtbl.mem seen key then begin
-                  Metrics.incr t.c_coalesced;
-                  (req, S_dup { key })
-                end
-                else begin
-                  Hashtbl.add seen key ();
-                  (req, S_first { key; plan })
-                end)
+                    }
+              | None ->
+                  if Hashtbl.mem seen key then begin
+                    Metrics.incr t.c_coalesced;
+                    S_dup { key }
+                  end
+                  else begin
+                    Hashtbl.add seen key ();
+                    S_first { key; plan }
+                  end)
+      in
+      (req, arrival_ns, slot, probe_start,
+       Metrics.now_ns () - probe_start)
     in
     let slots = List.map classify batch in
     (* prefetch shared artifacts sequentially, then fan the unique
@@ -421,28 +470,52 @@ let step t =
     let firsts =
       List.filter_map
         (function
-          | _, S_first { key; plan } -> Some (key, plan, prefetch t plan)
+          | req, _, S_first { key; plan }, _, _ ->
+              Some (req, key, plan, prefetch t plan)
           | _ -> None)
         slots
     in
-    let run (key, plan, artifact) = (key, execute t plan artifact) in
+    let form_done = Metrics.now_ns () in
+    let run (_, key, plan, artifact) = (key, execute t plan artifact) in
     let outcomes =
       match t.pool with
       | Some pool when List.length firsts > 1 ->
-          Ggpu_par.Parallel.Pool.map pool run firsts
-      | _ -> List.map run firsts
+          Ggpu_par.Parallel.Pool.map_timed pool run firsts
+      | _ -> List.map (Ggpu_par.Parallel.timed_apply run) firsts
+    in
+    let batch_ev =
+      {
+        Trace.ph = Trace.Complete;
+        name = "serve.batch";
+        ts_ns = now;
+        dur_ns = max 0 (form_done - now);
+        tid = (Domain.self () :> int);
+        args =
+          [
+            ("size", string_of_int (List.length batch));
+            ("misses", string_of_int (List.length firsts));
+          ];
+        values = [];
+      }
     in
     let by_key = Hashtbl.create 16 in
-    List.iter
-      (fun (key, outcome) ->
+    let exec_evs = Hashtbl.create 16 in
+    List.iter2
+      (fun (req, key, _, _) ((key', outcome), timing) ->
+        assert (String.equal key key');
         Hashtbl.replace by_key key outcome;
+        Hashtbl.replace exec_evs key
+          (span ~tid:timing.Ggpu_par.Parallel.t_domain
+             ~args:[ ("key", Key.hash_hex key) ]
+             ~ts_ns:timing.Ggpu_par.Parallel.t_start_ns
+             ~dur_ns:timing.Ggpu_par.Parallel.t_dur_ns "serve.execute" req);
         match outcome with
         | Ok payload ->
             Metrics.incr t.c_miss;
             let shard = t.results.(Key.shard ~shards:t.cfg.shards key) in
             Metrics.add t.c_evict (Lru.add shard key payload)
         | Error _ -> Metrics.incr t.c_failed)
-      outcomes;
+      firsts outcomes;
     let respond (req : Proto.request) ~key ~cached =
       match Hashtbl.find_opt by_key key with
       | Some (Ok payload) ->
@@ -463,14 +536,70 @@ let step t =
           }
       | None -> assert false
     in
-    List.map
-      (fun (req, slot) ->
-        match slot with
-        | S_ready resp -> resp
-        | S_first { key; _ } -> respond req ~key ~cached:false
-        | S_dup { key } -> respond req ~key ~cached:true)
-      slots
+    let finish = Metrics.now_ns () in
+    let results =
+      List.map
+        (fun (req, arrival_ns, slot, probe_start, probe_dur) ->
+          Metrics.observe (hist_for t req)
+            (max 0 ((finish - arrival_ns) / 1000));
+          let queue_ev =
+            span ~ts_ns:arrival_ns ~dur_ns:(now - arrival_ns) "serve.queue" req
+          in
+          let probe_ev outcome =
+            span
+              ~args:[ ("outcome", outcome) ]
+              ~ts_ns:probe_start ~dur_ns:probe_dur "serve.probe" req
+          in
+          match slot with
+          | S_ready resp ->
+              let outcome =
+                match resp.Proto.status with
+                | Proto.Done -> "hit"
+                | Proto.Expired -> "expired"
+                | _ -> "error"
+              in
+              { resp; spans = [ queue_ev; probe_ev outcome ] }
+          | S_first { key; _ } ->
+              {
+                resp = respond req ~key ~cached:false;
+                spans =
+                  [ queue_ev; probe_ev "miss"; batch_ev;
+                    Hashtbl.find exec_evs key ];
+              }
+          | S_dup { key } ->
+              let coalesce_ev =
+                span
+                  ~args:[ ("key", Key.hash_hex key) ]
+                  ~ts_ns:(probe_start + probe_dur) ~dur_ns:0 "serve.coalesce"
+                  req
+              in
+              {
+                resp = respond req ~key ~cached:true;
+                spans =
+                  [ queue_ev; probe_ev "dup"; coalesce_ev; batch_ev;
+                    Hashtbl.find exec_evs key ];
+              })
+        slots
+    in
+    (* mirror into the global tracer: per-request spans per request,
+       shared batch/execute spans once *)
+    if Trace.enabled () then begin
+      Trace.emit batch_ev;
+      Hashtbl.iter (fun _ ev -> Trace.emit ev) exec_evs;
+      List.iter
+        (fun { spans; _ } ->
+          List.iter
+            (fun (ev : Trace.event) ->
+              match ev.Trace.name with
+              | "serve.batch" | "serve.execute" -> ()
+              | _ -> Trace.emit ev)
+            spans)
+        results
+    end;
+    results
   end
+
+let step t = List.map (fun { resp; _ } -> resp) (step_traced t)
 
 let process t reqs =
   let n = List.length reqs in

@@ -59,6 +59,29 @@ val step : t -> Proto.response list
     misses out over the pool, fill the cache, and return responses in
     arrival order. *)
 
+type telemetry = {
+  resp : Proto.response;
+  spans : Ggpu_obs.Trace.event list;
+      (** the request's engine-side span group: pre-measured [Complete]
+          events for its queue wait ([serve.queue]), cache probe
+          ([serve.probe], with an [outcome] arg), coalescing
+          ([serve.coalesce]), batch formation ([serve.batch], shared by
+          the batch) and execution ([serve.execute], on the worker
+          domain that ran it; shared by coalesced duplicates).  Events
+          of a wire-traced request carry its [trace_id]/[span_id]
+          args. *)
+}
+
+val step_traced : t -> telemetry list
+(** {!step}, returning each response with its span group.  Groups are
+    captured unconditionally (the daemon's flight recorder depends on
+    them) and mirrored into the global {!Ggpu_obs.Trace} buffers when
+    tracing is enabled.  [step] is [step_traced] minus the spans. *)
+
+val latency_buckets : int list
+(** Bucket bounds of the [serve.latency.*] histograms: log-spaced
+    integer microseconds (powers of two, 1 µs to ~16.8 s). *)
+
 val process : t -> Proto.request list -> Proto.response list
 (** Convenience driver: submit each request ([Rejected] responses are
     synthesised inline for overflow) and {!step} until drained;
@@ -68,8 +91,12 @@ val metrics : t -> Ggpu_obs.Metrics.snapshot
 (** The engine's own registry: [serve.requests], [serve.batches],
     [serve.cache.hit]/[miss]/[eviction]/[coalesced],
     [serve.netlist.build]/[reuse], [serve.kernel.compile]/[reuse],
-    [serve.rejected], [serve.expired], [serve.failed], and the
-    [serve.queue.high_water] / [serve.pool.domains] gauges. *)
+    [serve.rejected], [serve.expired], [serve.failed], the
+    [serve.queue.high_water] / [serve.pool.domains] gauges, and the
+    per-kind submit-to-response latency histograms
+    [serve.latency.sim]/[synth]/[perf] (integer microseconds in
+    {!latency_buckets}) that `bench serve` and the daemon's stats both
+    derive their p50/p99/p999 from. *)
 
 val hit_rate : t -> float option
 (** (hits + coalesced) / (hits + coalesced + misses); [None] before any

@@ -10,11 +10,14 @@ type kind =
   | Sim of { kernel : string; cus : int; size : int }
   | Perf of { kernel : string; cus : int; size : int }
 
+type trace_ctx = { trace_id : string; span_id : string }
+
 type request = {
   id : int;
   tech : string;
   kind : kind;
   deadline_ms : int option;
+  trace : trace_ctx option;
 }
 
 type status =
@@ -31,11 +34,11 @@ type response = {
   result : string;
 }
 
-type control = Ping | Stats | Shutdown
+type control = Ping | Stats | Shutdown | Dump | Telemetry
 type incoming = Req of request | Control of control
 
-let mk_request ?deadline_ms ?(tech = "65nm") ~id kind =
-  { id; tech; kind; deadline_ms }
+let mk_request ?deadline_ms ?(tech = "65nm") ?trace ~id kind =
+  { id; tech; kind; deadline_ms; trace }
 
 let kind_name = function Synth _ -> "synth" | Sim _ -> "sim" | Perf _ -> "perf"
 
@@ -56,9 +59,16 @@ let request_to_line r =
        ([ ("id", Json.Int r.id); ("kind", Json.String (kind_name r.kind)) ]
        @ kind_fields
        @ [ ("tech", Json.String r.tech) ]
+       @ (match r.deadline_ms with
+         | Some d -> [ ("deadline_ms", Json.Int d) ]
+         | None -> [])
        @
-       match r.deadline_ms with
-       | Some d -> [ ("deadline_ms", Json.Int d) ]
+       match r.trace with
+       | Some { trace_id; span_id } ->
+           [
+             ("trace_id", Json.String trace_id);
+             ("span_id", Json.String span_id);
+           ]
        | None -> []))
 
 let control_to_line c =
@@ -70,7 +80,9 @@ let control_to_line c =
              (match c with
              | Ping -> "ping"
              | Stats -> "stats"
-             | Shutdown -> "shutdown") );
+             | Shutdown -> "shutdown"
+             | Dump -> "dump"
+             | Telemetry -> "telemetry") );
        ])
 
 let int_member name j =
@@ -96,6 +108,14 @@ let request_of_json j =
   let deadline_ms =
     match Json.member "deadline_ms" j with Some (Json.Int d) -> Some d | _ -> None
   in
+  let trace =
+    (* both ids or neither: a lone field is treated as absent rather
+       than failing the request — trace context is advisory *)
+    match (Json.member "trace_id" j, Json.member "span_id" j) with
+    | Some (Json.String trace_id), Some (Json.String span_id) ->
+        Some { trace_id; span_id }
+    | _ -> None
+  in
   let* kind =
     match kind_s with
     | "synth" ->
@@ -111,7 +131,7 @@ let request_of_json j =
            else Perf { kernel; cus; size })
     | other -> Error (Printf.sprintf "unknown request kind %S" other)
   in
-  Ok { id; tech; kind; deadline_ms }
+  Ok { id; tech; kind; deadline_ms; trace }
 
 let incoming_of_line line =
   let* j = Json.parse line in
@@ -119,6 +139,8 @@ let incoming_of_line line =
   | Some (Json.String "ping") -> Ok (Control Ping)
   | Some (Json.String "stats") -> Ok (Control Stats)
   | Some (Json.String "shutdown") -> Ok (Control Shutdown)
+  | Some (Json.String "dump") -> Ok (Control Dump)
+  | Some (Json.String "telemetry") -> Ok (Control Telemetry)
   | Some _ -> Error "unknown control message"
   | None ->
       let* r = request_of_json j in

@@ -16,6 +16,15 @@ type kind =
       (** simulate with the PMU attached: stall buckets, hot PCs,
           bottleneck classification *)
 
+type trace_ctx = {
+  trace_id : string;  (** client-minted; tags every server-side span *)
+  span_id : string;  (** the client's root span for this request *)
+}
+(** Wire-propagated trace context ({!Ggpu_obs.Trace.new_trace_id}):
+    present on a request, it stitches the daemon's queue/probe/execute/
+    reply child spans to the client's root span in one Perfetto view.
+    Purely observational — it never enters a memo key or a payload. *)
+
 type request = {
   id : int;  (** caller-chosen; echoed on the response *)
   tech : string;  (** technology model name: ["65nm"] or ["28nm"] *)
@@ -23,6 +32,7 @@ type request = {
   deadline_ms : int option;
       (** drop the request (status [Expired]) if it has waited in the
           queue longer than this before execution starts *)
+  trace : trace_ctx option;
 }
 
 type status =
@@ -40,13 +50,20 @@ type response = {
   result : string;  (** serialised payload JSON; [""] unless [Done] *)
 }
 
-type control = Ping | Stats | Shutdown
+type control =
+  | Ping
+  | Stats  (** counters + histograms + uptime/queue depth *)
+  | Shutdown
+  | Dump  (** flight-recorder contents as a Chrome trace document *)
+  | Telemetry  (** full registry snapshot in text exposition format *)
 
 type incoming = Req of request | Control of control
 (** One parsed client line. *)
 
-val mk_request : ?deadline_ms:int -> ?tech:string -> id:int -> kind -> request
-(** [tech] defaults to ["65nm"]. *)
+val mk_request :
+  ?deadline_ms:int -> ?tech:string -> ?trace:trace_ctx -> id:int -> kind ->
+  request
+(** [tech] defaults to ["65nm"]; [trace] to none (untraced). *)
 
 val request_to_line : request -> string
 (** One line, no trailing newline. *)

@@ -307,6 +307,61 @@ let test_validator_rejects_unbalanced () =
     (Result.is_ok
        (T.validate_json (doc [ event "B" "a"; event ~ts:1 "E" "a" ])))
 
+let test_validator_complete_dur () =
+  let doc events = J.Obj [ ("traceEvents", J.List events) ] in
+  let x dur =
+    match event "X" "span" with
+    | J.Obj fields -> J.Obj (fields @ [ ("dur", dur) ])
+    | _ -> assert false
+  in
+  check_bool "zero dur accepted" true
+    (Result.is_ok (T.validate_json (doc [ x (J.Int 0) ])));
+  check_bool "positive dur accepted" true
+    (Result.is_ok (T.validate_json (doc [ x (J.Float 1.5) ])));
+  check_bool "negative int dur rejected" true
+    (Result.is_error (T.validate_json (doc [ x (J.Int (-1)) ])));
+  check_bool "negative float dur rejected" true
+    (Result.is_error (T.validate_json (doc [ x (J.Float (-0.5)) ])));
+  check_bool "missing dur rejected" true
+    (Result.is_error (T.validate_json (doc [ event "X" "span" ])));
+  (* C and X events never enter the begin/end nesting, so they are
+     legal in positions where a stray E would be rejected *)
+  check_bool "complete event legal outside nesting" true
+    (Result.is_ok
+       (T.validate_json
+          (doc [ event "B" "a"; x (J.Int 3); event ~ts:9 "E" "a" ])))
+
+(* Two renders of the same explicit event list are byte-identical — the
+   dump-determinism contract of the daemon's flight recorder. *)
+let test_events_to_json_deterministic () =
+  let evs =
+    [
+      {
+        T.ph = T.Complete;
+        name = "serve.read";
+        ts_ns = 1000;
+        dur_ns = 500;
+        tid = 3;
+        args = [ ("trace_id", "t0001.000001"); ("span_id", "s000001") ];
+        values = [];
+      };
+      {
+        T.ph = T.Instant;
+        name = "serve.slow";
+        ts_ns = 2000;
+        dur_ns = 0;
+        tid = 3;
+        args = [ ("latency_us", "1500") ];
+        values = [];
+      };
+    ]
+  in
+  let a = J.to_string (T.events_to_json evs) in
+  let b = J.to_string (T.events_to_json evs) in
+  Alcotest.(check string) "byte-identical renders" a b;
+  check_bool "renders validate" true
+    (Result.is_ok (T.validate_json (T.events_to_json evs)))
+
 (* --- JSON ---------------------------------------------------------------- *)
 
 let test_json_roundtrip () =
@@ -372,6 +427,72 @@ let test_self_times_tie_break () =
     [ "alpha"; "mid"; "zeta" ]
     (List.map (fun (r : P.row) -> r.P.name) rows)
 
+(* --- ring / exposition / percentiles ------------------------------------- *)
+
+module R = Ggpu_obs.Ring
+
+let test_ring_wraparound () =
+  Alcotest.check_raises "zero capacity rejected"
+    (Invalid_argument "Ring.create: capacity < 1") (fun () ->
+      ignore (R.create ~capacity:0));
+  let r = R.create ~capacity:3 in
+  check "empty length" 0 (R.length r);
+  Alcotest.(check (list int)) "empty list" [] (R.to_list r);
+  R.push r 1;
+  R.push r 2;
+  Alcotest.(check (list int)) "partial fill, oldest first" [ 1; 2 ]
+    (R.to_list r);
+  List.iter (R.push r) [ 3; 4; 5 ];
+  check "total counts every push" 5 (R.total r);
+  check "length capped at capacity" 3 (R.length r);
+  Alcotest.(check (list int)) "oldest overwritten first" [ 3; 4; 5 ]
+    (R.to_list r);
+  R.push r 6;
+  Alcotest.(check (list int)) "keeps sliding" [ 4; 5; 6 ] (R.to_list r);
+  R.clear r;
+  check "clear empties" 0 (R.length r);
+  Alcotest.(check (list int)) "cleared list" [] (R.to_list r)
+
+let test_hist_percentile () =
+  let r = M.create () in
+  let h = M.histogram ~buckets:[ 1; 2; 4; 8; 16 ] r "lat" in
+  let snap () = Option.get (M.find_histogram (M.snapshot r) "lat") in
+  check "empty percentile" 0 (M.hist_percentile (snap ()) 0.99);
+  List.iter (M.observe h) [ 1; 2; 3; 4; 100 ];
+  let s = snap () in
+  (* ranks: q0.2 -> first obs (bucket 1), q0.5 -> rank 3 in bucket 4,
+     overflow reports the observed max *)
+  check "p20 is the first bucket" 1 (M.hist_percentile s 0.20);
+  check "p50 covers rank 3" 4 (M.hist_percentile s 0.50);
+  check "p99 lands in overflow: observed max" 100 (M.hist_percentile s 0.99);
+  check "q=0 clamps to rank 1" 1 (M.hist_percentile s 0.0);
+  (* a bucket bound past the observed max is capped at the max *)
+  let r2 = M.create () in
+  let h2 = M.histogram ~buckets:[ 1000 ] r2 "lat" in
+  M.observe h2 7;
+  check "bound capped at observed max" 7
+    (M.hist_percentile (Option.get (M.find_histogram (M.snapshot r2) "lat")) 0.5)
+
+let test_expose_stable () =
+  let mk () =
+    let r = M.create () in
+    M.add (M.counter r "serve.requests") 40;
+    M.gauge_max (M.gauge r "serve.pool.domains") 4;
+    let h = M.histogram ~buckets:[ 1; 2; 4 ] r "serve.latency.sim" in
+    List.iter (M.observe h) [ 1; 3; 9 ];
+    M.snapshot r
+  in
+  let a = M.expose (mk ()) and b = M.expose (mk ()) in
+  Alcotest.(check string) "equal snapshots expose byte-identically" a b;
+  let expected =
+    "counter serve.requests 40\n" ^ "gauge serve.pool.domains 4\n"
+    ^ "histogram serve.latency.sim count 3 sum 13 min 1 max 9\n"
+    ^ "bucket serve.latency.sim le 1 1\n" ^ "bucket serve.latency.sim le 2 1\n"
+    ^ "bucket serve.latency.sim le 4 2\n"
+    ^ "bucket serve.latency.sim le inf 3\n"
+  in
+  Alcotest.(check string) "exposition layout is pinned" expected a
+
 let qcheck = QCheck_alcotest.to_alcotest
 
 let suite =
@@ -408,6 +529,13 @@ let suite =
           test_reset_drops_stale_events;
         Alcotest.test_case "validator rejects unbalanced" `Quick
           test_validator_rejects_unbalanced;
+        Alcotest.test_case "validator complete dur" `Quick
+          test_validator_complete_dur;
+        Alcotest.test_case "events_to_json deterministic" `Quick
+          test_events_to_json_deterministic;
+        Alcotest.test_case "ring wraparound" `Quick test_ring_wraparound;
+        Alcotest.test_case "hist percentile" `Quick test_hist_percentile;
+        Alcotest.test_case "expose stable" `Quick test_expose_stable;
         Alcotest.test_case "json round-trip" `Quick test_json_roundtrip;
         Alcotest.test_case "profiler self times" `Quick test_self_times;
         Alcotest.test_case "profiler self-time tie-break" `Quick

@@ -408,7 +408,19 @@ let test_proto_roundtrip () =
       | Ok (P.Control c') ->
           Alcotest.(check bool) "control round-trips" true (c = c')
       | _ -> Alcotest.fail "control did not round-trip")
-    [ P.Ping; P.Stats; P.Shutdown ];
+    [ P.Ping; P.Stats; P.Shutdown; P.Dump; P.Telemetry ];
+  (* the wire carries an optional trace context; both fields must be
+     present for it to parse back (a lone field is advisory) *)
+  let traced =
+    P.mk_request
+      ~trace:{ P.trace_id = "t0001.00002a"; span_id = "s00002a" }
+      ~id:11
+      (sim ~kernel:"copy" ~cus:2 ~size:256)
+  in
+  (match P.incoming_of_line (P.request_to_line traced) with
+  | Ok (P.Req r') ->
+      Alcotest.(check bool) "trace context round-trips" true (traced = r')
+  | _ -> Alcotest.fail "traced request did not round-trip");
   let payload =
     Json.to_string
       (Json.Obj [ ("kind", Json.String "sim"); ("cycles", Json.Int 123) ])
@@ -442,6 +454,139 @@ let test_wire_bytes_identical () =
     (P.response_to_line { cold with P.cached = true })
     (P.response_to_line warm)
 
+(* --- telemetry ----------------------------------------------------------- *)
+
+(* Each served request lands one observation in its kind's latency
+   histogram. *)
+let test_latency_histograms () =
+  let engine = E.create () in
+  ignore
+    (E.process engine
+       [
+         req ~id:1 (sim ~kernel:"copy" ~cus:1 ~size:256);
+         req ~id:2 (sim ~kernel:"copy" ~cus:1 ~size:256);
+         req ~id:3 (synth ~cus:1 ~freq_mhz:590);
+         req ~id:4 (perf ~kernel:"copy" ~cus:1 ~size:256);
+       ]);
+  let total name =
+    match Ggpu_obs.Metrics.find_histogram (E.metrics engine) name with
+    | Some h -> Ggpu_obs.Metrics.hist_total h
+    | None -> Alcotest.failf "missing histogram %s" name
+  in
+  Alcotest.(check int) "sim observations" 2 (total "serve.latency.sim");
+  Alcotest.(check int) "synth observations" 1 (total "serve.latency.synth");
+  Alcotest.(check int) "perf observations" 1 (total "serve.latency.perf")
+
+(* qcheck: a multiset of latency observations partitioned across K
+   registries merges bit-identically to a single registry, for any K
+   and any assignment — why `bench serve` and `serve stats` can never
+   disagree on a percentile. *)
+let hist_merge_partition_invariant =
+  let kinds =
+    [| "serve.latency.sim"; "serve.latency.synth"; "serve.latency.perf" |]
+  in
+  QCheck.Test.make ~count:100
+    ~name:"latency histograms merge partition-invariantly"
+    QCheck.(
+      pair
+        (small_list (pair (int_bound 2) (int_bound 20_000_000)))
+        (int_range 1 8))
+    (fun (obs, k) ->
+      let observe reg (kind_ix, v) =
+        Ggpu_obs.Metrics.observe
+          (Ggpu_obs.Metrics.histogram ~buckets:E.latency_buckets reg
+             kinds.(kind_ix))
+          v
+      in
+      let reference = Ggpu_obs.Metrics.create () in
+      List.iter (observe reference) obs;
+      let parts = Array.init k (fun _ -> Ggpu_obs.Metrics.create ()) in
+      List.iteri (fun i o -> observe parts.(i mod k) o) obs;
+      let merged =
+        Ggpu_obs.Metrics.merge_all
+          (Array.to_list (Array.map Ggpu_obs.Metrics.snapshot parts))
+      in
+      Ggpu_obs.Metrics.equal_snapshot
+        (Ggpu_obs.Metrics.snapshot reference)
+        merged)
+
+let span_names { E.spans; _ } =
+  List.map (fun e -> e.Ggpu_obs.Trace.name) spans
+
+(* The engine's span groups reflect each request's actual path: a miss
+   executes, a hit stops at the probe, a coalesced duplicate records
+   the coalesce and shares the first requester's execute span. *)
+let test_step_traced_groups () =
+  let engine = E.create () in
+  let kind = sim ~kernel:"copy" ~cus:1 ~size:256 in
+  ignore (E.submit engine (req ~id:1 kind));
+  (match E.step_traced engine with
+  | [ ({ E.resp; _ } as g) ] ->
+      Alcotest.(check bool) "served" true (resp.P.status = P.Done);
+      List.iter
+        (fun n ->
+          Alcotest.(check bool) (n ^ " present") true
+            (List.mem n (span_names g)))
+        [ "serve.queue"; "serve.probe"; "serve.batch"; "serve.execute" ]
+  | groups -> Alcotest.failf "expected one group, got %d" (List.length groups));
+  ignore (E.submit engine (req ~id:2 kind));
+  (match E.step_traced engine with
+  | [ g ] ->
+      Alcotest.(check (list string))
+        "hit stops at the probe"
+        [ "serve.queue"; "serve.probe" ]
+        (span_names g)
+  | _ -> Alcotest.fail "expected one group");
+  let k2 = sim ~kernel:"copy" ~cus:2 ~size:256 in
+  ignore (E.submit engine (req ~id:3 k2));
+  ignore (E.submit engine (req ~id:4 k2));
+  (match E.step_traced engine with
+  | [ g1; g2 ] ->
+      Alcotest.(check bool) "first executes" true
+        (List.mem "serve.execute" (span_names g1));
+      Alcotest.(check bool) "dup coalesces" true
+        (List.mem "serve.coalesce" (span_names g2));
+      Alcotest.(check bool) "dup shares the execute span" true
+        (List.mem "serve.execute" (span_names g2))
+  | groups ->
+      Alcotest.failf "expected two groups, got %d" (List.length groups));
+  (* a wire trace context shows up as args on the request's own spans *)
+  ignore
+    (E.submit engine
+       (P.mk_request
+          ~trace:{ P.trace_id = "tfeed.000001"; span_id = "s000001" }
+          ~id:5 kind));
+  match E.step_traced engine with
+  | [ { E.spans; _ } ] ->
+      List.iter
+        (fun e ->
+          Alcotest.(check (option string))
+            (e.Ggpu_obs.Trace.name ^ " carries the trace id")
+            (Some "tfeed.000001")
+            (List.assoc_opt "trace_id" e.Ggpu_obs.Trace.args))
+        spans
+  | _ -> Alcotest.fail "expected one group"
+
+(* All spans the engine hands the recorder validate as a Chrome trace
+   document, and rendering the same groups twice is byte-identical —
+   the dump-determinism the daemon's dump control relies on. *)
+let test_span_groups_render_deterministically () =
+  let engine = E.create () in
+  ignore (E.submit engine (req ~id:1 (sim ~kernel:"copy" ~cus:1 ~size:256)));
+  ignore (E.submit engine (req ~id:2 (synth ~cus:1 ~freq_mhz:590)));
+  let events =
+    List.concat_map (fun { E.spans; _ } -> spans) (E.step_traced engine)
+    |> List.sort_uniq compare
+  in
+  let doc = Ggpu_obs.Trace.events_to_json events in
+  (match Ggpu_obs.Trace.validate_json doc with
+  | Ok _ -> ()
+  | Error msg -> Alcotest.failf "span group invalid: %s" msg);
+  Alcotest.(check string)
+    "rendering is deterministic"
+    (Json.to_string doc)
+    (Json.to_string (Ggpu_obs.Trace.events_to_json events))
+
 let qcheck = QCheck_alcotest.to_alcotest
 
 let suite =
@@ -470,5 +615,12 @@ let suite =
         Alcotest.test_case "proto round-trips" `Quick test_proto_roundtrip;
         Alcotest.test_case "wire bytes identical" `Quick
           test_wire_bytes_identical;
+        Alcotest.test_case "latency histograms" `Quick
+          test_latency_histograms;
+        qcheck hist_merge_partition_invariant;
+        Alcotest.test_case "step_traced span groups" `Quick
+          test_step_traced_groups;
+        Alcotest.test_case "span groups render deterministically" `Quick
+          test_span_groups_render_deterministically;
       ] );
   ]
